@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks for the building blocks of the reproduction:
+//! the locality classifier, the directory, the cache array, the mesh network
+//! and a small end-to-end simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lad_common::config::SystemConfig;
+use lad_common::types::{CacheLine, CoreId, Cycle};
+use lad_noc::message::MessageKind;
+use lad_noc::Network;
+use lad_replication::classifier::{ClassifierKind, LocalityClassifier};
+use lad_replication::config::ReplicationConfig;
+use lad_sim::engine::Simulator;
+use lad_trace::benchmarks::Benchmark;
+use lad_trace::generator::TraceGenerator;
+
+fn bench_classifier(c: &mut Criterion) {
+    c.bench_function("classifier/limited3_read_train", |b| {
+        b.iter_batched(
+            || LocalityClassifier::new(ClassifierKind::Limited(3), 3),
+            |mut classifier| {
+                for i in 0..64usize {
+                    classifier.on_home_read(CoreId::new(i % 8));
+                }
+                classifier
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("classifier/complete_read_train", |b| {
+        b.iter_batched(
+            || LocalityClassifier::new(ClassifierKind::Complete, 3),
+            |mut classifier| {
+                for i in 0..64usize {
+                    classifier.on_home_read(CoreId::new(i));
+                }
+                classifier
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache_array(c: &mut Criterion) {
+    use lad_cache::replacement::PlainLru;
+    use lad_cache::set_assoc::SetAssocCache;
+    c.bench_function("cache/set_assoc_fill_and_lookup", |b| {
+        b.iter_batched(
+            || SetAssocCache::<u64>::new(512, 8),
+            |mut cache| {
+                for i in 0..2048u64 {
+                    cache.insert(CacheLine::from_index(i), i, &PlainLru);
+                    cache.get(CacheLine::from_index(i / 2));
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    use lad_coherence::directory::DirectoryEntry;
+    c.bench_function("directory/read_write_churn", |b| {
+        b.iter_batched(
+            || DirectoryEntry::new(4),
+            |mut entry| {
+                for i in 0..32usize {
+                    entry.handle_read(CoreId::new(i % 16));
+                    if i % 5 == 0 {
+                        entry.handle_write(CoreId::new(i % 16));
+                    }
+                }
+                entry
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("noc/mesh_send_64core", |b| {
+        let config = SystemConfig::paper_default();
+        b.iter_batched(
+            || Network::new(&config.network, config.cache_line_bytes),
+            |mut network| {
+                for i in 0..128usize {
+                    network.send(
+                        CoreId::new(i % 64),
+                        CoreId::new((i * 7) % 64),
+                        if i % 2 == 0 { MessageKind::Control } else { MessageKind::Data },
+                        Cycle::new(i as u64),
+                    );
+                }
+                network
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let system = SystemConfig::small_test();
+    let trace = TraceGenerator::new(Benchmark::Barnes.profile()).generate(system.num_cores, 400, 3);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("barnes_16core_locality_aware", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(system.clone(), ReplicationConfig::locality_aware(3));
+            sim.run(&trace)
+        })
+    });
+    group.bench_function("barnes_16core_snuca", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(system.clone(), ReplicationConfig::static_nuca());
+            sim.run(&trace)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classifier,
+    bench_cache_array,
+    bench_directory,
+    bench_network,
+    bench_end_to_end
+);
+criterion_main!(benches);

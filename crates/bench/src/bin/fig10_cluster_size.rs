@@ -1,0 +1,58 @@
+//! Figure 10: energy and completion time of cluster-level replication at
+//! cluster sizes 1, 4, 16 and 64, normalized to cluster size 1 (the paper's
+//! chosen configuration), at RT = 3, on the Figure 10 benchmark subset.
+
+use lad_bench::{csv_row, f3, harness_runner};
+use lad_common::stats::geometric_mean;
+use lad_replication::config::ReplicationConfig;
+use lad_trace::suite::BenchmarkSuite;
+
+fn main() {
+    let runner = harness_runner(BenchmarkSuite::figure10());
+    let cluster_sizes = [1usize, 4, 16, 64];
+
+    println!("Figure 10: cluster-level replication (RT = 3), normalized to C-1");
+    csv_row(
+        ["benchmark".to_string()]
+            .into_iter()
+            .chain(cluster_sizes.iter().map(|c| format!("energy C-{c}")))
+            .chain(cluster_sizes.iter().map(|c| format!("time C-{c}"))),
+    );
+
+    let mut energy_ratios: Vec<Vec<f64>> = vec![Vec::new(); cluster_sizes.len()];
+    let mut time_ratios: Vec<Vec<f64>> = vec![Vec::new(); cluster_sizes.len()];
+
+    for benchmark in runner.suite().benchmarks().to_vec() {
+        let reference =
+            runner.run_one(benchmark, &ReplicationConfig::locality_aware(3).with_cluster_size(1));
+        let mut energy_fields = Vec::new();
+        let mut time_fields = Vec::new();
+        for (i, cluster) in cluster_sizes.iter().enumerate() {
+            let report = runner.run_one(
+                benchmark,
+                &ReplicationConfig::locality_aware(3).with_cluster_size(*cluster),
+            );
+            let energy_ratio = report.energy.total() / reference.energy.total();
+            let time_ratio =
+                report.completion_time.value() as f64 / reference.completion_time.value() as f64;
+            energy_ratios[i].push(energy_ratio);
+            time_ratios[i].push(time_ratio);
+            energy_fields.push(f3(energy_ratio));
+            time_fields.push(f3(time_ratio));
+        }
+        let mut fields = vec![benchmark.label().to_string()];
+        fields.extend(energy_fields);
+        fields.extend(time_fields);
+        csv_row(fields);
+    }
+
+    println!();
+    println!("Geometric means (the paper's GEOMEAN bars):");
+    for (i, cluster) in cluster_sizes.iter().enumerate() {
+        println!(
+            "  C-{cluster}: energy {:.3}, completion time {:.3}",
+            geometric_mean(&energy_ratios[i]).unwrap_or(1.0),
+            geometric_mean(&time_ratios[i]).unwrap_or(1.0)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 1: distribution of LLC accesses by data class and run-length
+//! bucket ([1-2], [3-9], [>=10]) for every benchmark, measured on the
+//! Static-NUCA baseline (replication disabled), exactly as the paper's
+//! characterization does.
+
+use lad_bench::{csv_row, f3, harness_runner};
+use lad_common::types::DataClass;
+use lad_replication::config::ReplicationConfig;
+use lad_trace::suite::BenchmarkSuite;
+
+fn main() {
+    let runner = harness_runner(BenchmarkSuite::full());
+    println!("Figure 1: LLC access distribution by data class and run-length");
+    csv_row(
+        ["benchmark".to_string()]
+            .into_iter()
+            .chain(DataClass::ALL.iter().flat_map(|class| {
+                ["1-2", "3-9", ">=10"]
+                    .iter()
+                    .map(move |bucket| format!("{} [{}]", class.label(), bucket))
+            })),
+    );
+
+    let baseline = ReplicationConfig::static_nuca();
+    for benchmark in runner.suite().benchmarks().to_vec() {
+        let report = runner.run_one(benchmark, &baseline);
+        let distribution = report.run_lengths.distribution();
+        let mut fields = vec![benchmark.label().to_string()];
+        for (_, buckets) in distribution {
+            fields.extend(buckets.iter().map(|fraction| f3(*fraction)));
+        }
+        csv_row(fields);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 6: dynamic-energy breakdown per benchmark for the seven evaluated
+//! configurations (S-NUCA, R-NUCA, VR, ASR, RT-1, RT-3, RT-8), normalized to
+//! S-NUCA.
+
+use lad_bench::{csv_row, f3, harness_runner};
+use lad_energy::accounting::Component;
+use lad_sim::experiment::SchemeComparison;
+use lad_trace::suite::BenchmarkSuite;
+
+fn main() {
+    let runner = harness_runner(BenchmarkSuite::full());
+    let comparison = runner.run_paper_comparison();
+
+    println!("Figure 6: energy breakdown, normalized to S-NUCA");
+    csv_row(
+        ["benchmark".to_string(), "scheme".to_string(), "total(norm)".to_string()]
+            .into_iter()
+            .chain(Component::ALL.iter().map(|c| format!("{}(norm)", c.label()))),
+    );
+
+    for benchmark in comparison.benchmarks().to_vec() {
+        let baseline_total = comparison
+            .report(benchmark, "S-NUCA")
+            .map(|r| r.energy.total())
+            .unwrap_or(1.0);
+        for scheme in SchemeComparison::SCHEME_ORDER {
+            let Some(report) = comparison.report(benchmark, scheme) else { continue };
+            let mut fields = vec![
+                benchmark.label().to_string(),
+                scheme.to_string(),
+                f3(report.energy.total() / baseline_total),
+            ];
+            fields.extend(
+                Component::ALL
+                    .iter()
+                    .map(|c| f3(report.energy.component(*c) / baseline_total)),
+            );
+            csv_row(fields);
+        }
+    }
+
+    println!();
+    println!("Average normalized energy (the paper's AVERAGE bars):");
+    for scheme in SchemeComparison::SCHEME_ORDER {
+        println!(
+            "  {:<8} {:.3}",
+            scheme,
+            comparison.average_normalized_energy(scheme, "S-NUCA")
+        );
+    }
+}

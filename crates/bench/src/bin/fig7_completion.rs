@@ -1,0 +1,46 @@
+//! Figure 7: completion-time breakdown per benchmark for the seven
+//! configurations, normalized to S-NUCA.
+
+use lad_bench::{csv_row, f3, harness_runner};
+use lad_sim::experiment::SchemeComparison;
+use lad_sim::metrics::LatencyBreakdown;
+use lad_trace::suite::BenchmarkSuite;
+
+fn main() {
+    let runner = harness_runner(BenchmarkSuite::full());
+    let comparison = runner.run_paper_comparison();
+
+    println!("Figure 7: completion-time breakdown, normalized to S-NUCA");
+    csv_row(
+        ["benchmark".to_string(), "scheme".to_string(), "completion(norm)".to_string()]
+            .into_iter()
+            .chain(LatencyBreakdown::LABELS.iter().map(|l| format!("{l}(norm)"))),
+    );
+
+    for benchmark in comparison.benchmarks().to_vec() {
+        let baseline_total = comparison
+            .report(benchmark, "S-NUCA")
+            .map(|r| r.latency.total() as f64)
+            .unwrap_or(1.0);
+        for scheme in SchemeComparison::SCHEME_ORDER {
+            let Some(report) = comparison.report(benchmark, scheme) else { continue };
+            let mut fields = vec![
+                benchmark.label().to_string(),
+                scheme.to_string(),
+                f3(comparison.normalized_completion_time(benchmark, scheme, "S-NUCA")),
+            ];
+            fields.extend(report.latency.values().iter().map(|v| f3(*v as f64 / baseline_total)));
+            csv_row(fields);
+        }
+    }
+
+    println!();
+    println!("Average normalized completion time (the paper's AVERAGE bars):");
+    for scheme in SchemeComparison::SCHEME_ORDER {
+        println!(
+            "  {:<8} {:.3}",
+            scheme,
+            comparison.average_normalized_completion_time(scheme, "S-NUCA")
+        );
+    }
+}

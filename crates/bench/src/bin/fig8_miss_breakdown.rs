@@ -1,0 +1,33 @@
+//! Figure 8: L1 cache-miss-type breakdown (LLC replica hits, LLC home hits,
+//! off-chip misses) per benchmark and configuration.
+
+use lad_bench::{csv_row, f3, harness_runner};
+use lad_sim::experiment::SchemeComparison;
+use lad_trace::suite::BenchmarkSuite;
+
+fn main() {
+    let runner = harness_runner(BenchmarkSuite::full());
+    let comparison = runner.run_paper_comparison();
+
+    println!("Figure 8: L1 miss type breakdown (fractions of all L1 misses)");
+    csv_row([
+        "benchmark".to_string(),
+        "scheme".to_string(),
+        "llc_replica_hits".to_string(),
+        "llc_home_hits".to_string(),
+        "offchip_misses".to_string(),
+    ]);
+    for benchmark in comparison.benchmarks().to_vec() {
+        for scheme in SchemeComparison::SCHEME_ORDER {
+            let Some(report) = comparison.report(benchmark, scheme) else { continue };
+            let misses = report.misses.l1_misses().max(1) as f64;
+            csv_row([
+                benchmark.label().to_string(),
+                scheme.to_string(),
+                f3(report.misses.llc_replica_hits as f64 / misses),
+                f3(report.misses.llc_home_hits as f64 / misses),
+                f3(report.misses.offchip_misses as f64 / misses),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 9: energy and completion time of the Limited_k classifier
+//! (k = 1, 3, 5, 7) normalized to the Complete (k = 64) classifier, at the
+//! paper's optimum RT = 3, on the Figure 9 benchmark subset.
+
+use lad_bench::{csv_row, f3, harness_runner};
+use lad_common::stats::geometric_mean;
+use lad_replication::classifier::ClassifierKind;
+use lad_replication::config::ReplicationConfig;
+use lad_trace::suite::BenchmarkSuite;
+
+fn main() {
+    let runner = harness_runner(BenchmarkSuite::figure9());
+    let ks = [1usize, 3, 5, 7];
+
+    println!("Figure 9: Limited_k classifier vs Complete classifier (RT = 3)");
+    csv_row(
+        ["benchmark".to_string()]
+            .into_iter()
+            .chain(ks.iter().map(|k| format!("energy k={k}")))
+            .chain(["energy k=64".to_string()])
+            .chain(ks.iter().map(|k| format!("time k={k}")))
+            .chain(["time k=64".to_string()]),
+    );
+
+    let mut energy_ratios: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
+    let mut time_ratios: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
+
+    for benchmark in runner.suite().benchmarks().to_vec() {
+        let complete = runner.run_one(
+            benchmark,
+            &ReplicationConfig::locality_aware(3).with_classifier(ClassifierKind::Complete),
+        );
+        let mut energy_fields = Vec::new();
+        let mut time_fields = Vec::new();
+        for (i, k) in ks.iter().enumerate() {
+            let report = runner.run_one(
+                benchmark,
+                &ReplicationConfig::locality_aware(3).with_classifier(ClassifierKind::Limited(*k)),
+            );
+            let energy_ratio = report.energy.total() / complete.energy.total();
+            let time_ratio =
+                report.completion_time.value() as f64 / complete.completion_time.value() as f64;
+            energy_ratios[i].push(energy_ratio);
+            time_ratios[i].push(time_ratio);
+            energy_fields.push(f3(energy_ratio));
+            time_fields.push(f3(time_ratio));
+        }
+        let mut fields = vec![benchmark.label().to_string()];
+        fields.extend(energy_fields);
+        fields.push(f3(1.0));
+        fields.extend(time_fields);
+        fields.push(f3(1.0));
+        csv_row(fields);
+    }
+
+    println!();
+    println!("Geometric means (the paper's GEOMEAN bars):");
+    for (i, k) in ks.iter().enumerate() {
+        println!(
+            "  k={k}: energy {:.3}, completion time {:.3}",
+            geometric_mean(&energy_ratios[i]).unwrap_or(1.0),
+            geometric_mean(&time_ratios[i]).unwrap_or(1.0)
+        );
+    }
+    println!("  k=64: energy 1.000, completion time 1.000 (reference)");
+}

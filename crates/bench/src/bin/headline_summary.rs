@@ -1,0 +1,23 @@
+//! The headline result (abstract / Section 4.1): average energy and
+//! completion-time reduction of the locality-aware protocol (RT-3) versus
+//! Victim Replication, ASR, R-NUCA and S-NUCA across the benchmark suite.
+//!
+//! Paper-reported values: energy ↓ 16%, 14%, 13%, 21% and completion time
+//! ↓ 4%, 9%, 6%, 13% versus VR, ASR, R-NUCA, S-NUCA respectively.
+
+use lad_bench::harness_runner;
+use lad_trace::suite::BenchmarkSuite;
+
+fn main() {
+    let runner = harness_runner(BenchmarkSuite::full());
+    let comparison = runner.run_paper_comparison();
+
+    println!("Headline: RT-3 vs the four baselines (averaged over the suite)");
+    println!("{:<10} {:>22} {:>26}", "baseline", "energy reduction (%)", "completion-time reduction (%)");
+    for baseline in ["VR", "ASR", "R-NUCA", "S-NUCA"] {
+        let (energy, time) = comparison.reduction_vs("RT-3", baseline);
+        println!("{baseline:<10} {energy:>22.1} {time:>26.1}");
+    }
+    println!();
+    println!("paper-reported: VR 16/4, ASR 14/9, R-NUCA 13/6, S-NUCA 21/13 (energy%/time%)");
+}

@@ -1,0 +1,34 @@
+//! Table 2: the benchmark suite and its problem sizes, together with the
+//! synthetic-profile parameters used to stand in for each application.
+
+use lad_bench::csv_row;
+use lad_trace::benchmarks::Benchmark;
+
+fn main() {
+    println!("Table 2: benchmarks and problem sizes (synthetic stand-ins)");
+    csv_row([
+        "suite".to_string(),
+        "benchmark".to_string(),
+        "problem_size".to_string(),
+        "footprint_lines_64c".to_string(),
+        "dominant_class".to_string(),
+    ]);
+    for benchmark in Benchmark::ALL {
+        let profile = benchmark.profile();
+        let weights = profile.class_mix.weights();
+        let labels = ["instruction", "private", "shared-RO", "shared-RW"];
+        let dominant = labels[weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)];
+        csv_row([
+            benchmark.suite_name().to_string(),
+            benchmark.label().to_string(),
+            profile.problem_size.to_string(),
+            profile.footprint_lines(64).to_string(),
+            dominant.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary under
+//! `src/bin/` (see DESIGN.md §3 for the index).  The binaries print
+//! machine-readable CSV rows plus a short human summary, so the series the
+//! paper plots can be regenerated directly:
+//!
+//! ```text
+//! cargo run --release -p lad-bench --bin fig6_energy
+//! cargo run --release -p lad-bench --bin fig9_limited_classifier
+//! ```
+//!
+//! All binaries honour two environment variables so quick runs are possible:
+//!
+//! * `LAD_ACCESSES` — accesses per core (default 4000),
+//! * `LAD_CORES` — number of simulated cores (default 64, the paper target).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lad_common::config::SystemConfig;
+use lad_sim::experiment::ExperimentRunner;
+use lad_trace::suite::BenchmarkSuite;
+
+/// Accesses per core used by the harness (override with `LAD_ACCESSES`).
+pub fn accesses_per_core() -> usize {
+    std::env::var("LAD_ACCESSES").ok().and_then(|v| v.parse().ok()).unwrap_or(4000)
+}
+
+/// Number of cores simulated by the harness (override with `LAD_CORES`).
+pub fn num_cores() -> usize {
+    std::env::var("LAD_CORES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// The system configuration used by the harness: the paper's Table 1 target,
+/// scaled to [`num_cores`] cores.
+pub fn harness_system() -> SystemConfig {
+    let cores = num_cores();
+    if cores == 64 {
+        SystemConfig::paper_default()
+    } else {
+        SystemConfig::paper_default().with_num_cores(cores)
+    }
+}
+
+/// An experiment runner over `suite`, configured from the environment.
+pub fn harness_runner(suite: BenchmarkSuite) -> ExperimentRunner {
+    let suite = suite.with_accesses_per_core(accesses_per_core());
+    ExperimentRunner::new(harness_system(), suite)
+}
+
+/// Prints one CSV row (comma-joined).
+pub fn csv_row<I: IntoIterator<Item = String>>(fields: I) {
+    println!("{}", fields.into_iter().collect::<Vec<_>>().join(","));
+}
+
+/// Formats a float with three decimals for CSV output.
+pub fn f3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_target() {
+        // Environment overrides are not set in the test environment.
+        if std::env::var("LAD_CORES").is_err() {
+            assert_eq!(num_cores(), 64);
+            assert_eq!(harness_system().num_cores, 64);
+        }
+        if std::env::var("LAD_ACCESSES").is_err() {
+            assert_eq!(accesses_per_core(), 4000);
+        }
+        assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    fn runner_uses_requested_trace_length() {
+        let runner = harness_runner(BenchmarkSuite::quick());
+        assert_eq!(runner.suite().accesses_per_core(), accesses_per_core());
+    }
+}

@@ -1,0 +1,441 @@
+//! A generic set-associative cache array with pluggable victim selection.
+
+use std::collections::HashMap;
+
+use lad_common::types::CacheLine;
+
+use crate::replacement::EvictionPriority;
+
+/// One way of one set.
+#[derive(Debug, Clone)]
+struct Way<V> {
+    line: CacheLine,
+    value: V,
+    /// Monotonically increasing timestamp of the last touch; larger = more
+    /// recently used.
+    lru_stamp: u64,
+}
+
+/// A set-associative cache array mapping [`CacheLine`]s to entries of type
+/// `V`.
+///
+/// The array tracks LRU recency per set and delegates victim selection to an
+/// [`EvictionPriority`] so that the LLC can implement the paper's
+/// sharer-aware replacement policy (Section 2.2.4) without the array knowing
+/// anything about directories.
+///
+/// Set indexing uses the low-order bits of the line index, exactly as a
+/// hardware cache indexed by physical address would.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V> {
+    sets: Vec<Vec<Way<V>>>,
+    associativity: usize,
+    /// Global LRU clock (shared across sets; only relative order within a set
+    /// matters).
+    clock: u64,
+    /// Number of resident lines.
+    len: usize,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates an empty cache with `num_sets` sets of `associativity` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `associativity` is zero, or if `num_sets` is
+    /// not a power of two (hardware caches index with address bits).
+    pub fn new(num_sets: usize, associativity: usize) -> Self {
+        assert!(num_sets > 0, "need at least one set");
+        assert!(associativity > 0, "need at least one way");
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        SetAssocCache {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(associativity)).collect(),
+            associativity,
+            clock: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.associativity
+    }
+
+    /// Number of currently resident lines.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn set_index(&self, line: CacheLine) -> usize {
+        (line.index() % self.sets.len() as u64) as usize
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Returns a reference to the entry for `line` and promotes it to
+    /// most-recently-used, or `None` on a miss.
+    pub fn get(&mut self, line: CacheLine) -> Option<&V> {
+        let stamp = self.tick();
+        let set = self.set_index(line);
+        let way = self.sets[set].iter_mut().find(|w| w.line == line)?;
+        way.lru_stamp = stamp;
+        Some(&way.value)
+    }
+
+    /// Returns a mutable reference to the entry for `line` and promotes it to
+    /// most-recently-used, or `None` on a miss.
+    pub fn get_mut(&mut self, line: CacheLine) -> Option<&mut V> {
+        let stamp = self.tick();
+        let set = self.set_index(line);
+        let way = self.sets[set].iter_mut().find(|w| w.line == line)?;
+        way.lru_stamp = stamp;
+        Some(&mut way.value)
+    }
+
+    /// Returns a reference to the entry for `line` *without* updating the LRU
+    /// state (a probe, e.g. an asynchronous coherence lookup).
+    pub fn peek(&self, line: CacheLine) -> Option<&V> {
+        let set = self.set_index(line);
+        self.sets[set].iter().find(|w| w.line == line).map(|w| &w.value)
+    }
+
+    /// Returns a mutable reference to the entry for `line` without updating
+    /// the LRU state.
+    pub fn peek_mut(&mut self, line: CacheLine) -> Option<&mut V> {
+        let set = self.set_index(line);
+        self.sets[set].iter_mut().find(|w| w.line == line).map(|w| &mut w.value)
+    }
+
+    /// Returns `true` if `line` is resident.
+    pub fn contains(&self, line: CacheLine) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts `value` for `line`, evicting a victim from the target set if
+    /// it is full.
+    ///
+    /// Returns the evicted `(line, value)` pair, if any.  If `line` was
+    /// already resident its entry is replaced in place (no eviction) and the
+    /// old value is **not** returned — use [`SetAssocCache::get_mut`] to
+    /// update entries that may already exist.
+    ///
+    /// The victim is the way with the lowest
+    /// [`EvictionPriority::priority`], ties broken by least-recent use —
+    /// i.e. plain LRU when the priority is constant.
+    pub fn insert<P>(&mut self, line: CacheLine, value: V, policy: &P) -> Option<(CacheLine, V)>
+    where
+        P: EvictionPriority<V> + ?Sized,
+    {
+        let stamp = self.tick();
+        let set_idx = self.set_index(line);
+        let assoc = self.associativity;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.value = value;
+            way.lru_stamp = stamp;
+            return None;
+        }
+
+        if set.len() < assoc {
+            set.push(Way { line, value, lru_stamp: stamp });
+            self.len += 1;
+            return None;
+        }
+
+        // Victim: lowest (priority, lru_stamp).
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (policy.priority(&w.value), w.lru_stamp))
+            .map(|(i, _)| i)
+            .expect("set is full, so non-empty");
+        let victim = std::mem::replace(&mut set[victim_idx], Way { line, value, lru_stamp: stamp });
+        Some((victim.line, victim.value))
+    }
+
+    /// Selects (without removing) the victim that [`SetAssocCache::insert`]
+    /// would evict to make room for `line`, or `None` if the set still has a
+    /// free way or already holds `line`.
+    pub fn victim_for<P>(&self, line: CacheLine, policy: &P) -> Option<(CacheLine, &V)>
+    where
+        P: EvictionPriority<V> + ?Sized,
+    {
+        let set = &self.sets[self.set_index(line)];
+        if set.len() < self.associativity || set.iter().any(|w| w.line == line) {
+            return None;
+        }
+        set.iter()
+            .min_by_key(|w| (policy.priority(&w.value), w.lru_stamp))
+            .map(|w| (w.line, &w.value))
+    }
+
+    /// Removes `line` and returns its entry, or `None` if it was not
+    /// resident.
+    pub fn remove(&mut self, line: CacheLine) -> Option<V> {
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|w| w.line == line)?;
+        self.len -= 1;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Removes every entry, leaving the geometry unchanged.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Iterates over all resident `(line, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (CacheLine, &V)> {
+        self.sets.iter().flatten().map(|w| (w.line, &w.value))
+    }
+
+    /// Iterates mutably over all resident `(line, entry)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (CacheLine, &mut V)> {
+        self.sets.iter_mut().flatten().map(|w| (w.line, &mut w.value))
+    }
+
+    /// Occupancy of the set that `line` maps to, as `(resident, ways)`.
+    pub fn set_occupancy(&self, line: CacheLine) -> (usize, usize) {
+        (self.sets[self.set_index(line)].len(), self.associativity)
+    }
+
+    /// Lines resident in the same set as `line` (including `line` itself if
+    /// resident), most recently used last.
+    pub fn set_contents(&self, line: CacheLine) -> Vec<CacheLine> {
+        let mut ways: Vec<&Way<V>> = self.sets[self.set_index(line)].iter().collect();
+        ways.sort_by_key(|w| w.lru_stamp);
+        ways.into_iter().map(|w| w.line).collect()
+    }
+
+    /// Collects the resident lines into a map (diagnostics / tests).
+    pub fn to_map(&self) -> HashMap<CacheLine, &V> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::{PlainLru, SharerAwareLru};
+
+    fn line(i: u64) -> CacheLine {
+        CacheLine::from_index(i)
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let c: SetAssocCache<()> = SetAssocCache::new(8, 4);
+        assert_eq!(c.num_sets(), 8);
+        assert_eq!(c.associativity(), 4);
+        assert_eq!(c.capacity(), 32);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _: SetAssocCache<()> = SetAssocCache::new(6, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn rejects_zero_ways() {
+        let _: SetAssocCache<()> = SetAssocCache::new(4, 0);
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(c.insert(line(1), "a", &PlainLru).is_none());
+        assert!(c.insert(line(5), "b", &PlainLru).is_none());
+        assert_eq!(c.get(line(1)), Some(&"a"));
+        assert_eq!(c.get(line(5)), Some(&"b"));
+        assert_eq!(c.get(line(9)), None);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(line(1)));
+        assert!(!c.contains(line(9)));
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = SetAssocCache::new(4, 1);
+        c.insert(line(0), 1, &PlainLru);
+        let evicted = c.insert(line(0), 2, &PlainLru);
+        assert!(evicted.is_none());
+        assert_eq!(c.get(line(0)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // One set (all lines map to set 0 with 1 set), 2 ways.
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(line(1), 'a', &PlainLru);
+        c.insert(line(2), 'b', &PlainLru);
+        // Touch line 1 so line 2 becomes LRU.
+        assert_eq!(c.get(line(1)), Some(&'a'));
+        let evicted = c.insert(line(3), 'c', &PlainLru).expect("eviction");
+        assert_eq!(evicted, (line(2), 'b'));
+        assert!(c.contains(line(1)));
+        assert!(c.contains(line(3)));
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(line(1), 'a', &PlainLru);
+        c.insert(line(2), 'b', &PlainLru);
+        // Peek at line 1 -- it must still be the LRU victim.
+        assert_eq!(c.peek(line(1)), Some(&'a'));
+        let evicted = c.insert(line(3), 'c', &PlainLru).expect("eviction");
+        assert_eq!(evicted.0, line(1));
+    }
+
+    #[test]
+    fn get_mut_and_peek_mut() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(line(0), 10, &PlainLru);
+        *c.get_mut(line(0)).unwrap() += 5;
+        *c.peek_mut(line(0)).unwrap() += 1;
+        assert_eq!(c.peek(line(0)), Some(&16));
+        assert!(c.get_mut(line(7)).is_none());
+        assert!(c.peek_mut(line(7)).is_none());
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(line(0), 'x', &PlainLru);
+        c.insert(line(1), 'y', &PlainLru);
+        assert_eq!(c.remove(line(0)), Some('x'));
+        assert_eq!(c.remove(line(0)), None);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(line(1)));
+    }
+
+    #[test]
+    fn set_mapping_uses_low_bits() {
+        let mut c = SetAssocCache::new(4, 1);
+        // Lines 0 and 4 collide (set 0); lines 1..3 go to their own sets.
+        c.insert(line(0), 0, &PlainLru);
+        c.insert(line(1), 1, &PlainLru);
+        c.insert(line(2), 2, &PlainLru);
+        c.insert(line(3), 3, &PlainLru);
+        assert_eq!(c.len(), 4);
+        let evicted = c.insert(line(4), 4, &PlainLru).expect("conflict eviction");
+        assert_eq!(evicted.0, line(0));
+        assert_eq!(c.set_occupancy(line(4)), (1, 1));
+    }
+
+    #[test]
+    fn victim_for_matches_insert() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(line(1), 'a', &PlainLru);
+        assert!(c.victim_for(line(9), &PlainLru).is_none(), "set not yet full");
+        c.insert(line(2), 'b', &PlainLru);
+        assert!(c.victim_for(line(1), &PlainLru).is_none(), "already resident");
+        let predicted = c.victim_for(line(3), &PlainLru).map(|(l, _)| l).unwrap();
+        let actual = c.insert(line(3), 'c', &PlainLru).unwrap().0;
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn sharer_aware_priority_overrides_recency() {
+        // Entry value = number of L1 sharers.
+        #[derive(Debug, Clone)]
+        struct Entry {
+            sharers: usize,
+        }
+        struct BySharers;
+        impl EvictionPriority<Entry> for BySharers {
+            fn priority(&self, e: &Entry) -> u64 {
+                e.sharers as u64
+            }
+        }
+        let mut c = SetAssocCache::new(1, 3);
+        c.insert(line(1), Entry { sharers: 2 }, &BySharers);
+        c.insert(line(2), Entry { sharers: 0 }, &BySharers);
+        c.insert(line(3), Entry { sharers: 1 }, &BySharers);
+        // Touch line 2 so it is the MRU, but it still has 0 sharers and must
+        // be the victim under the sharer-aware policy.
+        c.get(line(2));
+        let evicted = c.insert(line(4), Entry { sharers: 0 }, &BySharers).unwrap();
+        assert_eq!(evicted.0, line(2));
+    }
+
+    #[test]
+    fn sharer_aware_lru_wrapper() {
+        // SharerAwareLru works with any entry type exposing a sharer count
+        // through the SharerCount trait.
+        use crate::replacement::SharerCount;
+        #[derive(Debug)]
+        struct E(usize);
+        impl SharerCount for E {
+            fn l1_sharer_count(&self) -> usize {
+                self.0
+            }
+        }
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(line(1), E(3), &SharerAwareLru);
+        c.insert(line(2), E(0), &SharerAwareLru);
+        c.get(line(2)); // MRU but sharer-free
+        let evicted = c.insert(line(3), E(1), &SharerAwareLru).unwrap();
+        assert_eq!(evicted.0, line(2));
+        // Plain LRU on the same history would have evicted line 1 instead.
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(line(1), E(3), &PlainLru);
+        c.insert(line(2), E(0), &PlainLru);
+        c.get(line(2));
+        let evicted = c.insert(line(3), E(1), &PlainLru).unwrap();
+        assert_eq!(evicted.0, line(1));
+    }
+
+    #[test]
+    fn iter_and_to_map() {
+        let mut c = SetAssocCache::new(4, 2);
+        for i in 0..6 {
+            c.insert(line(i), i, &PlainLru);
+        }
+        let map = c.to_map();
+        assert_eq!(map.len(), 6);
+        assert_eq!(map[&line(3)], &3);
+        for (_, v) in c.iter_mut() {
+            *v += 100;
+        }
+        assert_eq!(c.peek(line(3)), Some(&103));
+    }
+
+    #[test]
+    fn set_contents_ordered_by_recency() {
+        let mut c = SetAssocCache::new(1, 3);
+        c.insert(line(1), (), &PlainLru);
+        c.insert(line(2), (), &PlainLru);
+        c.insert(line(3), (), &PlainLru);
+        c.get(line(1));
+        assert_eq!(c.set_contents(line(0)), vec![line(2), line(3), line(1)]);
+    }
+}

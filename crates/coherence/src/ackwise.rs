@@ -1,0 +1,283 @@
+//! The ACKwise limited-pointer sharer list.
+//!
+//! ACKwise_p (Kurian et al., PACT 2010) tracks up to `p` sharers exactly.
+//! When a line acquires more sharers than pointers the entry switches to a
+//! *global* mode that only maintains the sharer count; invalidations are then
+//! broadcast, but because the count is exact the home still knows how many
+//! acknowledgements to expect — this is what keeps the protocol correct
+//! without a full bit-vector.
+
+use lad_common::types::CoreId;
+
+/// Who must be sent invalidations for a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidationTargets {
+    /// Send individual invalidations to exactly these cores.
+    Exact(Vec<CoreId>),
+    /// Broadcast to every core (global mode); `expected_acks` gives the
+    /// number of acknowledgements the home must collect.
+    Broadcast {
+        /// Number of cores that actually hold a copy and will acknowledge.
+        expected_acks: usize,
+    },
+}
+
+impl InvalidationTargets {
+    /// Number of cores that will acknowledge the invalidation.
+    pub fn expected_acks(&self) -> usize {
+        match self {
+            InvalidationTargets::Exact(cores) => cores.len(),
+            InvalidationTargets::Broadcast { expected_acks } => *expected_acks,
+        }
+    }
+
+    /// Number of invalidation messages that must be sent for a system of
+    /// `num_cores` cores (broadcast touches everyone except the requester
+    /// handled by the caller).
+    pub fn messages_sent(&self, num_cores: usize) -> usize {
+        match self {
+            InvalidationTargets::Exact(cores) => cores.len(),
+            InvalidationTargets::Broadcast { .. } => num_cores,
+        }
+    }
+}
+
+/// A limited-pointer sharer list with `p` hardware pointers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckwiseSharers {
+    pointers: Vec<CoreId>,
+    max_pointers: usize,
+    /// In global mode the pointer list is no longer exhaustive; only the
+    /// count below is meaningful.
+    global: bool,
+    /// Exact number of sharers (maintained in both modes).
+    count: usize,
+}
+
+impl AckwiseSharers {
+    /// Creates an empty sharer list with `max_pointers` hardware pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_pointers` is zero.
+    pub fn new(max_pointers: usize) -> Self {
+        assert!(max_pointers > 0, "ACKwise needs at least one pointer");
+        AckwiseSharers { pointers: Vec::with_capacity(max_pointers), max_pointers, global: false, count: 0 }
+    }
+
+    /// Number of hardware pointers.
+    pub fn max_pointers(&self) -> usize {
+        self.max_pointers
+    }
+
+    /// Exact number of sharers.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// `true` if no core holds a copy.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `true` if the entry has overflowed into global (broadcast) mode.
+    pub fn is_global(&self) -> bool {
+        self.global
+    }
+
+    /// `true` if `core` is *known* to be a sharer.  In global mode this can
+    /// return `false` for an actual sharer whose pointer was dropped; the
+    /// protocol treats "unknown" conservatively.
+    pub fn is_tracked_sharer(&self, core: CoreId) -> bool {
+        self.pointers.contains(&core)
+    }
+
+    /// Adds `core` as a sharer (idempotent).
+    pub fn add(&mut self, core: CoreId) {
+        if self.pointers.contains(&core) {
+            return;
+        }
+        if self.global {
+            // Count it; pointers are best-effort in global mode.
+            self.count += 1;
+            if self.pointers.len() < self.max_pointers {
+                self.pointers.push(core);
+            }
+            return;
+        }
+        if self.pointers.len() < self.max_pointers {
+            self.pointers.push(core);
+            self.count += 1;
+        } else {
+            // Overflow: switch to global mode.
+            self.global = true;
+            self.count += 1;
+        }
+    }
+
+    /// Removes `core` from the sharer list (e.g. on an eviction
+    /// notification).  Unknown cores in global mode still decrement the
+    /// count, because the home only learns about them through their
+    /// acknowledgements.
+    pub fn remove(&mut self, core: CoreId) {
+        if let Some(pos) = self.pointers.iter().position(|c| *c == core) {
+            self.pointers.swap_remove(pos);
+            self.count = self.count.saturating_sub(1);
+        } else if self.global && self.count > 0 {
+            self.count -= 1;
+        }
+        if self.count <= self.pointers.len() {
+            // All remaining sharers are tracked again; leave global mode.
+            self.global = false;
+        }
+        if self.count == 0 {
+            self.global = false;
+            self.pointers.clear();
+        }
+    }
+
+    /// Clears the list (all copies invalidated and acknowledged).
+    pub fn clear(&mut self) {
+        self.pointers.clear();
+        self.global = false;
+        self.count = 0;
+    }
+
+    /// The tracked sharers (exhaustive unless [`AckwiseSharers::is_global`]).
+    pub fn tracked(&self) -> &[CoreId] {
+        &self.pointers
+    }
+
+    /// Computes who must be invalidated to give `requester` exclusive
+    /// ownership.  The requester itself is never included.
+    pub fn invalidation_targets(&self, requester: CoreId) -> InvalidationTargets {
+        if self.global {
+            let holds_copy = self.is_tracked_sharer(requester) || self.count > self.pointers.len();
+            let expected = if holds_copy && self.is_tracked_sharer(requester) {
+                self.count - 1
+            } else if self.count > 0 && !self.is_tracked_sharer(requester) {
+                // Requester may or may not be among the untracked sharers; the
+                // home waits for count acks minus one if the requester turns
+                // out to hold a copy.  Conservatively expect all non-requester
+                // sharers: the requester's own copy is upgraded, not
+                // invalidated, and it does not acknowledge.
+                self.count
+            } else {
+                self.count
+            };
+            InvalidationTargets::Broadcast { expected_acks: expected }
+        } else {
+            InvalidationTargets::Exact(
+                self.pointers.iter().copied().filter(|c| *c != requester).collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(i: usize) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pointer")]
+    fn zero_pointers_rejected() {
+        AckwiseSharers::new(0);
+    }
+
+    #[test]
+    fn add_and_remove_within_pointer_budget() {
+        let mut s = AckwiseSharers::new(4);
+        assert!(s.is_empty());
+        for i in 0..4 {
+            s.add(core(i));
+        }
+        assert_eq!(s.count(), 4);
+        assert!(!s.is_global());
+        assert!(s.is_tracked_sharer(core(2)));
+        // Idempotent add.
+        s.add(core(2));
+        assert_eq!(s.count(), 4);
+        s.remove(core(2));
+        assert_eq!(s.count(), 3);
+        assert!(!s.is_tracked_sharer(core(2)));
+        s.remove(core(2));
+        assert_eq!(s.count(), 3, "removing a non-sharer changes nothing");
+    }
+
+    #[test]
+    fn overflow_enters_global_mode_with_exact_count() {
+        let mut s = AckwiseSharers::new(4);
+        for i in 0..6 {
+            s.add(core(i));
+        }
+        assert!(s.is_global());
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.max_pointers(), 4);
+        assert_eq!(s.tracked().len(), 4);
+    }
+
+    #[test]
+    fn global_mode_invalidation_is_broadcast() {
+        let mut s = AckwiseSharers::new(2);
+        for i in 0..5 {
+            s.add(core(i));
+        }
+        let targets = s.invalidation_targets(core(0));
+        match targets {
+            InvalidationTargets::Broadcast { expected_acks } => {
+                // Core 0 is tracked, so it is excluded from the acks.
+                assert_eq!(expected_acks, 4);
+            }
+            other => panic!("expected broadcast, got {other:?}"),
+        }
+        assert_eq!(s.invalidation_targets(core(0)).messages_sent(64), 64);
+    }
+
+    #[test]
+    fn exact_mode_invalidation_excludes_requester() {
+        let mut s = AckwiseSharers::new(4);
+        s.add(core(1));
+        s.add(core(2));
+        s.add(core(3));
+        let targets = s.invalidation_targets(core(2));
+        match &targets {
+            InvalidationTargets::Exact(cores) => {
+                assert_eq!(cores.len(), 2);
+                assert!(!cores.contains(&core(2)));
+            }
+            other => panic!("expected exact, got {other:?}"),
+        }
+        assert_eq!(targets.expected_acks(), 2);
+        assert_eq!(targets.messages_sent(64), 2);
+    }
+
+    #[test]
+    fn global_mode_clears_when_sharers_drop() {
+        let mut s = AckwiseSharers::new(2);
+        for i in 0..4 {
+            s.add(core(i));
+        }
+        assert!(s.is_global());
+        // Remove untracked + tracked sharers until count fits in pointers.
+        s.remove(core(3));
+        s.remove(core(2));
+        assert!(!s.is_global(), "count {} fits in pointers again", s.count());
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.is_global());
+    }
+
+    #[test]
+    fn count_never_goes_negative() {
+        let mut s = AckwiseSharers::new(2);
+        s.add(core(0));
+        s.remove(core(0));
+        s.remove(core(1));
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic random-number utilities.
+//!
+//! All stochastic decisions in the reproduction (synthetic workload
+//! generation, ASR's probabilistic replication, tie-breaking) flow through
+//! [`DeterministicRng`], a thin facade over `rand::rngs::SmallRng` seeded
+//! explicitly, so any experiment can be re-run bit-for-bit from its seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded, reproducible random number generator.
+///
+/// # Example
+///
+/// ```
+/// use lad_common::rng::DeterministicRng;
+/// let mut a = DeterministicRng::seed_from(42);
+/// let mut b = DeterministicRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    inner: SmallRng,
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        DeterministicRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; `stream` distinguishes the
+    /// children of the same parent seed (e.g. one stream per core).
+    pub fn derive(&self, stream: u64) -> Self {
+        // Mix the stream index with a SplitMix64 step so children differ even
+        // for small consecutive stream ids.
+        let mut z = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        DeterministicRng { inner: SmallRng::seed_from_u64(self.base_entropy() ^ z) }
+    }
+
+    fn base_entropy(&self) -> u64 {
+        // SmallRng does not expose its state; clone and draw one value so the
+        // parent's own sequence is unaffected.
+        let mut probe = self.inner.clone();
+        probe.gen::<u64>()
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform value in `[low, high]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn range_inclusive(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low <= high, "low must not exceed high");
+        self.inner.gen_range(low..=high)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Picks an index according to a slice of non-negative weights.
+    ///
+    /// Returns the index of the chosen weight.  Zero-weight entries are never
+    /// chosen unless all weights are zero, in which case index 0 is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a negative or non-finite
+    /// weight.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must not be empty");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut draw = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if draw < *w {
+                return i;
+            }
+            draw -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Geometric-like run length: returns `1 + k` where `k` is the number of
+    /// successes of probability `continue_p`, capped at `max`.
+    ///
+    /// Used by the workload generators to draw reuse run-lengths with a
+    /// controllable mean.
+    pub fn run_length(&mut self, continue_p: f64, max: u64) -> u64 {
+        let mut len = 1u64;
+        while len < max && self.chance(continue_p) {
+            len += 1;
+        }
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DeterministicRng::seed_from(7);
+        let mut b = DeterministicRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DeterministicRng::seed_from(1);
+        let mut b = DeterministicRng::seed_from(2);
+        let same = (0..16).all(|_| a.next_u64() == b.next_u64());
+        assert!(!same);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let parent = DeterministicRng::seed_from(99);
+        let mut c0a = parent.derive(0);
+        let mut c0b = parent.derive(0);
+        let mut c1 = parent.derive(1);
+        let v0a: Vec<u64> = (0..8).map(|_| c0a.next_u64()).collect();
+        let v0b: Vec<u64> = (0..8).map(|_| c0b.next_u64()).collect();
+        let v1: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        assert_eq!(v0a, v0b);
+        assert_ne!(v0a, v1);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut rng = DeterministicRng::seed_from(3);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+            assert!(rng.index(5) < 5);
+            let v = rng.range_inclusive(3, 7);
+            assert!((3..=7).contains(&v));
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DeterministicRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-3.0));
+        assert!(rng.chance(7.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = DeterministicRng::seed_from(5);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = DeterministicRng::seed_from(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..9000 {
+            counts[rng.weighted_index(&[1.0, 0.0, 2.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0]);
+        // All-zero weights fall back to index 0.
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn weighted_index_rejects_empty() {
+        DeterministicRng::seed_from(1).weighted_index(&[]);
+    }
+
+    #[test]
+    fn run_length_bounds() {
+        let mut rng = DeterministicRng::seed_from(8);
+        for _ in 0..1000 {
+            let r = rng.run_length(0.9, 16);
+            assert!((1..=16).contains(&r));
+        }
+        assert_eq!(rng.run_length(0.0, 16), 1);
+        assert_eq!(rng.run_length(1.0, 5), 5);
+    }
+
+    #[test]
+    fn run_length_mean_tracks_probability() {
+        let mut rng = DeterministicRng::seed_from(9);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.run_length(0.5, 1000)).sum();
+        let mean = sum as f64 / n as f64;
+        // Expected mean of geometric with p_continue=0.5 is 2.
+        assert!((1.8..2.2).contains(&mean), "mean={mean}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Counters, histograms and summary statistics.
+//!
+//! The experiment harness reports the same aggregates the paper does:
+//! per-component sums (energy breakdowns), normalized ratios, arithmetic
+//! means (Figures 6–8 plot the *average*, as the captions note) and
+//! geometric means (Figures 9 and 10).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use lad_common::stats::Counter;
+/// let mut hits = Counter::default();
+/// hits.add(3);
+/// hits.increment();
+/// assert_eq!(hits.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one event.
+    pub fn increment(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Fraction of this counter relative to a total (0 if the total is 0).
+    pub fn fraction_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A histogram over `u64` sample values with exact (sparse) buckets.
+///
+/// Used for run-length distributions (Figure 1) and queueing-delay
+/// diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(value).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Records `weight` occurrences of `value`.
+    pub fn record_weighted(&mut self, value: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        *self.buckets.entry(value).or_insert(0) += weight;
+        self.count += weight;
+        self.sum += value as u128 * weight as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Total number of samples whose value lies in `range` (inclusive bounds).
+    pub fn count_in(&self, low: u64, high: u64) -> u64 {
+        self.buckets.range(low..=high).map(|(_, c)| *c).sum()
+    }
+
+    /// Total number of samples whose value is `>= low`.
+    pub fn count_at_least(&self, low: u64) -> u64 {
+        self.buckets.range(low..).map(|(_, c)| *c).sum()
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (value, count) in other.iter() {
+            self.record_weighted(value, count);
+        }
+    }
+}
+
+/// Online mean/min/max/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance (`None` if empty).
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Arithmetic mean of a slice (`None` if empty).
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of a slice (`None` if empty or any value is non-positive).
+///
+/// The paper uses the geometric mean for the normalized results of
+/// Figures 9 and 10.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Ratio `value / baseline`, returning 1.0 when the baseline is zero (both
+/// are zero in practice in that case — e.g. a benchmark with no off-chip
+/// accesses under either scheme).
+pub fn normalized(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        1.0
+    } else {
+        value / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.increment();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert!((c.fraction_of(40) - 0.25).abs() < 1e-12);
+        assert_eq!(c.fraction_of(0), 0.0);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn histogram_counts_and_ranges() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 2, 3, 9, 10, 12] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 12);
+        // Paper's Figure 1 buckets: [1-2], [3-9], [>=10].
+        assert_eq!(h.count_in(1, 2), 3);
+        assert_eq!(h.count_in(3, 9), 2);
+        assert_eq!(h.count_at_least(10), 2);
+        assert!((h.mean().unwrap() - 38.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_weighted_and_merge() {
+        let mut a = Histogram::new();
+        a.record_weighted(5, 3);
+        a.record_weighted(7, 0);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.count_in(5, 5), 4);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn histogram_empty_mean_is_none() {
+        assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn running_stats() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(8.0));
+    }
+
+    #[test]
+    fn mean_and_geomean() {
+        assert_eq!(mean(&[]), None);
+        assert!((mean(&[1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        assert!((normalized(3.0, 4.0) - 0.75).abs() < 1e-12);
+        assert_eq!(normalized(0.0, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Saturating reuse counters.
+//!
+//! The protocol stores two kinds of small saturating counters in the LLC tag
+//! array (Figure 4): the per-line *Replica Reuse* counter at the replica
+//! location and one *Home Reuse* counter per tracked core at the home
+//! location.  With the paper's optimal replication threshold RT = 3 both fit
+//! in 2 bits; the width here follows the configured ceiling so RT values up
+//! to 8 (the RT-8 configuration of Figure 6) can be studied.
+
+use std::fmt;
+
+/// A saturating up-counter with an inclusive ceiling.
+///
+/// # Example
+///
+/// ```
+/// use lad_replication::counter::SaturatingCounter;
+/// let mut reuse = SaturatingCounter::new(3);
+/// reuse.increment();
+/// reuse.increment();
+/// reuse.increment();
+/// reuse.increment(); // saturates
+/// assert_eq!(reuse.value(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u32,
+    max: u32,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter at zero that saturates at `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn new(max: u32) -> Self {
+        assert!(max > 0, "saturation ceiling must be positive");
+        SaturatingCounter { value: 0, max }
+    }
+
+    /// Creates a counter starting at `value` (clamped to the ceiling).
+    pub fn with_value(max: u32, value: u32) -> Self {
+        let mut c = Self::new(max);
+        c.value = value.min(max);
+        c
+    }
+
+    /// Current value.
+    pub fn value(self) -> u32 {
+        self.value
+    }
+
+    /// Saturation ceiling.
+    pub fn max(self) -> u32 {
+        self.max
+    }
+
+    /// Increments, saturating at the ceiling.  Returns the new value.
+    pub fn increment(&mut self) -> u32 {
+        self.value = (self.value + 1).min(self.max);
+        self.value
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Sets to an explicit value (clamped to the ceiling).
+    pub fn set(&mut self, value: u32) {
+        self.value = value.min(self.max);
+    }
+
+    /// `true` once the counter has reached `threshold`.
+    pub fn reached(self, threshold: u32) -> bool {
+        self.value >= threshold
+    }
+
+    /// Number of storage bits a hardware implementation needs.
+    pub fn storage_bits(self) -> u32 {
+        u32::BITS - self.max.leading_zeros()
+    }
+}
+
+impl fmt::Display for SaturatingCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.value, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_and_saturates() {
+        let mut c = SaturatingCounter::new(3);
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.increment(), 1);
+        assert_eq!(c.increment(), 2);
+        assert_eq!(c.increment(), 3);
+        assert_eq!(c.increment(), 3, "must saturate");
+        assert_eq!(c.max(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ceiling_rejected() {
+        SaturatingCounter::new(0);
+    }
+
+    #[test]
+    fn with_value_clamps() {
+        let c = SaturatingCounter::with_value(3, 10);
+        assert_eq!(c.value(), 3);
+        let c = SaturatingCounter::with_value(8, 5);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn reset_set_and_reached() {
+        let mut c = SaturatingCounter::new(8);
+        c.set(5);
+        assert!(c.reached(3));
+        assert!(c.reached(5));
+        assert!(!c.reached(6));
+        c.reset();
+        assert_eq!(c.value(), 0);
+        c.set(100);
+        assert_eq!(c.value(), 8);
+    }
+
+    #[test]
+    fn storage_bits_match_paper() {
+        // RT = 3 -> 2-bit counters, as stated in Section 2.4.1.
+        assert_eq!(SaturatingCounter::new(3).storage_bits(), 2);
+        assert_eq!(SaturatingCounter::new(1).storage_bits(), 1);
+        assert_eq!(SaturatingCounter::new(8).storage_bits(), 4);
+    }
+
+    #[test]
+    fn display_shows_value_and_ceiling() {
+        let mut c = SaturatingCounter::new(3);
+        c.increment();
+        assert_eq!(c.to_string(), "1/3");
+    }
+}

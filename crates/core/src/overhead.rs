@@ -1,0 +1,210 @@
+//! Storage-overhead model (Section 2.4.1).
+//!
+//! Reproduces the paper's arithmetic for the extra LLC tag-array bits the
+//! locality-aware protocol needs, and the comparison against the ACKwise₄
+//! and full-map directory baselines:
+//!
+//! * replica-reuse counter: 2 bits / entry → 1 KB per 256 KB slice,
+//! * Limited₃ classifier: 27 bits / entry → 13.5 KB per slice,
+//! * Complete classifier: 192 bits / entry → 96 KB per slice,
+//! * ACKwise₄ pointers: 24 bits / entry → 12 KB per slice,
+//! * full-map sharer vector: 64 bits / entry → 32 KB per slice.
+
+use crate::classifier::ClassifierKind;
+
+/// Number of bits needed to name one core.
+pub fn core_id_bits(num_cores: usize) -> u32 {
+    assert!(num_cores > 0, "need at least one core");
+    (num_cores as u64).next_power_of_two().trailing_zeros().max(1)
+}
+
+/// Number of bits of one saturating reuse counter for a given replication
+/// threshold.
+pub fn reuse_counter_bits(rt: u32) -> u32 {
+    assert!(rt > 0, "replication threshold must be positive");
+    u32::BITS - rt.leading_zeros()
+}
+
+/// Classifier bits added to one LLC directory entry.
+///
+/// Per tracked core the Limited_k classifier stores a core id, a replication
+/// mode bit and a home-reuse counter; the Complete classifier stores a mode
+/// bit and a home-reuse counter for every core (no ids needed).
+pub fn classifier_bits_per_entry(kind: ClassifierKind, num_cores: usize, rt: u32) -> u32 {
+    let reuse = reuse_counter_bits(rt);
+    match kind {
+        ClassifierKind::Complete => num_cores as u32 * (1 + reuse),
+        ClassifierKind::Limited(k) => k as u32 * (1 + reuse + core_id_bits(num_cores)),
+    }
+}
+
+/// Replica-reuse counter bits added to one LLC directory entry.
+pub fn replica_reuse_bits_per_entry(rt: u32) -> u32 {
+    reuse_counter_bits(rt)
+}
+
+/// ACKwise_p sharer-pointer bits per directory entry.
+pub fn ackwise_bits_per_entry(pointers: usize, num_cores: usize) -> u32 {
+    pointers as u32 * core_id_bits(num_cores)
+}
+
+/// Full-map sharer-vector bits per directory entry.
+pub fn full_map_bits_per_entry(num_cores: usize) -> u32 {
+    num_cores as u32
+}
+
+/// Converts per-entry bits into kilobytes for a slice with `entries` lines.
+pub fn bits_to_kilobytes(bits_per_entry: u32, entries: usize) -> f64 {
+    bits_per_entry as f64 * entries as f64 / 8.0 / 1024.0
+}
+
+/// Full storage summary for one LLC slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageOverhead {
+    /// Classifier storage per slice, in KB.
+    pub classifier_kb: f64,
+    /// Replica-reuse counter storage per slice, in KB.
+    pub replica_reuse_kb: f64,
+    /// ACKwise pointer storage per slice, in KB.
+    pub ackwise_kb: f64,
+    /// Full-map directory storage per slice, in KB (for comparison).
+    pub full_map_kb: f64,
+    /// LLC slice data capacity, in KB.
+    pub slice_capacity_kb: f64,
+}
+
+impl StorageOverhead {
+    /// Computes the summary for a slice of `entries` lines of
+    /// `line_bytes` bytes on a machine with `num_cores` cores.
+    pub fn compute(
+        kind: ClassifierKind,
+        num_cores: usize,
+        rt: u32,
+        ackwise_pointers: usize,
+        entries: usize,
+        line_bytes: usize,
+    ) -> Self {
+        StorageOverhead {
+            classifier_kb: bits_to_kilobytes(
+                classifier_bits_per_entry(kind, num_cores, rt),
+                entries,
+            ),
+            replica_reuse_kb: bits_to_kilobytes(replica_reuse_bits_per_entry(rt), entries),
+            ackwise_kb: bits_to_kilobytes(
+                ackwise_bits_per_entry(ackwise_pointers, num_cores),
+                entries,
+            ),
+            full_map_kb: bits_to_kilobytes(full_map_bits_per_entry(num_cores), entries),
+            slice_capacity_kb: entries as f64 * line_bytes as f64 / 1024.0,
+        }
+    }
+
+    /// Total extra storage the locality-aware protocol adds on top of the
+    /// ACKwise baseline (classifier + replica-reuse), in KB.
+    pub fn protocol_overhead_kb(&self) -> f64 {
+        self.classifier_kb + self.replica_reuse_kb
+    }
+
+    /// Protocol overhead as a fraction of the slice data capacity.
+    pub fn overhead_fraction_of_slice(&self) -> f64 {
+        self.protocol_overhead_kb() / self.slice_capacity_kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENTRIES: usize = 4096; // 256 KB / 64 B
+    const CORES: usize = 64;
+    const RT: u32 = 3;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(core_id_bits(64), 6);
+        assert_eq!(core_id_bits(1024), 10);
+        assert_eq!(core_id_bits(1), 1);
+        assert_eq!(reuse_counter_bits(3), 2);
+        assert_eq!(reuse_counter_bits(8), 4);
+        assert_eq!(reuse_counter_bits(1), 1);
+    }
+
+    #[test]
+    fn per_entry_bits_match_section_2_4() {
+        // Limited3: 3 x (2-bit reuse + 1 mode bit + 6-bit core id) = 27 bits.
+        assert_eq!(
+            classifier_bits_per_entry(ClassifierKind::Limited(3), CORES, RT),
+            27
+        );
+        // Complete: 64 x 3 = 192 bits.
+        assert_eq!(classifier_bits_per_entry(ClassifierKind::Complete, CORES, RT), 192);
+        assert_eq!(replica_reuse_bits_per_entry(RT), 2);
+        // ACKwise4: 4 x 6 = 24 bits; full map: 64 bits.
+        assert_eq!(ackwise_bits_per_entry(4, CORES), 24);
+        assert_eq!(full_map_bits_per_entry(CORES), 64);
+    }
+
+    #[test]
+    fn per_slice_kilobytes_match_paper() {
+        let limited = StorageOverhead::compute(ClassifierKind::Limited(3), CORES, RT, 4, ENTRIES, 64);
+        assert!((limited.classifier_kb - 13.5).abs() < 1e-9);
+        assert!((limited.replica_reuse_kb - 1.0).abs() < 1e-9);
+        assert!((limited.ackwise_kb - 12.0).abs() < 1e-9);
+        assert!((limited.full_map_kb - 32.0).abs() < 1e-9);
+        assert!((limited.slice_capacity_kb - 256.0).abs() < 1e-9);
+        // 14.5 KB per slice, the number quoted in the conclusion.
+        assert!((limited.protocol_overhead_kb() - 14.5).abs() < 1e-9);
+
+        let complete = StorageOverhead::compute(ClassifierKind::Complete, CORES, RT, 4, ENTRIES, 64);
+        assert!((complete.classifier_kb - 96.0).abs() < 1e-9);
+        assert!((complete.protocol_overhead_kb() - 97.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limited3_with_ackwise_is_cheaper_than_full_map() {
+        let o = StorageOverhead::compute(ClassifierKind::Limited(3), CORES, RT, 4, ENTRIES, 64);
+        // Section 2.4.1: Limited3 + ACKwise4 uses slightly less storage than
+        // a Full Map directory alone... compared including the full-map's own
+        // lack of classifier: 12 + 14.5 = 26.5 KB < 32 KB.
+        assert!(o.ackwise_kb + o.protocol_overhead_kb() < o.full_map_kb);
+    }
+
+    #[test]
+    fn overhead_fraction_is_a_few_percent_for_limited3() {
+        let o = StorageOverhead::compute(ClassifierKind::Limited(3), CORES, RT, 4, ENTRIES, 64);
+        let f = o.overhead_fraction_of_slice();
+        assert!(f > 0.04 && f < 0.07, "got {f}");
+        // The complete classifier costs roughly 6-7x more.
+        let c = StorageOverhead::compute(ClassifierKind::Complete, CORES, RT, 4, ENTRIES, 64);
+        assert!(c.overhead_fraction_of_slice() > 5.0 * f);
+    }
+
+    #[test]
+    fn limited5_costs_9kb_more_than_limited3() {
+        // Section 4.3: the Limited5 classifier incurs an additional 9 KB per
+        // core compared to Limited3.
+        let l3 = StorageOverhead::compute(ClassifierKind::Limited(3), CORES, RT, 4, ENTRIES, 64);
+        let l5 = StorageOverhead::compute(ClassifierKind::Limited(5), CORES, RT, 4, ENTRIES, 64);
+        assert!((l5.classifier_kb - l3.classifier_kb - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_with_core_count() {
+        // The complete classifier's overhead grows linearly with cores (the
+        // "over 5x at 1024 cores" claim), the limited classifier's only with
+        // the core-id width.
+        let complete_64 =
+            classifier_bits_per_entry(ClassifierKind::Complete, 64, RT) as f64;
+        let complete_1024 =
+            classifier_bits_per_entry(ClassifierKind::Complete, 1024, RT) as f64;
+        assert_eq!(complete_1024 / complete_64, 16.0);
+        let limited_64 = classifier_bits_per_entry(ClassifierKind::Limited(3), 64, RT);
+        let limited_1024 = classifier_bits_per_entry(ClassifierKind::Limited(3), 1024, RT);
+        assert_eq!(limited_64, 27);
+        assert_eq!(limited_1024, 39);
+        // At 1024 cores the complete classifier costs more than the LLC slice
+        // data itself ("over 5x" the baseline storage overhead in the paper).
+        let o = StorageOverhead::compute(ClassifierKind::Complete, 1024, RT, 4, ENTRIES, 64);
+        assert!(o.overhead_fraction_of_slice() > 5.0 * 0.30);
+    }
+}

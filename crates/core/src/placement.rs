@@ -1,0 +1,299 @@
+//! LLC home placement policies: Static-NUCA interleaving and Reactive-NUCA's
+//! page-grain placement (Section 2.1, Section 3.3).
+//!
+//! * **Static-NUCA** address-interleaves every cache line across all LLC
+//!   slices.
+//! * **Reactive-NUCA** places data belonging to *private* pages (pages only
+//!   ever touched by one core) in that core's local slice, address-interleaves
+//!   shared data, and replicates instructions at the granularity of a
+//!   4-core cluster using rotational interleaving.
+//! * The **locality-aware protocol** reuses R-NUCA's *data* placement but not
+//!   its instruction replication (it replicates instructions through the
+//!   locality classifier instead), which is the `RnucaDataOnly` policy.
+//!
+//! Page classification is performed with a profiling pass over the workload
+//! (see [`HomeMap::record_page_access`]): a page touched by more than one
+//! core is shared, mirroring the OS-page-table mechanism of R-NUCA.  Because
+//! classification is at page granularity, *page-level false sharing* (cores
+//! touching disjoint lines of the same page) prevents private placement —
+//! the effect the paper highlights for BLACKSCHOLES.
+
+use std::collections::HashMap;
+
+use lad_common::types::{CacheLine, CoreId};
+
+/// Classification of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// Only `CoreId` has touched the page with data accesses.
+    PrivateTo(CoreId),
+    /// Two or more cores touch the page (or a single core after an upgrade).
+    SharedData,
+    /// The page holds instructions (touched by instruction fetches).
+    Instruction,
+}
+
+/// Which placement policy governs home selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Static-NUCA: all lines interleaved across all slices.
+    AddressInterleaved,
+    /// Reactive-NUCA: private pages local, shared data interleaved,
+    /// instructions replicated per cluster of `instruction_cluster` cores.
+    Rnuca {
+        /// Cores per instruction-replication cluster (the paper uses 4).
+        instruction_cluster: usize,
+    },
+    /// R-NUCA's data placement only (private local, everything else
+    /// interleaved); used by the locality-aware protocol.
+    RnucaDataOnly,
+}
+
+/// Maps cache lines to their LLC home slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeMap {
+    policy: PlacementPolicy,
+    num_cores: usize,
+    line_bytes: usize,
+    page_bytes: usize,
+    pages: HashMap<u64, PageKind>,
+}
+
+impl HomeMap {
+    /// Creates an empty home map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or the line/page sizes are not powers of
+    /// two with `page_bytes >= line_bytes`.
+    pub fn new(
+        policy: PlacementPolicy,
+        num_cores: usize,
+        line_bytes: usize,
+        page_bytes: usize,
+    ) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        assert!(line_bytes.is_power_of_two() && page_bytes.is_power_of_two());
+        assert!(page_bytes >= line_bytes, "page must be at least one line");
+        if let PlacementPolicy::Rnuca { instruction_cluster } = policy {
+            assert!(instruction_cluster > 0, "instruction cluster must be non-empty");
+        }
+        HomeMap { policy, num_cores, line_bytes, page_bytes, pages: HashMap::new() }
+    }
+
+    /// The placement policy in force.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Number of pages that have been classified.
+    pub fn classified_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Records one access for page classification (the profiling pass).
+    ///
+    /// Instruction fetches mark the page as an instruction page; data
+    /// accesses mark it private to the first toucher and upgrade it to
+    /// shared when a second core touches it.
+    pub fn record_page_access(&mut self, line: CacheLine, core: CoreId, is_instruction: bool) {
+        if self.policy == PlacementPolicy::AddressInterleaved {
+            return; // classification never affects S-NUCA placement
+        }
+        let page = line.page(self.line_bytes, self.page_bytes);
+        let entry = self.pages.entry(page);
+        if is_instruction {
+            entry
+                .and_modify(|k| {
+                    // Instruction classification is sticky: mixed pages count
+                    // as instruction pages (R-NUCA treats them as such).
+                    *k = PageKind::Instruction;
+                })
+                .or_insert(PageKind::Instruction);
+        } else {
+            entry
+                .and_modify(|k| {
+                    if let PageKind::PrivateTo(owner) = *k {
+                        if owner != core {
+                            *k = PageKind::SharedData;
+                        }
+                    }
+                })
+                .or_insert(PageKind::PrivateTo(core));
+        }
+    }
+
+    /// The classification of the page containing `line`, if it has been
+    /// observed by the profiling pass.
+    pub fn page_kind(&self, line: CacheLine) -> Option<PageKind> {
+        self.pages.get(&line.page(self.line_bytes, self.page_bytes)).copied()
+    }
+
+    fn interleaved_home(&self, line: CacheLine) -> CoreId {
+        CoreId::new((line.index() % self.num_cores as u64) as usize)
+    }
+
+    fn cluster_home(&self, line: CacheLine, requester: CoreId, cluster: usize) -> CoreId {
+        let cluster = cluster.max(1).min(self.num_cores);
+        let base = (requester.index() / cluster) * cluster;
+        let offset = (line.index() % cluster as u64) as usize;
+        CoreId::new((base + offset).min(self.num_cores - 1))
+    }
+
+    /// The LLC home slice of `line` for a request issued by `requester`.
+    ///
+    /// For most lines the home is requester-independent; under R-NUCA's
+    /// instruction replication the "home" is the designated slice of the
+    /// requester's cluster (one copy per cluster).
+    pub fn home_for(&self, line: CacheLine, requester: CoreId) -> CoreId {
+        match self.policy {
+            PlacementPolicy::AddressInterleaved => self.interleaved_home(line),
+            PlacementPolicy::Rnuca { instruction_cluster } => match self.page_kind(line) {
+                Some(PageKind::PrivateTo(owner)) => owner,
+                Some(PageKind::Instruction) => {
+                    self.cluster_home(line, requester, instruction_cluster)
+                }
+                Some(PageKind::SharedData) | None => self.interleaved_home(line),
+            },
+            PlacementPolicy::RnucaDataOnly => match self.page_kind(line) {
+                Some(PageKind::PrivateTo(owner)) => owner,
+                _ => self.interleaved_home(line),
+            },
+        }
+    }
+
+    /// `true` if the home of `line` depends on which core requests it
+    /// (cluster-replicated instructions under full R-NUCA).
+    pub fn is_requester_dependent(&self, line: CacheLine) -> bool {
+        matches!(
+            (self.policy, self.page_kind(line)),
+            (PlacementPolicy::Rnuca { .. }, Some(PageKind::Instruction))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: usize = 64;
+    const PAGE: usize = 4096;
+
+    fn line(i: u64) -> CacheLine {
+        CacheLine::from_index(i)
+    }
+
+    fn core(i: usize) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn snuca_interleaves_everything() {
+        let mut map = HomeMap::new(PlacementPolicy::AddressInterleaved, 64, LINE, PAGE);
+        map.record_page_access(line(0), core(5), false);
+        assert_eq!(map.classified_pages(), 0, "S-NUCA ignores classification");
+        assert_eq!(map.home_for(line(0), core(9)), core(0));
+        assert_eq!(map.home_for(line(65), core(9)), core(1));
+        assert_eq!(map.home_for(line(63), core(9)), core(63));
+        assert!(!map.is_requester_dependent(line(0)));
+    }
+
+    #[test]
+    fn rnuca_private_pages_are_placed_locally() {
+        let mut map =
+            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        // Page 0 (lines 0..63) touched only by core 7.
+        for l in 0..4 {
+            map.record_page_access(line(l), core(7), false);
+        }
+        assert_eq!(map.page_kind(line(0)), Some(PageKind::PrivateTo(core(7))));
+        assert_eq!(map.home_for(line(3), core(7)), core(7));
+        // Even another requester goes to the owning core's slice (the page is
+        // still classified private).
+        assert_eq!(map.home_for(line(3), core(1)), core(7));
+    }
+
+    #[test]
+    fn rnuca_page_touched_by_two_cores_becomes_shared() {
+        let mut map =
+            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        map.record_page_access(line(0), core(3), false);
+        map.record_page_access(line(1), core(4), false); // same page, other core
+        assert_eq!(map.page_kind(line(0)), Some(PageKind::SharedData));
+        assert_eq!(map.home_for(line(0), core(3)), core(0));
+        assert_eq!(map.home_for(line(1), core(3)), core(1));
+    }
+
+    #[test]
+    fn rnuca_false_sharing_at_page_level_prevents_private_placement() {
+        // BLACKSCHOLES-style false sharing: cores touch disjoint lines of the
+        // same page; the page still cannot be private.
+        let mut map =
+            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        map.record_page_access(line(0), core(0), false);
+        map.record_page_access(line(32), core(1), false);
+        assert_eq!(map.page_kind(line(0)), Some(PageKind::SharedData));
+    }
+
+    #[test]
+    fn rnuca_instructions_are_cluster_replicated() {
+        let mut map =
+            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        map.record_page_access(line(100), core(0), true);
+        assert_eq!(map.page_kind(line(100)), Some(PageKind::Instruction));
+        assert!(map.is_requester_dependent(line(100)));
+        // The home stays within the requester's 4-core cluster.
+        let home_for_0 = map.home_for(line(100), core(0));
+        assert!(home_for_0.index() < 4);
+        let home_for_62 = map.home_for(line(100), core(62));
+        assert!((60..64).contains(&home_for_62.index()));
+        // Different lines of the instruction page rotate across the cluster.
+        map.record_page_access(line(101), core(0), true);
+        map.record_page_access(line(102), core(0), true);
+        map.record_page_access(line(103), core(0), true);
+        let homes: std::collections::HashSet<_> =
+            (100..104).map(|l| map.home_for(line(l), core(0))).collect();
+        assert_eq!(homes.len(), 4);
+    }
+
+    #[test]
+    fn rnuca_instruction_classification_is_sticky() {
+        let mut map =
+            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        map.record_page_access(line(0), core(1), false);
+        map.record_page_access(line(1), core(1), true);
+        assert_eq!(map.page_kind(line(0)), Some(PageKind::Instruction));
+    }
+
+    #[test]
+    fn rnuca_data_only_interleaves_instructions() {
+        let mut map = HomeMap::new(PlacementPolicy::RnucaDataOnly, 64, LINE, PAGE);
+        map.record_page_access(line(100), core(0), true);
+        map.record_page_access(line(0), core(9), false);
+        // Instructions are interleaved like shared data (no cluster
+        // replication under the locality-aware protocol's placement).
+        assert_eq!(map.home_for(line(100), core(0)), core(36));
+        assert!(!map.is_requester_dependent(line(100)));
+        // Private data still goes local.
+        assert_eq!(map.home_for(line(0), core(3)), core(9));
+    }
+
+    #[test]
+    fn unclassified_lines_fall_back_to_interleaving() {
+        let map = HomeMap::new(PlacementPolicy::RnucaDataOnly, 64, LINE, PAGE);
+        assert_eq!(map.page_kind(line(77)), None);
+        assert_eq!(map.home_for(line(77), core(0)), core(13));
+    }
+
+    #[test]
+    fn small_core_counts_keep_homes_in_range() {
+        let mut map = HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 3, LINE, PAGE);
+        map.record_page_access(line(100), core(2), true);
+        for l in 0..16 {
+            for c in 0..3 {
+                assert!(map.home_for(line(l), core(c)).index() < 3);
+                assert!(map.home_for(line(100 + l), core(c)).index() < 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Replication decision helpers for the baseline schemes.
+//!
+//! * [`VictimReplicationPolicy`] — Victim Replication (Zhang & Asanović)
+//!   inserts L1 victims into the local LLC slice only when a "cheap" slot is
+//!   available: an invalid way, an existing replica, or a home line with no
+//!   L1 sharers.  It never consults reuse, which is exactly the behaviour
+//!   the paper criticises (LLC pollution).
+//! * [`AsrPolicy`] — Adaptive Selective Replication (Beckmann et al.)
+//!   replicates only shared read-only lines (and instructions), with a
+//!   probability given by the current replication level.  The paper does not
+//!   model ASR's monitoring circuits; it sweeps the level over
+//!   {0, 0.25, 0.5, 0.75, 1} and picks the best energy-delay product per
+//!   benchmark, which is what the experiment harness does too.
+
+use lad_cache::replacement::SharerCount;
+use lad_common::rng::DeterministicRng;
+use lad_common::types::DataClass;
+
+use crate::entry::LlcEntry;
+
+/// Victim Replication's insertion rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VictimReplicationPolicy;
+
+impl VictimReplicationPolicy {
+    /// Decides whether an L1 victim may be installed as a replica in the
+    /// local LLC slice.
+    ///
+    /// `set_has_free_way` is true when the target set has an invalid way;
+    /// otherwise `victim` is the line the replacement policy would evict.
+    /// Insertion is allowed when the victim is itself a replica or is a home
+    /// line with no L1 sharers; "global" (hot, shared) home lines are never
+    /// displaced.
+    pub fn should_insert_victim(
+        self,
+        set_has_free_way: bool,
+        victim: Option<&LlcEntry>,
+    ) -> bool {
+        if set_has_free_way {
+            return true;
+        }
+        match victim {
+            Some(entry) if entry.is_replica() => true,
+            Some(entry) => entry.l1_sharer_count() == 0,
+            None => false,
+        }
+    }
+}
+
+/// ASR's probabilistic, shared-read-only-only replication rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsrPolicy {
+    level: f64,
+}
+
+impl AsrPolicy {
+    /// Creates the policy at a replication level in `[0, 1]`.
+    pub fn new(level: f64) -> Self {
+        AsrPolicy { level: level.clamp(0.0, 1.0) }
+    }
+
+    /// The replication level.
+    pub fn level(self) -> f64 {
+        self.level
+    }
+
+    /// The discrete levels the paper sweeps.
+    pub const LEVELS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    /// `true` if this data class is eligible for ASR replication
+    /// (instructions and shared read-only data; ASR identifies the latter
+    /// with a per-line sticky Shared bit — the reproduction uses the
+    /// workload's ground-truth class instead).
+    pub fn class_eligible(self, class: DataClass) -> bool {
+        matches!(class, DataClass::Instruction | DataClass::SharedReadOnly)
+    }
+
+    /// Decides whether an eligible L1 victim is replicated, by drawing
+    /// against the replication level.
+    pub fn should_replicate(self, class: DataClass, rng: &mut DeterministicRng) -> bool {
+        self.class_eligible(class) && rng.chance(self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierKind;
+    use crate::entry::{HomeEntry, ReplicaEntry};
+    use lad_coherence::mesi::MesiState;
+    use lad_common::types::CoreId;
+
+    #[test]
+    fn vr_inserts_into_free_way() {
+        let policy = VictimReplicationPolicy;
+        assert!(policy.should_insert_victim(true, None));
+    }
+
+    #[test]
+    fn vr_displaces_replicas_and_sharerless_home_lines() {
+        let policy = VictimReplicationPolicy;
+        let replica = LlcEntry::Replica(ReplicaEntry::new(MesiState::Shared, 3));
+        assert!(policy.should_insert_victim(false, Some(&replica)));
+
+        let idle_home = LlcEntry::Home(HomeEntry::new(4, ClassifierKind::Limited(3), 3));
+        assert!(policy.should_insert_victim(false, Some(&idle_home)));
+
+        let mut busy = HomeEntry::new(4, ClassifierKind::Limited(3), 3);
+        busy.directory.handle_read(CoreId::new(2));
+        let busy_home = LlcEntry::Home(busy);
+        assert!(!policy.should_insert_victim(false, Some(&busy_home)));
+
+        assert!(!policy.should_insert_victim(false, None));
+    }
+
+    #[test]
+    fn asr_levels_cover_paper_sweep() {
+        assert_eq!(AsrPolicy::LEVELS, [0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(AsrPolicy::new(2.0).level(), 1.0);
+        assert_eq!(AsrPolicy::new(-0.5).level(), 0.0);
+    }
+
+    #[test]
+    fn asr_only_replicates_read_only_classes() {
+        let policy = AsrPolicy::new(1.0);
+        let mut rng = DeterministicRng::seed_from(1);
+        assert!(policy.should_replicate(DataClass::SharedReadOnly, &mut rng));
+        assert!(policy.should_replicate(DataClass::Instruction, &mut rng));
+        assert!(!policy.should_replicate(DataClass::SharedReadWrite, &mut rng));
+        assert!(!policy.should_replicate(DataClass::Private, &mut rng));
+        assert!(policy.class_eligible(DataClass::SharedReadOnly));
+        assert!(!policy.class_eligible(DataClass::Private));
+    }
+
+    #[test]
+    fn asr_level_zero_never_replicates_and_probability_scales() {
+        let mut rng = DeterministicRng::seed_from(7);
+        let never = AsrPolicy::new(0.0);
+        assert!((0..100).all(|_| !never.should_replicate(DataClass::SharedReadOnly, &mut rng)));
+
+        let half = AsrPolicy::new(0.5);
+        let hits =
+            (0..10_000).filter(|_| half.should_replicate(DataClass::SharedReadOnly, &mut rng)).count();
+        assert!((4300..5700).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,138 @@
+//! The LLC management schemes evaluated in the paper (Section 3.3).
+
+use std::fmt;
+
+use crate::placement::PlacementPolicy;
+
+/// The five LLC management schemes of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Static-NUCA: all cache lines address-interleaved across the LLC
+    /// slices, no replication.
+    StaticNuca,
+    /// Reactive-NUCA: private data placed at the requester's slice,
+    /// instructions replicated per 4-core cluster, shared data interleaved.
+    ReactiveNuca,
+    /// Victim Replication: the local LLC slice acts as a victim cache for L1
+    /// evictions (Zhang & Asanović).
+    VictimReplication,
+    /// Adaptive Selective Replication: shared read-only lines are replicated
+    /// on L1 eviction with a per-benchmark probability level (Beckmann et
+    /// al.).
+    AdaptiveSelectiveReplication,
+    /// The paper's locality-aware replication protocol.
+    LocalityAware,
+}
+
+impl SchemeKind {
+    /// All schemes, in the order the paper's figures list them
+    /// (S-NUCA, R-NUCA, VR, ASR, then the locality-aware RT variants).
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::StaticNuca,
+        SchemeKind::ReactiveNuca,
+        SchemeKind::VictimReplication,
+        SchemeKind::AdaptiveSelectiveReplication,
+        SchemeKind::LocalityAware,
+    ];
+
+    /// Short label used in reports (matches the paper's figure axes).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::StaticNuca => "S-NUCA",
+            SchemeKind::ReactiveNuca => "R-NUCA",
+            SchemeKind::VictimReplication => "VR",
+            SchemeKind::AdaptiveSelectiveReplication => "ASR",
+            SchemeKind::LocalityAware => "RT",
+        }
+    }
+
+    /// The home-placement policy each scheme uses.
+    ///
+    /// VR and ASR are built on top of Static-NUCA (the paper models them that
+    /// way); R-NUCA uses its page-grain placement with cluster-replicated
+    /// instructions; the locality-aware protocol reuses R-NUCA's data
+    /// placement but replicates instructions through its own classifier.
+    pub fn placement_policy(self) -> PlacementPolicy {
+        match self {
+            SchemeKind::StaticNuca
+            | SchemeKind::VictimReplication
+            | SchemeKind::AdaptiveSelectiveReplication => PlacementPolicy::AddressInterleaved,
+            SchemeKind::ReactiveNuca => PlacementPolicy::Rnuca { instruction_cluster: 4 },
+            SchemeKind::LocalityAware => PlacementPolicy::RnucaDataOnly,
+        }
+    }
+
+    /// `true` if the scheme ever installs replicas in the requester's local
+    /// LLC slice.
+    pub fn replicates(self) -> bool {
+        !matches!(self, SchemeKind::StaticNuca | SchemeKind::ReactiveNuca)
+    }
+
+    /// `true` if replicas are created on L1 evictions (VR, ASR) rather than
+    /// on L1 misses (locality-aware).
+    pub fn replicates_on_eviction(self) -> bool {
+        matches!(
+            self,
+            SchemeKind::VictimReplication | SchemeKind::AdaptiveSelectiveReplication
+        )
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_axes() {
+        assert_eq!(SchemeKind::StaticNuca.label(), "S-NUCA");
+        assert_eq!(SchemeKind::ReactiveNuca.label(), "R-NUCA");
+        assert_eq!(SchemeKind::VictimReplication.label(), "VR");
+        assert_eq!(SchemeKind::AdaptiveSelectiveReplication.label(), "ASR");
+        assert_eq!(SchemeKind::LocalityAware.label(), "RT");
+        assert_eq!(SchemeKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn placement_policies() {
+        assert_eq!(
+            SchemeKind::StaticNuca.placement_policy(),
+            PlacementPolicy::AddressInterleaved
+        );
+        assert_eq!(
+            SchemeKind::VictimReplication.placement_policy(),
+            PlacementPolicy::AddressInterleaved
+        );
+        assert_eq!(
+            SchemeKind::AdaptiveSelectiveReplication.placement_policy(),
+            PlacementPolicy::AddressInterleaved
+        );
+        assert_eq!(
+            SchemeKind::ReactiveNuca.placement_policy(),
+            PlacementPolicy::Rnuca { instruction_cluster: 4 }
+        );
+        assert_eq!(
+            SchemeKind::LocalityAware.placement_policy(),
+            PlacementPolicy::RnucaDataOnly
+        );
+    }
+
+    #[test]
+    fn replication_flags() {
+        assert!(!SchemeKind::StaticNuca.replicates());
+        assert!(!SchemeKind::ReactiveNuca.replicates());
+        assert!(SchemeKind::VictimReplication.replicates());
+        assert!(SchemeKind::AdaptiveSelectiveReplication.replicates());
+        assert!(SchemeKind::LocalityAware.replicates());
+
+        assert!(SchemeKind::VictimReplication.replicates_on_eviction());
+        assert!(SchemeKind::AdaptiveSelectiveReplication.replicates_on_eviction());
+        assert!(!SchemeKind::LocalityAware.replicates_on_eviction());
+        assert!(!SchemeKind::StaticNuca.replicates_on_eviction());
+    }
+}

@@ -1,0 +1,265 @@
+//! Memory controllers with finite bandwidth and FIFO queueing.
+
+use lad_common::config::DramConfig;
+use lad_common::stats::Counter;
+use lad_common::types::{CoreId, Cycle};
+
+/// The timing outcome of one DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccess {
+    /// Cycles spent waiting for the controller to become free.
+    pub queue_delay: Cycle,
+    /// Cycles spent performing the access itself (fixed latency + data
+    /// transfer time).
+    pub service_latency: Cycle,
+    /// Cycle at which the access completes.
+    pub completion: Cycle,
+}
+
+impl DramAccess {
+    /// Total latency (queueing + service).
+    pub fn total_latency(&self) -> Cycle {
+        self.queue_delay + self.service_latency
+    }
+}
+
+/// One memory controller: a single-server FIFO with fixed access latency and
+/// a bandwidth-derived occupancy per request.
+#[derive(Debug, Clone)]
+pub struct DramController {
+    access_latency: u32,
+    /// Controller occupancy per cache-line request, in cycles
+    /// (line size / bandwidth), i.e. the inverse of its sustainable request
+    /// rate.
+    service_occupancy: u64,
+    free_at: Cycle,
+    accesses: Counter,
+    busy_cycles: u64,
+}
+
+impl DramController {
+    /// Creates a controller from the DRAM configuration and cache line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bandwidth is not positive.
+    pub fn new(config: &DramConfig, line_bytes: usize) -> Self {
+        assert!(config.bandwidth_bytes_per_cycle > 0.0, "bandwidth must be positive");
+        let occupancy = (line_bytes as f64 / config.bandwidth_bytes_per_cycle).ceil() as u64;
+        DramController {
+            access_latency: config.access_latency,
+            service_occupancy: occupancy.max(1),
+            free_at: Cycle::ZERO,
+            accesses: Counter::new(),
+            busy_cycles: 0,
+        }
+    }
+
+    /// Performs one cache-line access issued at cycle `now`.
+    pub fn access(&mut self, now: Cycle) -> DramAccess {
+        let start = now.max(self.free_at);
+        let queue_delay = start.since(now);
+        // The controller is occupied for the transfer time of the line; the
+        // fixed access latency overlaps subsequent requests (banked DRAM).
+        self.free_at = start + self.service_occupancy;
+        self.busy_cycles += self.service_occupancy;
+        self.accesses.increment();
+        let service_latency = Cycle::new(self.access_latency as u64 + self.service_occupancy);
+        DramAccess { queue_delay, service_latency, completion: start + service_latency }
+    }
+
+    /// Number of accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.value()
+    }
+
+    /// Total cycles of controller occupancy (for utilization diagnostics).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Cycle at which the controller next becomes free.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Clears queue state and statistics.
+    pub fn reset(&mut self) {
+        self.free_at = Cycle::ZERO;
+        self.accesses = Counter::new();
+        self.busy_cycles = 0;
+    }
+}
+
+/// The full off-chip memory system: one controller per configured channel,
+/// with cache lines address-interleaved across controllers.
+#[derive(Debug, Clone)]
+pub struct DramSystem {
+    controllers: Vec<DramController>,
+    /// Core whose tile hosts each controller (for network routing to the
+    /// controller).
+    controller_cores: Vec<CoreId>,
+}
+
+impl DramSystem {
+    /// Builds the memory system.
+    ///
+    /// `controller_cores` gives the tile of each controller, as produced by
+    /// [`lad_common::config::SystemConfig::dram_controller_core`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `controller_cores.len()` does not equal the configured
+    /// number of controllers, or if there are no controllers.
+    pub fn new(config: &DramConfig, line_bytes: usize, controller_cores: Vec<CoreId>) -> Self {
+        assert!(config.num_controllers > 0, "need at least one controller");
+        assert_eq!(
+            controller_cores.len(),
+            config.num_controllers,
+            "one host core per controller required"
+        );
+        DramSystem {
+            controllers: (0..config.num_controllers)
+                .map(|_| DramController::new(config, line_bytes))
+                .collect(),
+            controller_cores,
+        }
+    }
+
+    /// Number of controllers.
+    pub fn num_controllers(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// The controller index responsible for a line (address interleaving).
+    pub fn controller_for(&self, line_index: u64) -> usize {
+        (line_index % self.controllers.len() as u64) as usize
+    }
+
+    /// The core hosting the controller responsible for `line_index`.
+    pub fn controller_core_for(&self, line_index: u64) -> CoreId {
+        self.controller_cores[self.controller_for(line_index)]
+    }
+
+    /// Performs a cache-line access for `line_index` issued at `now`.
+    pub fn access(&mut self, line_index: u64, now: Cycle) -> DramAccess {
+        let idx = self.controller_for(line_index);
+        self.controllers[idx].access(now)
+    }
+
+    /// Total accesses across all controllers (drives DRAM energy).
+    pub fn total_accesses(&self) -> u64 {
+        self.controllers.iter().map(|c| c.accesses()).sum()
+    }
+
+    /// Per-controller access counts.
+    pub fn per_controller_accesses(&self) -> Vec<u64> {
+        self.controllers.iter().map(|c| c.accesses()).collect()
+    }
+
+    /// Clears all queue state and statistics.
+    pub fn reset(&mut self) {
+        for c in &mut self.controllers {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_common::config::SystemConfig;
+
+    fn dram_config() -> DramConfig {
+        SystemConfig::paper_default().dram
+    }
+
+    #[test]
+    fn single_access_latency() {
+        let mut ctrl = DramController::new(&dram_config(), 64);
+        let access = ctrl.access(Cycle::new(100));
+        assert_eq!(access.queue_delay, Cycle::ZERO);
+        // 75-cycle fixed latency + 64 bytes at 5 B/cycle = 13 cycles.
+        assert_eq!(access.service_latency, Cycle::new(88));
+        assert_eq!(access.completion, Cycle::new(188));
+        assert_eq!(access.total_latency(), Cycle::new(88));
+        assert_eq!(ctrl.accesses(), 1);
+    }
+
+    #[test]
+    fn back_to_back_accesses_queue() {
+        let mut ctrl = DramController::new(&dram_config(), 64);
+        let a = ctrl.access(Cycle::ZERO);
+        let b = ctrl.access(Cycle::ZERO);
+        assert_eq!(a.queue_delay, Cycle::ZERO);
+        assert_eq!(b.queue_delay, Cycle::new(13));
+        assert!(b.completion > a.completion);
+        assert_eq!(ctrl.busy_cycles(), 26);
+        assert_eq!(ctrl.free_at(), Cycle::new(26));
+    }
+
+    #[test]
+    fn idle_gap_clears_queue() {
+        let mut ctrl = DramController::new(&dram_config(), 64);
+        ctrl.access(Cycle::ZERO);
+        let later = ctrl.access(Cycle::new(1000));
+        assert_eq!(later.queue_delay, Cycle::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ctrl = DramController::new(&dram_config(), 64);
+        ctrl.access(Cycle::ZERO);
+        ctrl.reset();
+        assert_eq!(ctrl.accesses(), 0);
+        assert_eq!(ctrl.free_at(), Cycle::ZERO);
+        assert_eq!(ctrl.busy_cycles(), 0);
+    }
+
+    fn system() -> DramSystem {
+        let config = SystemConfig::paper_default();
+        let cores =
+            (0..config.dram.num_controllers).map(|i| config.dram_controller_core(i)).collect();
+        DramSystem::new(&config.dram, config.cache_line_bytes, cores)
+    }
+
+    #[test]
+    fn system_interleaves_lines_across_controllers() {
+        let sys = system();
+        assert_eq!(sys.num_controllers(), 8);
+        assert_eq!(sys.controller_for(0), 0);
+        assert_eq!(sys.controller_for(9), 1);
+        assert_eq!(sys.controller_for(8), 0);
+        let distinct: std::collections::HashSet<_> =
+            (0..8u64).map(|l| sys.controller_core_for(l)).collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn system_counts_accesses_per_controller() {
+        let mut sys = system();
+        for line in 0..16u64 {
+            sys.access(line, Cycle::ZERO);
+        }
+        assert_eq!(sys.total_accesses(), 16);
+        assert_eq!(sys.per_controller_accesses(), vec![2; 8]);
+        // Two accesses interleaved to the same controller queue behind each
+        // other, different controllers do not interfere.
+        let mut sys = system();
+        let a = sys.access(0, Cycle::ZERO);
+        let b = sys.access(8, Cycle::ZERO);
+        let c = sys.access(1, Cycle::ZERO);
+        assert_eq!(a.queue_delay, Cycle::ZERO);
+        assert!(b.queue_delay > Cycle::ZERO);
+        assert_eq!(c.queue_delay, Cycle::ZERO);
+        sys.reset();
+        assert_eq!(sys.total_accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one host core per controller")]
+    fn system_requires_matching_core_list() {
+        let config = SystemConfig::paper_default();
+        DramSystem::new(&config.dram, 64, vec![CoreId::new(0)]);
+    }
+}

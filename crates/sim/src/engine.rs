@@ -1,0 +1,1087 @@
+//! The protocol engine: drives every memory access through the L1 caches,
+//! the replica and home LLC slices, the directory, the classifier, the NoC
+//! and DRAM, accumulating the paper's latency, miss and energy breakdowns.
+
+use std::collections::HashMap;
+
+use lad_coherence::ackwise::InvalidationTargets;
+use lad_coherence::mesi::MesiState;
+use lad_common::config::SystemConfig;
+use lad_common::rng::DeterministicRng;
+use lad_common::types::{CacheLine, CoreId, Cycle, DataClass, MemoryAccess};
+use lad_dram::controller::DramSystem;
+use lad_energy::accounting::{Component, EnergyAccounting};
+use lad_energy::model::EnergyModel;
+use lad_noc::message::MessageKind;
+use lad_noc::Network;
+use lad_replication::classifier::ReplicationMode;
+use lad_replication::config::ReplicationConfig;
+use lad_replication::entry::{HomeEntry, LlcEntry, ReplicaEntry};
+use lad_replication::placement::HomeMap;
+use lad_replication::policies::{AsrPolicy, VictimReplicationPolicy};
+use lad_replication::scheme::SchemeKind;
+use lad_trace::generator::WorkloadTrace;
+
+use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
+use crate::tile::Tile;
+
+/// Result of probing one sharer during an invalidation round.
+#[derive(Debug, Clone, Copy)]
+struct SharerProbe {
+    target: CoreId,
+    replica_reuse: Option<u32>,
+    had_copy: bool,
+    dirty: bool,
+}
+
+/// The full-system simulator.
+///
+/// A simulator is built for one system configuration and one LLC management
+/// scheme; [`Simulator::run`] executes a workload trace to completion and
+/// produces a [`SimulationReport`].  Internal state is reset at the start of
+/// every run, so the same simulator can execute several traces.
+#[derive(Debug)]
+pub struct Simulator {
+    system: SystemConfig,
+    replication: ReplicationConfig,
+    energy_model: EnergyModel,
+    seed: u64,
+
+    tiles: Vec<Tile>,
+    network: Network,
+    dram: DramSystem,
+    home_map: HomeMap,
+    line_class: HashMap<CacheLine, DataClass>,
+    line_busy_until: HashMap<CacheLine, Cycle>,
+    rng: DeterministicRng,
+
+    energy: EnergyAccounting,
+    latency: LatencyBreakdown,
+    misses: MissBreakdown,
+    run_lengths: RunLengthProfile,
+    replicas_created: u64,
+    back_invalidations: u64,
+    total_accesses: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator for one system configuration and scheme, using the
+    /// default energy model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration fails validation.
+    pub fn new(system: SystemConfig, replication: ReplicationConfig) -> Self {
+        Self::with_energy_model(system, replication, EnergyModel::paper_default())
+    }
+
+    /// Builds a simulator with an explicit energy model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration fails validation.
+    pub fn with_energy_model(
+        system: SystemConfig,
+        replication: ReplicationConfig,
+        energy_model: EnergyModel,
+    ) -> Self {
+        system.validate().expect("system configuration must be valid");
+        replication.validate().expect("replication configuration must be valid");
+        energy_model.validate().expect("energy model must be valid");
+        let tiles = (0..system.num_cores)
+            .map(|i| Tile::new(CoreId::new(i), &system, &replication))
+            .collect();
+        let network = Network::new(&system.network, system.cache_line_bytes);
+        let controller_cores =
+            (0..system.dram.num_controllers).map(|i| system.dram_controller_core(i)).collect();
+        let dram = DramSystem::new(&system.dram, system.cache_line_bytes, controller_cores);
+        let home_map = HomeMap::new(
+            replication.scheme.placement_policy(),
+            system.num_cores,
+            system.cache_line_bytes,
+            system.page_bytes,
+        );
+        Simulator {
+            tiles,
+            network,
+            dram,
+            home_map,
+            line_class: HashMap::new(),
+            line_busy_until: HashMap::new(),
+            rng: DeterministicRng::seed_from(0x5eed),
+            energy: EnergyAccounting::new(),
+            latency: LatencyBreakdown::default(),
+            misses: MissBreakdown::default(),
+            run_lengths: RunLengthProfile::new(),
+            replicas_created: 0,
+            back_invalidations: 0,
+            total_accesses: 0,
+            system,
+            replication,
+            energy_model,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Sets the seed for the simulator's internal randomness (ASR's
+    /// probabilistic replication); simulation is otherwise deterministic.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// The system configuration.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The replication configuration.
+    pub fn replication(&self) -> &ReplicationConfig {
+        &self.replication
+    }
+
+    fn reset(&mut self) {
+        self.tiles = (0..self.system.num_cores)
+            .map(|i| Tile::new(CoreId::new(i), &self.system, &self.replication))
+            .collect();
+        self.network = Network::new(&self.system.network, self.system.cache_line_bytes);
+        let controller_cores = (0..self.system.dram.num_controllers)
+            .map(|i| self.system.dram_controller_core(i))
+            .collect();
+        self.dram =
+            DramSystem::new(&self.system.dram, self.system.cache_line_bytes, controller_cores);
+        self.home_map = HomeMap::new(
+            self.replication.scheme.placement_policy(),
+            self.system.num_cores,
+            self.system.cache_line_bytes,
+            self.system.page_bytes,
+        );
+        self.line_class.clear();
+        self.line_busy_until.clear();
+        self.rng = DeterministicRng::seed_from(self.seed);
+        self.energy = EnergyAccounting::new();
+        self.latency = LatencyBreakdown::default();
+        self.misses = MissBreakdown::default();
+        self.run_lengths = RunLengthProfile::new();
+        self.replicas_created = 0;
+        self.back_invalidations = 0;
+        self.total_accesses = 0;
+    }
+
+    /// Runs a workload trace to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace was generated for more cores than the simulated
+    /// system has.
+    pub fn run(&mut self, trace: &WorkloadTrace) -> SimulationReport {
+        assert!(
+            trace.num_cores() <= self.system.num_cores,
+            "trace has {} cores but the system only has {}",
+            trace.num_cores(),
+            self.system.num_cores
+        );
+        self.reset();
+
+        // Profiling pass: page classification for R-NUCA placement and the
+        // ground-truth data class of every line (used by ASR and Figure 1).
+        for access in trace.iter() {
+            let line = access.address.line(self.system.cache_line_bytes);
+            self.home_map.record_page_access(line, access.core, access.op.is_instruction());
+            self.line_class.entry(line).or_insert(access.class);
+        }
+
+        // Interleave cores by local time: always advance the core that is
+        // furthest behind.
+        let mut cursors = vec![0usize; trace.num_cores()];
+        loop {
+            let next = (0..trace.num_cores())
+                .filter(|&c| cursors[c] < trace.core_stream(CoreId::new(c)).len())
+                .min_by_key(|&c| self.tiles[c].clock);
+            let Some(core) = next else { break };
+            let access = trace.core_stream(CoreId::new(core))[cursors[core]];
+            cursors[core] += 1;
+            self.process_access(&access);
+            self.total_accesses += 1;
+        }
+
+        // Final barrier: completion is the slowest core; the rest synchronize.
+        let completion = (0..trace.num_cores())
+            .map(|c| self.tiles[c].clock)
+            .fold(Cycle::ZERO, Cycle::max);
+        for c in 0..trace.num_cores() {
+            self.latency.synchronization += completion.since(self.tiles[c].clock).value();
+        }
+        self.run_lengths.finalize();
+
+        // Network and DRAM energy from their event counts.
+        let stats = self.network.stats();
+        self.energy.record(
+            Component::NetworkRouter,
+            stats.router_traversals() as f64 * self.energy_model.router_flit_pj,
+        );
+        self.energy.record(
+            Component::NetworkLink,
+            stats.flit_hops() as f64 * self.energy_model.link_flit_hop_pj,
+        );
+        self.energy.record(
+            Component::Dram,
+            self.dram.total_accesses() as f64 * self.energy_model.dram_access_pj,
+        );
+
+        SimulationReport {
+            benchmark: trace.name().to_string(),
+            scheme: self.replication.label(),
+            completion_time: completion,
+            latency: self.latency,
+            misses: self.misses,
+            energy: self.energy.clone(),
+            run_lengths: std::mem::take(&mut self.run_lengths),
+            total_accesses: self.total_accesses,
+            replicas_created: self.replicas_created,
+            back_invalidations: self.back_invalidations,
+        }
+    }
+
+    // ----- per-access processing ------------------------------------------
+
+    fn process_access(&mut self, access: &MemoryAccess) {
+        let core = access.core;
+        let line = access.address.line(self.system.cache_line_bytes);
+        let is_instruction = access.op.is_instruction();
+        let is_write = access.op.is_write();
+
+        // Compute phase before the access, plus the 1-cycle L1 access.
+        let (l1_latency, clock) = {
+            let tile = &self.tiles[core.index()];
+            let latency = if is_instruction {
+                tile.l1i.access_latency()
+            } else {
+                tile.l1d.access_latency()
+            };
+            (latency, tile.clock)
+        };
+        let mut now = clock + access.compute_cycles as u64 + l1_latency as u64;
+        self.latency.compute += access.compute_cycles as u64 + l1_latency as u64;
+        self.record_l1_energy(is_instruction, is_write);
+
+        // L1 lookup.
+        let mut upgrade_from_shared = false;
+        let mut served_by_l1 = false;
+        {
+            let tile = &mut self.tiles[core.index()];
+            if let Some(state) = tile.l1_for(is_instruction).access(line) {
+                if !is_write {
+                    served_by_l1 = true;
+                } else if state.can_write_locally() {
+                    *state = MesiState::Modified;
+                    served_by_l1 = true;
+                } else {
+                    // Shared copy: upgrade needed, fall through to the miss path.
+                    upgrade_from_shared = true;
+                }
+            }
+        }
+        if served_by_l1 {
+            self.misses.l1_hits += 1;
+            self.tiles[core.index()].clock = now;
+            return;
+        }
+
+        // ----- L1 miss ------------------------------------------------------
+        let class = *self.line_class.get(&line).unwrap_or(&access.class);
+        let home = self.home_map.home_for(line, core);
+        let replica_slice = self.replica_slice_for(core, line);
+
+        // Step 1: look for a replica at the replica location (if any).
+        if let Some(replica_core) = replica_slice {
+            if replica_core != home {
+                if let Some(done) =
+                    self.try_replica_access(core, replica_core, line, is_write, class, now)
+                {
+                    now = done;
+                    self.tiles[core.index()].clock = now;
+                    return;
+                }
+            }
+        }
+
+        // Step 2: go to the home location.
+        let (finish, grant_state, served_offchip) =
+            self.access_home(core, home, replica_slice, line, is_write, class, now, upgrade_from_shared);
+        now = finish;
+        if served_offchip {
+            self.misses.offchip_misses += 1;
+        } else {
+            self.misses.llc_home_hits += 1;
+        }
+
+        // Step 3: fill the L1.
+        let l1_state = if is_write { MesiState::Modified } else { grant_state };
+        self.fill_l1(core, is_instruction, line, l1_state, now);
+        self.tiles[core.index()].clock = now;
+    }
+
+    /// The LLC slice that may hold a replica for `core` (its own slice, or
+    /// the designated slice of its cluster), or `None` for schemes that never
+    /// replicate.
+    fn replica_slice_for(&self, core: CoreId, line: CacheLine) -> Option<CoreId> {
+        if !self.replication.scheme.replicates() {
+            return None;
+        }
+        let cluster = self.replication.cluster_size.max(1);
+        if cluster == 1 {
+            Some(core)
+        } else {
+            Some(self.network.mesh().cluster_slice_for_line(core, cluster, line.index()))
+        }
+    }
+
+    /// Attempts to serve the access from an LLC replica.  Returns the
+    /// completion time on a replica hit, or `None` on a replica miss.
+    #[allow(clippy::too_many_arguments)]
+    fn try_replica_access(
+        &mut self,
+        core: CoreId,
+        replica_core: CoreId,
+        line: CacheLine,
+        is_write: bool,
+        class: DataClass,
+        now: Cycle,
+    ) -> Option<Cycle> {
+        // Travel to the replica slice if it is not the local one.
+        let mut t = now;
+        if replica_core != core {
+            let delivery = self.network.send(core, replica_core, MessageKind::Control, t);
+            t = delivery.arrival;
+        }
+        self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
+
+        let slice = &mut self.tiles[replica_core.index()].llc;
+        let entry = slice.access(line);
+        let hit = match entry {
+            Some(LlcEntry::Replica(replica)) if replica.state.is_valid() => {
+                if is_write && !replica.state.can_write_locally() {
+                    // Shared replica cannot serve a write: the home will
+                    // invalidate it as part of the exclusive request.
+                    false
+                } else {
+                    if is_write {
+                        replica.state = MesiState::Modified;
+                        replica.dirty = true;
+                    }
+                    replica.record_hit();
+                    true
+                }
+            }
+            _ => false,
+        };
+        if !hit {
+            // Victim Replication moves hit lines to the L1 (exclusive L1/LLC
+            // relationship); a miss here simply falls through to the home.
+            return None;
+        }
+
+        // Account the LLC data access and, for VR, the invalidate-on-hit.
+        self.energy.record(Component::L2Cache, self.energy_model.llc_data_read_pj);
+        let slice_latency = self.tiles[replica_core.index()].llc.access_latency() as u64;
+        let replica_state = self.tiles[replica_core.index()]
+            .llc
+            .probe(line)
+            .and_then(LlcEntry::as_replica)
+            .map(|r| r.state)
+            .unwrap_or(MesiState::Shared);
+
+        if self.replication.scheme == SchemeKind::VictimReplication {
+            // VR: the replica is moved into the L1; the LLC copy is
+            // invalidated (and must be written back again on the next L1
+            // eviction) — the write-energy overhead the paper describes.
+            self.tiles[replica_core.index()].llc.invalidate(line);
+            self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+        }
+
+        let mut finish = t + slice_latency;
+        if replica_core != core {
+            let delivery = self.network.send(replica_core, core, MessageKind::Data, finish);
+            finish = delivery.arrival;
+        }
+        self.latency.l1_to_llc_replica += finish.since(now).value();
+        self.misses.llc_replica_hits += 1;
+        self.run_lengths.record_access(line, core, class, is_write);
+
+        // Install in the L1.
+        let l1_state = if is_write {
+            MesiState::Modified
+        } else if replica_state.can_write_locally() {
+            MesiState::Exclusive
+        } else {
+            MesiState::Shared
+        };
+        let is_instruction = class == DataClass::Instruction;
+        self.fill_l1(core, is_instruction, line, l1_state, finish);
+        Some(finish)
+    }
+
+    /// Processes the request at the home LLC slice: serialization, LLC/DRAM
+    /// access, directory actions and the replication decision.
+    ///
+    /// Returns `(completion_time_at_requester, granted_state, served_offchip)`.
+    #[allow(clippy::too_many_arguments)]
+    fn access_home(
+        &mut self,
+        core: CoreId,
+        home: CoreId,
+        replica_slice: Option<CoreId>,
+        line: CacheLine,
+        is_write: bool,
+        class: DataClass,
+        now: Cycle,
+        _upgrade: bool,
+    ) -> (Cycle, MesiState, bool) {
+        // If the requester holds a Shared LLC replica and wants to write, the
+        // replica is invalidated as part of obtaining exclusivity; collect
+        // its reuse counter for the classifier.
+        let mut own_replica_reuse: Option<u32> = None;
+        if is_write {
+            if let Some(rc) = replica_slice {
+                if rc != home {
+                    if let Some(LlcEntry::Replica(rep)) = self.tiles[rc.index()].llc.probe(line) {
+                        own_replica_reuse = Some(rep.reuse.value());
+                    }
+                    if own_replica_reuse.is_some() {
+                        self.tiles[rc.index()].llc.invalidate(line);
+                    }
+                }
+            }
+        }
+
+        // Request to the home.
+        let mut request_and_reply = 0u64;
+        let mut t = now;
+        if home != core {
+            let delivery = self.network.send(core, home, MessageKind::Control, t);
+            request_and_reply += delivery.latency.value();
+            t = delivery.arrival;
+        }
+
+        // Serialization at the home (memory-consistency ordering).
+        let busy = self.line_busy_until.get(&line).copied().unwrap_or(Cycle::ZERO);
+        let start = t.max(busy);
+        self.latency.llc_home_waiting += start.since(t).value();
+        let mut t_home = start;
+
+        // Home LLC lookup (tag + directory).
+        self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
+        self.energy.record(Component::Directory, self.energy_model.directory_access_pj);
+        if self.replication.scheme == SchemeKind::LocalityAware {
+            self.energy.record(Component::Directory, self.energy_model.classifier_access_pj);
+        }
+        let llc_latency = self.tiles[home.index()].llc.access_latency() as u64;
+
+        let home_has_line = {
+            let slice = &mut self.tiles[home.index()].llc;
+            match slice.access(line).map(|entry| entry.is_home()) {
+                Some(true) => true,
+                Some(false) => {
+                    // A stale replica at what is now the home slice (possible
+                    // only across placement-policy quirks); treat as a miss
+                    // and drop it.
+                    slice.invalidate(line);
+                    false
+                }
+                None => false,
+            }
+        };
+        t_home += llc_latency;
+        request_and_reply += llc_latency;
+
+        let mut served_offchip = false;
+        if home_has_line {
+            self.energy.record(Component::L2Cache, self.energy_model.llc_data_read_pj);
+        } else {
+            // Fetch from DRAM: home -> memory controller -> home.
+            served_offchip = true;
+            let ctrl_core = self.dram.controller_core_for(line.index());
+            let mut t_mem = t_home;
+            if ctrl_core != home {
+                let delivery = self.network.send(home, ctrl_core, MessageKind::Control, t_mem);
+                t_mem = delivery.arrival;
+            }
+            let access = self.dram.access(line.index(), t_mem);
+            t_mem = access.completion;
+            if ctrl_core != home {
+                let delivery = self.network.send(ctrl_core, home, MessageKind::Data, t_mem);
+                t_mem = delivery.arrival;
+            }
+            self.latency.llc_home_to_offchip += t_mem.since(t_home).value();
+            t_home = t_mem;
+
+            // Install the home entry, evicting a victim if needed.
+            self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+            let new_entry = LlcEntry::Home(HomeEntry::new(
+                self.system.ackwise_pointers,
+                self.replication.classifier,
+                self.replication.replication_threshold,
+            ));
+            let evicted = self.tiles[home.index()].llc.fill(line, new_entry);
+            if let Some((victim_line, victim_entry)) = evicted {
+                self.handle_llc_victim(home, victim_line, victim_entry, t_home);
+            }
+        }
+
+        // Directory actions.
+        let grant_state;
+        let mut other_sharers_present = false;
+        if is_write {
+            let outcome = {
+                let entry = self.home_entry_mut(home, line);
+                entry.directory.handle_write(core)
+            };
+            other_sharers_present =
+                outcome.invalidations.expected_acks() > 0 || outcome.prior_owner.is_some();
+            let targets: Vec<CoreId> = match &outcome.invalidations {
+                InvalidationTargets::Exact(cores) => cores.clone(),
+                InvalidationTargets::Broadcast { .. } => (0..self.system.num_cores)
+                    .map(CoreId::new)
+                    .filter(|c| *c != core)
+                    .collect(),
+            };
+            let (probes, sharer_latency) = self.invalidate_sharers(home, &targets, line, t_home);
+            self.latency.llc_home_to_sharers += sharer_latency.value();
+            t_home += sharer_latency.value();
+
+            let entry = self.home_entry_mut(home, line);
+            for probe in &probes {
+                if let Some(reuse) = probe.replica_reuse {
+                    entry.classifier.on_replica_invalidated(probe.target, reuse);
+                } else if probe.had_copy {
+                    entry.classifier.on_sharer_invalidated(probe.target);
+                }
+                if probe.dirty {
+                    entry.dirty = true;
+                }
+                if probe.had_copy || probe.replica_reuse.is_some() {
+                    entry.directory.handle_eviction(probe.target);
+                }
+            }
+            // Re-establish the writer as the owner (handle_eviction above may
+            // have cleared sharers that handle_write had already granted).
+            entry.directory.handle_write(core);
+            grant_state = MesiState::Modified;
+        } else {
+            let outcome = {
+                let entry = self.home_entry_mut(home, line);
+                entry.directory.handle_read(core)
+            };
+            if let Some(owner) = outcome.downgrade_owner {
+                if owner != core {
+                    let (probe, sharer_latency) = self.downgrade_owner(home, owner, line, t_home);
+                    self.latency.llc_home_to_sharers += sharer_latency.value();
+                    t_home += sharer_latency.value();
+                    let entry = self.home_entry_mut(home, line);
+                    if probe.dirty {
+                        entry.dirty = true;
+                    }
+                }
+            }
+            grant_state = outcome.grant.as_state();
+        }
+
+        // Locality classification and replication decision.
+        let mut create_replica = false;
+        let mut replica_state = grant_state;
+        if self.replication.scheme == SchemeKind::LocalityAware {
+            let rt = self.replication.replication_threshold;
+            let entry = self.home_entry_mut(home, line);
+            if let Some(reuse) = own_replica_reuse {
+                entry.classifier.on_replica_invalidated(core, reuse);
+            }
+            let mode = if is_write {
+                entry.classifier.on_home_write(core, other_sharers_present)
+            } else {
+                entry.classifier.on_home_read(core)
+            };
+            if mode == ReplicationMode::Replica {
+                if let Some(rc) = replica_slice {
+                    if rc != home {
+                        create_replica = true;
+                        replica_state = if is_write { MesiState::Modified } else { MesiState::Shared };
+                    }
+                }
+            }
+            let _ = rt;
+        }
+
+        // Track the run at the home for the Figure 1 characterization.
+        self.run_lengths.record_access(line, core, class, is_write);
+
+        // The home is busy with this line until processing finished.
+        self.line_busy_until.insert(line, t_home);
+
+        // Reply to the requester.
+        let mut finish = t_home;
+        if home != core {
+            let delivery = self.network.send(home, core, MessageKind::Data, finish);
+            request_and_reply += delivery.latency.value();
+            finish = delivery.arrival;
+        }
+        self.latency.l1_to_llc_home += request_and_reply;
+
+        // Install the replica (locality-aware scheme, misses only).
+        if create_replica {
+            if let Some(rc) = replica_slice {
+                if rc != core {
+                    // Cluster-level replication: the data is also forwarded to
+                    // the cluster's replica slice.
+                    self.network.send(home, rc, MessageKind::Data, t_home);
+                }
+                self.install_replica(rc, line, replica_state, finish);
+            }
+        }
+
+        (finish, grant_state, served_offchip)
+    }
+
+    /// Returns the home entry for `line` at `home`, which must exist.
+    fn home_entry_mut(&mut self, home: CoreId, line: CacheLine) -> &mut HomeEntry {
+        self.tiles[home.index()]
+            .llc
+            .probe_mut(line)
+            .and_then(LlcEntry::as_home_mut)
+            .expect("home entry must be resident while the home processes the line")
+    }
+
+    /// Sends invalidations to `targets`, probing their L1 caches and LLC
+    /// replicas.  Returns the probe results and the latency of the round
+    /// (invalidations are sent in parallel; the home waits for the slowest
+    /// acknowledgement).
+    fn invalidate_sharers(
+        &mut self,
+        home: CoreId,
+        targets: &[CoreId],
+        line: CacheLine,
+        now: Cycle,
+    ) -> (Vec<SharerProbe>, Cycle) {
+        let mut probes = Vec::with_capacity(targets.len());
+        let mut max_latency = Cycle::ZERO;
+        for &target in targets {
+            let mut arrival = now;
+            if target != home {
+                let delivery = self.network.send(home, target, MessageKind::Control, now);
+                arrival = delivery.arrival;
+            }
+            // Probe both L1 caches and the LLC slice of the target.
+            self.energy.record(Component::L1D, self.energy_model.l1d_read_pj);
+            self.energy.record(Component::L1I, self.energy_model.l1i_access_pj);
+            self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
+
+            let tile = &mut self.tiles[target.index()];
+            let l1d_state = tile.l1d.invalidate(line);
+            let l1i_state = tile.l1i.invalidate(line);
+            let mut dirty = matches!(l1d_state, Some(MesiState::Modified));
+            let mut had_copy = l1d_state.is_some() || l1i_state.is_some();
+            let mut replica_reuse = None;
+            let is_replica = tile.llc.probe(line).map(|e| e.is_replica()).unwrap_or(false);
+            if is_replica {
+                if let Some(LlcEntry::Replica(rep)) = tile.llc.invalidate(line) {
+                    replica_reuse = Some(rep.reuse.value());
+                    dirty |= rep.dirty;
+                    had_copy = true;
+                }
+            }
+            let ack_kind = if dirty { MessageKind::Data } else { MessageKind::Control };
+            let back = if target != home {
+                self.network.send(target, home, ack_kind, arrival).arrival
+            } else {
+                arrival
+            };
+            max_latency = max_latency.max(back.since(now));
+            probes.push(SharerProbe { target, replica_reuse, had_copy, dirty });
+        }
+        (probes, max_latency)
+    }
+
+    /// Downgrades a remote exclusive owner to Shared, retrieving dirty data.
+    fn downgrade_owner(
+        &mut self,
+        home: CoreId,
+        owner: CoreId,
+        line: CacheLine,
+        now: Cycle,
+    ) -> (SharerProbe, Cycle) {
+        let mut arrival = now;
+        if owner != home {
+            arrival = self.network.send(home, owner, MessageKind::Control, now).arrival;
+        }
+        self.energy.record(Component::L1D, self.energy_model.l1d_read_pj);
+        self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
+
+        let tile = &mut self.tiles[owner.index()];
+        let mut dirty = false;
+        if let Some(state) = tile.l1d.probe_mut(line) {
+            dirty |= state.is_dirty();
+            *state = state.after_downgrade();
+        }
+        if let Some(LlcEntry::Replica(rep)) = tile.llc.probe_mut(line) {
+            dirty |= rep.dirty;
+            rep.state = rep.state.after_downgrade();
+            rep.dirty = false;
+        }
+        let back = if owner != home {
+            self.network.send(owner, home, MessageKind::Data, arrival).arrival
+        } else {
+            arrival
+        };
+        (
+            SharerProbe { target: owner, replica_reuse: None, had_copy: true, dirty },
+            back.since(now),
+        )
+    }
+
+    /// Installs a replica in `slice_core`'s LLC slice.
+    fn install_replica(&mut self, slice_core: CoreId, line: CacheLine, state: MesiState, now: Cycle) {
+        self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+        let entry = LlcEntry::Replica(ReplicaEntry::new(state, self.replication.replication_threshold));
+        let evicted = self.tiles[slice_core.index()].llc.fill(line, entry);
+        self.replicas_created += 1;
+        if let Some((victim_line, victim_entry)) = evicted {
+            self.handle_llc_victim(slice_core, victim_line, victim_entry, now);
+        }
+    }
+
+    /// Fills the requesting L1 and handles the evicted victim.
+    fn fill_l1(&mut self, core: CoreId, instruction: bool, line: CacheLine, state: MesiState, now: Cycle) {
+        self.record_l1_energy(instruction, true);
+        let victim = self.tiles[core.index()].l1_for(instruction).fill(line, state);
+        if let Some((victim_line, victim_state)) = victim {
+            self.handle_l1_victim(core, victim_line, victim_state, now);
+        }
+    }
+
+    /// Handles the eviction of an L1 line: merge into a local replica, turn
+    /// it into a new replica (VR / ASR), or notify the line's home.
+    fn handle_l1_victim(&mut self, core: CoreId, line: CacheLine, state: MesiState, now: Cycle) {
+        if !state.is_valid() {
+            return;
+        }
+        let dirty = state.is_dirty();
+        let home = self.home_map.home_for(line, core);
+        let scheme = self.replication.scheme;
+
+        // Merge into an existing entry in the local (or cluster) LLC slice.
+        if let Some(rc) = self.replica_slice_for(core, line) {
+            let slice = &mut self.tiles[rc.index()].llc;
+            match slice.probe_mut(line) {
+                Some(LlcEntry::Replica(rep)) => {
+                    rep.dirty |= dirty;
+                    rep.l1_copy = false;
+                    if dirty {
+                        rep.state = MesiState::Modified;
+                    }
+                    self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+                    return;
+                }
+                Some(LlcEntry::Home(entry)) if rc == home => {
+                    // The local slice is the line's home: the write-back (if
+                    // any) merges there and the directory drops this sharer.
+                    if dirty {
+                        entry.dirty = true;
+                        self.energy
+                            .record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+                    }
+                    entry.directory.handle_eviction(core);
+                    if scheme == SchemeKind::LocalityAware {
+                        entry.classifier.on_sharer_evicted(core);
+                    }
+                    self.energy.record(Component::Directory, self.energy_model.directory_access_pj);
+                    return;
+                }
+                _ => {}
+            }
+        }
+
+        // Victim Replication / ASR: try to turn the victim into a replica.
+        if scheme.replicates_on_eviction() {
+            let replica_core = core;
+            let install = match scheme {
+                SchemeKind::VictimReplication => {
+                    // victim_for is None when the set still has room (or the
+                    // line is somehow already resident).
+                    let slice = &self.tiles[replica_core.index()].llc;
+                    let candidate = slice.victim_for(line).map(|(_, entry)| entry.clone());
+                    let set_has_room = candidate.is_none();
+                    VictimReplicationPolicy.should_insert_victim(set_has_room, candidate.as_ref())
+                }
+                SchemeKind::AdaptiveSelectiveReplication => {
+                    let class = *self.line_class.get(&line).unwrap_or(&DataClass::Private);
+                    AsrPolicy::new(self.replication.asr_level).should_replicate(class, &mut self.rng)
+                }
+                _ => false,
+            };
+            if install && home != replica_core {
+                self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+                let mut rep = ReplicaEntry::new(state, self.replication.replication_threshold);
+                rep.l1_copy = false;
+                rep.dirty = dirty;
+                let evicted = self.tiles[replica_core.index()].llc.fill(line, LlcEntry::Replica(rep));
+                self.replicas_created += 1;
+                if let Some((victim_line, victim_entry)) = evicted {
+                    self.handle_llc_victim(replica_core, victim_line, victim_entry, now);
+                }
+                return;
+            }
+        }
+
+        // Otherwise notify the home that this core no longer holds the line.
+        self.notify_home_of_eviction(core, home, line, dirty, None, now);
+    }
+
+    /// Handles the eviction of an LLC entry (replica or home line) from
+    /// `slice_core`'s slice.
+    fn handle_llc_victim(&mut self, slice_core: CoreId, line: CacheLine, entry: LlcEntry, now: Cycle) {
+        match entry {
+            LlcEntry::Replica(rep) => {
+                // Back-invalidate the local L1 copies (the LLC slice is
+                // inclusive of the local L1 for replicas).
+                let tile = &mut self.tiles[slice_core.index()];
+                let l1d = tile.l1d.invalidate(line);
+                let l1i = tile.l1i.invalidate(line);
+                if l1d.is_some() || l1i.is_some() {
+                    self.back_invalidations += 1;
+                }
+                let dirty = rep.dirty || matches!(l1d, Some(MesiState::Modified));
+                let home = self.home_map.home_for(line, slice_core);
+                self.notify_home_of_eviction(
+                    slice_core,
+                    home,
+                    line,
+                    dirty,
+                    Some(rep.reuse.value()),
+                    now,
+                );
+            }
+            LlcEntry::Home(home_entry) => {
+                // Inclusive LLC: every sharer's copy must be invalidated.
+                let targets = home_entry.directory.back_invalidation_targets(self.system.num_cores);
+                for target in targets {
+                    let tile = &mut self.tiles[target.index()];
+                    let had_l1 =
+                        tile.l1d.invalidate(line).is_some() | tile.l1i.invalidate(line).is_some();
+                    let had_replica = tile
+                        .llc
+                        .probe(line)
+                        .map(|e| e.is_replica())
+                        .unwrap_or(false);
+                    if had_replica {
+                        tile.llc.invalidate(line);
+                    }
+                    if had_l1 || had_replica {
+                        self.back_invalidations += 1;
+                        if target != slice_core {
+                            self.network.send(slice_core, target, MessageKind::Control, now);
+                            self.network.send(target, slice_core, MessageKind::Control, now);
+                        }
+                    }
+                }
+                if home_entry.dirty {
+                    // Write the line back to DRAM.
+                    let ctrl_core = self.dram.controller_core_for(line.index());
+                    if ctrl_core != slice_core {
+                        self.network.send(slice_core, ctrl_core, MessageKind::Data, now);
+                    }
+                    self.dram.access(line.index(), now);
+                }
+                self.run_lengths.record_eviction(line);
+                self.line_busy_until.remove(&line);
+            }
+        }
+    }
+
+    /// Notifies the home that `core`'s hierarchy no longer holds `line`
+    /// (an eviction acknowledgement, optionally carrying dirty data and the
+    /// replica-reuse counter).  Eviction messages are off the critical path:
+    /// they cost network traffic and energy but do not delay the evicting
+    /// core.
+    fn notify_home_of_eviction(
+        &mut self,
+        core: CoreId,
+        home: CoreId,
+        line: CacheLine,
+        dirty: bool,
+        replica_reuse: Option<u32>,
+        now: Cycle,
+    ) {
+        if home != core {
+            let kind = if dirty { MessageKind::Data } else { MessageKind::Control };
+            self.network.send(core, home, kind, now);
+        }
+        self.energy.record(Component::Directory, self.energy_model.directory_access_pj);
+        if let Some(LlcEntry::Home(entry)) = self.tiles[home.index()].llc.probe_mut(line) {
+            entry.directory.handle_eviction(core);
+            if dirty {
+                entry.dirty = true;
+            }
+            if self.replication.scheme == SchemeKind::LocalityAware {
+                match replica_reuse {
+                    Some(reuse) => entry.classifier.on_replica_evicted(core, reuse),
+                    None => entry.classifier.on_sharer_evicted(core),
+                }
+            }
+        }
+    }
+
+    fn record_l1_energy(&mut self, instruction: bool, write: bool) {
+        if instruction {
+            self.energy.record(Component::L1I, self.energy_model.l1i_access_pj);
+        } else if write {
+            self.energy.record(Component::L1D, self.energy_model.l1d_write_pj);
+        } else {
+            self.energy.record(Component::L1D, self.energy_model.l1d_read_pj);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_trace::benchmarks::Benchmark;
+    use lad_trace::generator::TraceGenerator;
+
+    fn small_trace(benchmark: Benchmark, accesses: usize, seed: u64) -> WorkloadTrace {
+        TraceGenerator::new(benchmark.profile()).generate(16, accesses, seed)
+    }
+
+    fn run(config: ReplicationConfig, benchmark: Benchmark, accesses: usize) -> SimulationReport {
+        let mut sim = Simulator::new(SystemConfig::small_test(), config);
+        sim.run(&small_trace(benchmark, accesses, 42))
+    }
+
+    #[test]
+    fn simulation_completes_and_accounts_every_access() {
+        let report = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 1600);
+        assert_eq!(report.total_accesses, report.misses.l1_hits + report.misses.l1_misses());
+        assert!(report.completion_time.value() > 0);
+        assert!(report.energy.total() > 0.0);
+        assert!(report.latency.total() > 0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 200);
+        let b = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 200);
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.misses.llc_replica_hits, b.misses.llc_replica_hits);
+        assert!((a.energy.total() - b.energy.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rerunning_the_same_simulator_resets_state() {
+        let mut sim =
+            Simulator::new(SystemConfig::small_test(), ReplicationConfig::locality_aware(3));
+        let trace = small_trace(Benchmark::Barnes, 200, 42);
+        let a = sim.run(&trace);
+        let b = sim.run(&trace);
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.total_accesses, b.total_accesses);
+    }
+
+    #[test]
+    fn snuca_never_creates_replicas() {
+        let report = run(ReplicationConfig::static_nuca(), Benchmark::Barnes, 1600);
+        assert_eq!(report.replicas_created, 0);
+        assert_eq!(report.misses.llc_replica_hits, 0);
+    }
+
+    #[test]
+    fn locality_aware_creates_replicas_for_high_reuse_benchmarks() {
+        let report = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 1600);
+        assert!(report.replicas_created > 0, "BARNES has high reuse and must replicate");
+        assert!(report.misses.llc_replica_hits > 0);
+    }
+
+    #[test]
+    fn locality_aware_replicates_less_for_low_reuse_benchmarks() {
+        let high = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 1600);
+        let low = run(ReplicationConfig::locality_aware(3), Benchmark::Fluidanimate, 1600);
+        let high_rate = high.misses.replica_hit_fraction();
+        let low_rate = low.misses.replica_hit_fraction();
+        assert!(
+            high_rate > low_rate,
+            "replica hit fraction: BARNES {high_rate:.3} vs FLUIDANIMATE {low_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn rt1_replicates_more_aggressively_than_rt8() {
+        let rt1 = run(ReplicationConfig::locality_aware(1), Benchmark::Barnes, 1600);
+        let rt8 = run(ReplicationConfig::locality_aware(8), Benchmark::Barnes, 1600);
+        assert!(rt1.replicas_created >= rt8.replicas_created);
+    }
+
+    #[test]
+    fn victim_replication_creates_replicas_on_evictions() {
+        let report = run(ReplicationConfig::victim_replication(), Benchmark::Barnes, 1600);
+        assert!(report.replicas_created > 0);
+    }
+
+    #[test]
+    fn asr_level_zero_matches_no_replication() {
+        let report = run(ReplicationConfig::asr(0.0), Benchmark::Streamcluster, 1200);
+        assert_eq!(report.replicas_created, 0);
+        let report = run(ReplicationConfig::asr(1.0), Benchmark::Streamcluster, 1200);
+        assert!(report.replicas_created > 0, "ASR at level 1 must replicate shared read-only data");
+    }
+
+    #[test]
+    fn offchip_misses_dominate_for_llc_exceeding_working_sets() {
+        let big = run(ReplicationConfig::static_nuca(), Benchmark::Fluidanimate, 1600);
+        let small = run(ReplicationConfig::static_nuca(), Benchmark::WaterNsquared, 1600);
+        assert!(
+            big.misses.offchip_fraction() > small.misses.offchip_fraction(),
+            "FLUIDANIMATE {:.3} vs WATER-NSQ {:.3}",
+            big.misses.offchip_fraction(),
+            small.misses.offchip_fraction()
+        );
+    }
+
+    #[test]
+    fn run_length_profile_reflects_benchmark_reuse() {
+        let barnes = run(ReplicationConfig::static_nuca(), Benchmark::Barnes, 1600);
+        let fluid = run(ReplicationConfig::static_nuca(), Benchmark::Fluidanimate, 1600);
+        let barnes_mean = barnes
+            .run_lengths
+            .mean_run_length(DataClass::SharedReadWrite)
+            .unwrap_or(0.0);
+        let fluid_mean =
+            fluid.run_lengths.mean_run_length(DataClass::SharedReadWrite).unwrap_or(0.0);
+        assert!(
+            barnes_mean > fluid_mean,
+            "BARNES mean run {barnes_mean:.2} vs FLUIDANIMATE {fluid_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn latency_breakdown_components_are_populated() {
+        let report = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 1600);
+        assert!(report.latency.compute > 0);
+        assert!(report.latency.l1_to_llc_home > 0);
+        assert!(report.latency.l1_to_llc_replica > 0);
+        // Writes to shared data trigger invalidations.
+        assert!(report.latency.llc_home_to_sharers > 0);
+    }
+
+    #[test]
+    fn dram_energy_appears_only_with_offchip_misses() {
+        let report = run(ReplicationConfig::static_nuca(), Benchmark::Fluidanimate, 1200);
+        assert!(report.energy.component(Component::Dram) > 0.0);
+        assert!(report.misses.offchip_misses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace has")]
+    fn trace_with_too_many_cores_is_rejected() {
+        let mut sim =
+            Simulator::new(SystemConfig::small_test(), ReplicationConfig::static_nuca());
+        let trace = TraceGenerator::new(Benchmark::Dedup.profile()).generate(64, 10, 1);
+        sim.run(&trace);
+    }
+}

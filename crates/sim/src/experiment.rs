@@ -1,0 +1,358 @@
+//! Experiment orchestration: run benchmark × scheme matrices, normalize
+//! against a baseline and aggregate, the way the paper's figures do.
+//!
+//! The paper evaluates seven configurations per benchmark
+//! (S-NUCA, R-NUCA, VR, ASR, RT-1, RT-3, RT-8), normalizes energy and
+//! completion time to S-NUCA (Figures 6 and 7), and reports the ASR result
+//! at the per-benchmark replication level with the lowest energy-delay
+//! product.  [`SchemeComparison`] reproduces exactly that procedure;
+//! [`ExperimentRunner`] parallelizes the independent simulations across
+//! threads.
+
+use std::collections::BTreeMap;
+
+use lad_common::config::SystemConfig;
+use lad_common::stats::{geometric_mean, mean, normalized};
+use lad_energy::model::EnergyModel;
+use lad_replication::config::ReplicationConfig;
+use lad_replication::policies::AsrPolicy;
+use lad_trace::benchmarks::Benchmark;
+use lad_trace::suite::BenchmarkSuite;
+
+use crate::engine::Simulator;
+use crate::metrics::SimulationReport;
+
+/// Runs simulations for a benchmark suite, optionally in parallel.
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    system: SystemConfig,
+    suite: BenchmarkSuite,
+    energy_model: EnergyModel,
+    threads: usize,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner for one system configuration and benchmark suite.
+    pub fn new(system: SystemConfig, suite: BenchmarkSuite) -> Self {
+        ExperimentRunner {
+            system,
+            suite,
+            energy_model: EnergyModel::paper_default(),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+
+    /// Limits the number of worker threads (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Uses a custom energy model (builder style).
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// The benchmark suite being run.
+    pub fn suite(&self) -> &BenchmarkSuite {
+        &self.suite
+    }
+
+    /// Runs one benchmark under one configuration.
+    pub fn run_one(&self, benchmark: Benchmark, config: &ReplicationConfig) -> SimulationReport {
+        let trace = self.suite.trace_for(benchmark, self.system.num_cores);
+        let mut sim = Simulator::with_energy_model(
+            self.system.clone(),
+            config.clone(),
+            self.energy_model.clone(),
+        );
+        sim.run(&trace)
+    }
+
+    /// Runs every benchmark of the suite under every configuration, in
+    /// parallel across worker threads.  Results are keyed by
+    /// `(benchmark, configuration label)`.
+    pub fn run_matrix(
+        &self,
+        configs: &[ReplicationConfig],
+    ) -> BTreeMap<(Benchmark, String), SimulationReport> {
+        let jobs: Vec<(Benchmark, ReplicationConfig)> = self
+            .suite
+            .benchmarks()
+            .iter()
+            .flat_map(|b| configs.iter().map(move |c| (*b, c.clone())))
+            .collect();
+
+        let mut results = BTreeMap::new();
+        crossbeam::thread::scope(|scope| {
+            let chunk_size = jobs.len().div_ceil(self.threads).max(1);
+            let handles: Vec<_> = jobs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let runner = self;
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|(benchmark, config)| {
+                                let report = runner.run_one(*benchmark, config);
+                                ((*benchmark, config.label()), report)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (key, report) in handle.join().expect("worker thread panicked") {
+                    results.insert(key, report);
+                }
+            }
+        })
+        .expect("thread scope failed");
+        results
+    }
+
+    /// Runs the paper's standard seven-configuration comparison
+    /// (S-NUCA, R-NUCA, VR, ASR at its best level, RT-1, RT-3, RT-8) for the
+    /// whole suite.
+    pub fn run_paper_comparison(&self) -> SchemeComparison {
+        let mut configs = vec![
+            ReplicationConfig::static_nuca(),
+            ReplicationConfig::reactive_nuca(),
+            ReplicationConfig::victim_replication(),
+            ReplicationConfig::locality_aware(1),
+            ReplicationConfig::locality_aware(3),
+            ReplicationConfig::locality_aware(8),
+        ];
+        for level in AsrPolicy::LEVELS {
+            configs.push(ReplicationConfig::asr(level));
+        }
+        let results = self.run_matrix(&configs);
+        SchemeComparison::from_results(self.suite.benchmarks().to_vec(), results)
+    }
+}
+
+/// The normalized cross-scheme comparison of Figures 6–8.
+#[derive(Debug, Clone)]
+pub struct SchemeComparison {
+    benchmarks: Vec<Benchmark>,
+    /// Reports keyed by `(benchmark, scheme label)`, with ASR already
+    /// collapsed to its best level per benchmark (label `"ASR"`).
+    reports: BTreeMap<(Benchmark, String), SimulationReport>,
+}
+
+impl SchemeComparison {
+    /// The scheme labels of the paper's figures, in plotting order.
+    pub const SCHEME_ORDER: [&'static str; 7] =
+        ["S-NUCA", "R-NUCA", "VR", "ASR", "RT-1", "RT-3", "RT-8"];
+
+    /// Builds the comparison from a raw result matrix, selecting ASR's best
+    /// replication level per benchmark by energy-delay product (the paper's
+    /// methodology, Section 3.3).
+    pub fn from_results(
+        benchmarks: Vec<Benchmark>,
+        results: BTreeMap<(Benchmark, String), SimulationReport>,
+    ) -> Self {
+        let mut reports: BTreeMap<(Benchmark, String), SimulationReport> = BTreeMap::new();
+        for ((benchmark, label), report) in results {
+            if label.starts_with("ASR-") {
+                let key = (benchmark, "ASR".to_string());
+                let better = match reports.get(&key) {
+                    None => true,
+                    Some(existing) => {
+                        report.energy_delay_product() < existing.energy_delay_product()
+                    }
+                };
+                if better {
+                    reports.insert(key, report);
+                }
+            } else {
+                reports.insert((benchmark, label), report);
+            }
+        }
+        SchemeComparison { benchmarks, reports }
+    }
+
+    /// The benchmarks included.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// The report for one benchmark under one scheme label, if present.
+    pub fn report(&self, benchmark: Benchmark, scheme: &str) -> Option<&SimulationReport> {
+        self.reports.get(&(benchmark, scheme.to_string()))
+    }
+
+    /// Energy of `scheme` normalized to the `baseline` scheme for one
+    /// benchmark (1.0 when either is missing).
+    pub fn normalized_energy(&self, benchmark: Benchmark, scheme: &str, baseline: &str) -> f64 {
+        match (self.report(benchmark, scheme), self.report(benchmark, baseline)) {
+            (Some(s), Some(b)) => normalized(s.energy.total(), b.energy.total()),
+            _ => 1.0,
+        }
+    }
+
+    /// Completion time of `scheme` normalized to `baseline` for one
+    /// benchmark.
+    pub fn normalized_completion_time(
+        &self,
+        benchmark: Benchmark,
+        scheme: &str,
+        baseline: &str,
+    ) -> f64 {
+        match (self.report(benchmark, scheme), self.report(benchmark, baseline)) {
+            (Some(s), Some(b)) => normalized(
+                s.completion_time.value() as f64,
+                b.completion_time.value() as f64,
+            ),
+            _ => 1.0,
+        }
+    }
+
+    /// Arithmetic mean (over benchmarks) of the normalized energy of a
+    /// scheme — the "Average" bar of Figure 6.
+    pub fn average_normalized_energy(&self, scheme: &str, baseline: &str) -> f64 {
+        let values: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .map(|b| self.normalized_energy(*b, scheme, baseline))
+            .collect();
+        mean(&values).unwrap_or(1.0)
+    }
+
+    /// Arithmetic mean (over benchmarks) of the normalized completion time —
+    /// the "Average" bar of Figure 7.
+    pub fn average_normalized_completion_time(&self, scheme: &str, baseline: &str) -> f64 {
+        let values: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .map(|b| self.normalized_completion_time(*b, scheme, baseline))
+            .collect();
+        mean(&values).unwrap_or(1.0)
+    }
+
+    /// Geometric mean of normalized energy (used by Figures 9 and 10).
+    pub fn geomean_normalized_energy(&self, scheme: &str, baseline: &str) -> f64 {
+        let values: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .map(|b| self.normalized_energy(*b, scheme, baseline))
+            .collect();
+        geometric_mean(&values).unwrap_or(1.0)
+    }
+
+    /// Geometric mean of normalized completion time (Figures 9 and 10).
+    pub fn geomean_normalized_completion_time(&self, scheme: &str, baseline: &str) -> f64 {
+        let values: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .map(|b| self.normalized_completion_time(*b, scheme, baseline))
+            .collect();
+        geometric_mean(&values).unwrap_or(1.0)
+    }
+
+    /// The headline result of the paper: the percentage reduction in energy
+    /// and completion time of `scheme` relative to each baseline, averaged
+    /// over benchmarks.  Returns `(energy_reduction_pct, time_reduction_pct)`.
+    pub fn reduction_vs(&self, scheme: &str, baseline: &str) -> (f64, f64) {
+        let energy: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .map(|b| self.normalized_energy(*b, scheme, baseline))
+            .collect();
+        let time: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .map(|b| self.normalized_completion_time(*b, scheme, baseline))
+            .collect();
+        (
+            (1.0 - mean(&energy).unwrap_or(1.0)) * 100.0,
+            (1.0 - mean(&time).unwrap_or(1.0)) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_common::types::Cycle;
+    use lad_energy::accounting::{Component, EnergyAccounting};
+    use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile};
+
+    fn fake_report(benchmark: &str, scheme: &str, energy: f64, time: u64) -> SimulationReport {
+        let mut acc = EnergyAccounting::new();
+        acc.record(Component::L2Cache, energy);
+        SimulationReport {
+            benchmark: benchmark.to_string(),
+            scheme: scheme.to_string(),
+            completion_time: Cycle::new(time),
+            latency: LatencyBreakdown::default(),
+            misses: MissBreakdown::default(),
+            energy: acc,
+            run_lengths: RunLengthProfile::new(),
+            total_accesses: 1,
+            replicas_created: 0,
+            back_invalidations: 0,
+        }
+    }
+
+    #[test]
+    fn comparison_normalizes_and_averages() {
+        let mut results = BTreeMap::new();
+        let benchmarks = vec![Benchmark::Barnes, Benchmark::Dedup];
+        for b in &benchmarks {
+            results.insert((*b, "S-NUCA".to_string()), fake_report(b.label(), "S-NUCA", 100.0, 1000));
+            results.insert((*b, "RT-3".to_string()), fake_report(b.label(), "RT-3", 80.0, 900));
+        }
+        let cmp = SchemeComparison::from_results(benchmarks, results);
+        assert!((cmp.normalized_energy(Benchmark::Barnes, "RT-3", "S-NUCA") - 0.8).abs() < 1e-12);
+        assert!((cmp.average_normalized_energy("RT-3", "S-NUCA") - 0.8).abs() < 1e-12);
+        assert!(
+            (cmp.average_normalized_completion_time("RT-3", "S-NUCA") - 0.9).abs() < 1e-12
+        );
+        assert!((cmp.geomean_normalized_energy("RT-3", "S-NUCA") - 0.8).abs() < 1e-9);
+        let (e_red, t_red) = cmp.reduction_vs("RT-3", "S-NUCA");
+        assert!((e_red - 20.0).abs() < 1e-9);
+        assert!((t_red - 10.0).abs() < 1e-9);
+        // Missing scheme falls back to 1.0.
+        assert_eq!(cmp.normalized_energy(Benchmark::Barnes, "VR", "S-NUCA"), 1.0);
+    }
+
+    #[test]
+    fn asr_collapses_to_best_energy_delay_product() {
+        let mut results = BTreeMap::new();
+        let benchmarks = vec![Benchmark::Barnes];
+        results.insert(
+            (Benchmark::Barnes, "ASR-0.00".to_string()),
+            fake_report("BARNES", "ASR-0.00", 100.0, 1000),
+        );
+        results.insert(
+            (Benchmark::Barnes, "ASR-0.50".to_string()),
+            fake_report("BARNES", "ASR-0.50", 50.0, 900),
+        );
+        results.insert(
+            (Benchmark::Barnes, "ASR-1.00".to_string()),
+            fake_report("BARNES", "ASR-1.00", 120.0, 800),
+        );
+        let cmp = SchemeComparison::from_results(benchmarks, results);
+        let chosen = cmp.report(Benchmark::Barnes, "ASR").expect("ASR entry exists");
+        assert_eq!(chosen.scheme, "ASR-0.50");
+        assert_eq!(SchemeComparison::SCHEME_ORDER.len(), 7);
+    }
+
+    #[test]
+    fn runner_executes_matrix_in_parallel() {
+        let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup, Benchmark::Barnes], 150, 1);
+        let runner = ExperimentRunner::new(SystemConfig::small_test(), suite).with_threads(2);
+        let configs = [ReplicationConfig::static_nuca(), ReplicationConfig::locality_aware(3)];
+        let results = runner.run_matrix(&configs);
+        assert_eq!(results.len(), 4);
+        for ((_, label), report) in &results {
+            assert!(report.total_accesses > 0, "{label} must simulate accesses");
+        }
+        // A single run agrees with the matrix entry (determinism).
+        let single = runner.run_one(Benchmark::Dedup, &ReplicationConfig::static_nuca());
+        let from_matrix = &results[&(Benchmark::Dedup, "S-NUCA".to_string())];
+        assert_eq!(single.completion_time, from_matrix.completion_time);
+    }
+}

@@ -1,0 +1,420 @@
+//! Metric collection: completion-time breakdown (Figure 7), L1-miss-type
+//! breakdown (Figure 8), run-length characterization (Figure 1) and the
+//! combined per-run report.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lad_common::stats::Histogram;
+use lad_common::types::{CacheLine, CoreId, Cycle, DataClass};
+use lad_energy::accounting::EnergyAccounting;
+
+/// The completion-time components of Figure 7, accumulated over all cores
+/// (in cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Compute cycles (plus L1 hit time).
+    pub compute: u64,
+    /// L1 miss to the LLC replica location and back.
+    pub l1_to_llc_replica: u64,
+    /// L1 miss to the LLC home location and back (including the LLC access).
+    pub l1_to_llc_home: u64,
+    /// Queueing at the LLC home while conflicting requests are serialized.
+    pub llc_home_waiting: u64,
+    /// Round trips from the home to sharers (invalidations, downgrades,
+    /// synchronous write-backs).
+    pub llc_home_to_sharers: u64,
+    /// Off-chip DRAM access time (including controller queueing).
+    pub llc_home_to_offchip: u64,
+    /// Time waiting at the final barrier (load imbalance).
+    pub synchronization: u64,
+}
+
+impl LatencyBreakdown {
+    /// Labels in the order the paper's Figure 7 legend uses.
+    pub const LABELS: [&'static str; 7] = [
+        "Compute",
+        "L1-To-LLC-Replica",
+        "L1-To-LLC-Home",
+        "LLC-Home-Waiting",
+        "LLC-Home-To-Sharers",
+        "LLC-Home-To-OffChip",
+        "Synchronization",
+    ];
+
+    /// The component values in the same order as [`LatencyBreakdown::LABELS`].
+    pub fn values(&self) -> [u64; 7] {
+        [
+            self.compute,
+            self.l1_to_llc_replica,
+            self.l1_to_llc_home,
+            self.llc_home_waiting,
+            self.llc_home_to_sharers,
+            self.llc_home_to_offchip,
+            self.synchronization,
+        ]
+    }
+
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.values().iter().sum()
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        self.compute += other.compute;
+        self.l1_to_llc_replica += other.l1_to_llc_replica;
+        self.l1_to_llc_home += other.l1_to_llc_home;
+        self.llc_home_waiting += other.llc_home_waiting;
+        self.llc_home_to_sharers += other.llc_home_to_sharers;
+        self.llc_home_to_offchip += other.llc_home_to_offchip;
+        self.synchronization += other.synchronization;
+    }
+}
+
+impl fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "completion-time breakdown (cycles, all cores):")?;
+        for (label, value) in Self::LABELS.iter().zip(self.values()) {
+            writeln!(f, "  {label:<22} {value:>14}")?;
+        }
+        write!(f, "  {:<22} {:>14}", "TOTAL", self.total())
+    }
+}
+
+/// How L1 cache misses were served (Figure 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissBreakdown {
+    /// L1 accesses that hit in the L1 (not plotted by Figure 8 but useful).
+    pub l1_hits: u64,
+    /// L1 misses that hit at the LLC replica location.
+    pub llc_replica_hits: u64,
+    /// L1 misses that hit at the LLC home location.
+    pub llc_home_hits: u64,
+    /// L1 misses that went to DRAM.
+    pub offchip_misses: u64,
+}
+
+impl MissBreakdown {
+    /// Total L1 misses.
+    pub fn l1_misses(&self) -> u64 {
+        self.llc_replica_hits + self.llc_home_hits + self.offchip_misses
+    }
+
+    /// Fraction of L1 misses served by a local replica.
+    pub fn replica_hit_fraction(&self) -> f64 {
+        let misses = self.l1_misses();
+        if misses == 0 {
+            0.0
+        } else {
+            self.llc_replica_hits as f64 / misses as f64
+        }
+    }
+
+    /// Fraction of L1 misses that left the chip.
+    pub fn offchip_fraction(&self) -> f64 {
+        let misses = self.l1_misses();
+        if misses == 0 {
+            0.0
+        } else {
+            self.offchip_misses as f64 / misses as f64
+        }
+    }
+}
+
+impl fmt::Display for MissBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 misses: {} replica hits, {} home hits, {} off-chip ({} L1 hits)",
+            self.llc_replica_hits, self.llc_home_hits, self.offchip_misses, self.l1_hits
+        )
+    }
+}
+
+/// Run-length characterization (Figure 1): for each data class, the
+/// distribution of the number of LLC accesses a core makes to a line before
+/// a conflicting access by another core or an eviction.
+#[derive(Debug, Clone, Default)]
+pub struct RunLengthProfile {
+    histograms: HashMap<DataClass, Histogram>,
+    open_runs: HashMap<CacheLine, (CoreId, u64, DataClass)>,
+}
+
+impl RunLengthProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one LLC access by `core` to `line` of data class `class`.
+    /// `conflicting` marks accesses that end other cores' runs (writes).
+    pub fn record_access(
+        &mut self,
+        line: CacheLine,
+        core: CoreId,
+        class: DataClass,
+        conflicting: bool,
+    ) {
+        match self.open_runs.get_mut(&line) {
+            Some((owner, count, open_class)) if *owner == core && !conflicting => {
+                *count += 1;
+                *open_class = class;
+            }
+            Some((owner, count, open_class)) if *owner == core => {
+                // A write by the same core extends its own run.
+                *count += 1;
+                *open_class = class;
+            }
+            Some(entry) => {
+                // Conflicting or different core: close the previous run.
+                let (_, count, open_class) = *entry;
+                self.histograms.entry(open_class).or_default().record(count);
+                *entry = (core, 1, class);
+            }
+            None => {
+                self.open_runs.insert(line, (core, 1, class));
+            }
+        }
+    }
+
+    /// Records that `line` was evicted from the LLC, ending any open run.
+    pub fn record_eviction(&mut self, line: CacheLine) {
+        if let Some((_, count, class)) = self.open_runs.remove(&line) {
+            self.histograms.entry(class).or_default().record(count);
+        }
+    }
+
+    /// Closes all open runs (call at the end of the simulation).
+    pub fn finalize(&mut self) {
+        let open: Vec<_> = self.open_runs.drain().collect();
+        for (_, (_, count, class)) in open {
+            self.histograms.entry(class).or_default().record(count);
+        }
+    }
+
+    /// Total recorded runs for a class.
+    pub fn runs(&self, class: DataClass) -> u64 {
+        self.histograms.get(&class).map_or(0, Histogram::count)
+    }
+
+    /// Accesses (weighted by run length) falling into the paper's three
+    /// run-length buckets `[1-2]`, `[3-9]`, `[>= 10]` for a class.
+    pub fn bucketed_accesses(&self, class: DataClass) -> [u64; 3] {
+        match self.histograms.get(&class) {
+            None => [0, 0, 0],
+            Some(h) => {
+                let mut buckets = [0u64; 3];
+                for (value, count) in h.iter() {
+                    let weighted = value * count;
+                    if value <= 2 {
+                        buckets[0] += weighted;
+                    } else if value <= 9 {
+                        buckets[1] += weighted;
+                    } else {
+                        buckets[2] += weighted;
+                    }
+                }
+                buckets
+            }
+        }
+    }
+
+    /// Fraction of all LLC accesses in each `(class, bucket)` cell, matching
+    /// one stacked bar of Figure 1.  Buckets are `[1-2]`, `[3-9]`, `[>=10]`.
+    pub fn distribution(&self) -> Vec<(DataClass, [f64; 3])> {
+        let totals: u64 = DataClass::ALL
+            .iter()
+            .map(|c| self.bucketed_accesses(*c).iter().sum::<u64>())
+            .sum();
+        DataClass::ALL
+            .iter()
+            .map(|c| {
+                let buckets = self.bucketed_accesses(*c);
+                let fractions = if totals == 0 {
+                    [0.0; 3]
+                } else {
+                    [
+                        buckets[0] as f64 / totals as f64,
+                        buckets[1] as f64 / totals as f64,
+                        buckets[2] as f64 / totals as f64,
+                    ]
+                };
+                (*c, fractions)
+            })
+            .collect()
+    }
+
+    /// Mean run length for a class, if any runs were recorded.
+    pub fn mean_run_length(&self, class: DataClass) -> Option<f64> {
+        self.histograms.get(&class).and_then(Histogram::mean)
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Label of the scheme configuration (e.g. `RT-3`, `S-NUCA`).
+    pub scheme: String,
+    /// Parallel completion time (the slowest core).
+    pub completion_time: Cycle,
+    /// Completion-time components summed over cores.
+    pub latency: LatencyBreakdown,
+    /// How L1 misses were served.
+    pub misses: MissBreakdown,
+    /// Dynamic energy by component.
+    pub energy: EnergyAccounting,
+    /// Run-length characterization of the workload as observed at the LLC.
+    pub run_lengths: RunLengthProfile,
+    /// Total memory accesses simulated.
+    pub total_accesses: u64,
+    /// Total LLC replicas created.
+    pub replicas_created: u64,
+    /// Total back-invalidations caused by LLC evictions.
+    pub back_invalidations: u64,
+}
+
+impl SimulationReport {
+    /// Energy-delay product (total energy × completion time), the metric ASR
+    /// levels are selected by.
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy.total() * self.completion_time.value() as f64
+    }
+
+    /// Average memory latency per access in cycles (excluding compute).
+    pub fn average_memory_latency(&self) -> f64 {
+        if self.total_accesses == 0 {
+            return 0.0;
+        }
+        let memory_cycles = self.latency.total() - self.latency.compute - self.latency.synchronization;
+        memory_cycles as f64 / self.total_accesses as f64
+    }
+}
+
+impl fmt::Display for SimulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} under {} ===", self.benchmark, self.scheme)?;
+        writeln!(f, "completion time: {}", self.completion_time)?;
+        writeln!(f, "{}", self.latency)?;
+        writeln!(f, "{}", self.misses)?;
+        writeln!(f, "replicas created: {}", self.replicas_created)?;
+        write!(f, "{}", self.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_energy::accounting::Component;
+
+    #[test]
+    fn latency_breakdown_totals_and_merge() {
+        let mut a = LatencyBreakdown { compute: 10, l1_to_llc_home: 5, ..Default::default() };
+        let b = LatencyBreakdown { llc_home_waiting: 3, synchronization: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.values().len(), LatencyBreakdown::LABELS.len());
+        let text = a.to_string();
+        for label in LatencyBreakdown::LABELS {
+            assert!(text.contains(label));
+        }
+    }
+
+    #[test]
+    fn miss_breakdown_fractions() {
+        let m = MissBreakdown { l1_hits: 100, llc_replica_hits: 30, llc_home_hits: 50, offchip_misses: 20 };
+        assert_eq!(m.l1_misses(), 100);
+        assert!((m.replica_hit_fraction() - 0.3).abs() < 1e-12);
+        assert!((m.offchip_fraction() - 0.2).abs() < 1e-12);
+        let empty = MissBreakdown::default();
+        assert_eq!(empty.replica_hit_fraction(), 0.0);
+        assert_eq!(empty.offchip_fraction(), 0.0);
+        assert!(m.to_string().contains("30 replica hits"));
+    }
+
+    #[test]
+    fn run_length_same_core_extends_run() {
+        let mut p = RunLengthProfile::new();
+        let line = CacheLine::from_index(1);
+        for _ in 0..5 {
+            p.record_access(line, CoreId::new(0), DataClass::SharedReadWrite, false);
+        }
+        p.finalize();
+        assert_eq!(p.runs(DataClass::SharedReadWrite), 1);
+        assert_eq!(p.mean_run_length(DataClass::SharedReadWrite), Some(5.0));
+        assert_eq!(p.bucketed_accesses(DataClass::SharedReadWrite), [0, 5, 0]);
+    }
+
+    #[test]
+    fn run_length_conflicting_access_closes_run() {
+        let mut p = RunLengthProfile::new();
+        let line = CacheLine::from_index(1);
+        p.record_access(line, CoreId::new(0), DataClass::SharedReadWrite, false);
+        p.record_access(line, CoreId::new(0), DataClass::SharedReadWrite, false);
+        // Core 1 writes: closes core 0's run of length 2.
+        p.record_access(line, CoreId::new(1), DataClass::SharedReadWrite, true);
+        p.finalize();
+        assert_eq!(p.runs(DataClass::SharedReadWrite), 2);
+        assert_eq!(p.bucketed_accesses(DataClass::SharedReadWrite), [3, 0, 0]);
+    }
+
+    #[test]
+    fn run_length_eviction_closes_run() {
+        let mut p = RunLengthProfile::new();
+        let line = CacheLine::from_index(2);
+        for _ in 0..12 {
+            p.record_access(line, CoreId::new(3), DataClass::Instruction, false);
+        }
+        p.record_eviction(line);
+        assert_eq!(p.runs(DataClass::Instruction), 1);
+        assert_eq!(p.bucketed_accesses(DataClass::Instruction), [0, 0, 12]);
+        // Evicting an untracked line is a no-op.
+        p.record_eviction(CacheLine::from_index(99));
+    }
+
+    #[test]
+    fn distribution_fractions_sum_to_one() {
+        let mut p = RunLengthProfile::new();
+        p.record_access(CacheLine::from_index(1), CoreId::new(0), DataClass::Private, false);
+        for _ in 0..9 {
+            p.record_access(CacheLine::from_index(2), CoreId::new(1), DataClass::Instruction, false);
+        }
+        p.finalize();
+        let total: f64 = p.distribution().iter().flat_map(|(_, b)| b.iter()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Empty profile: all zero.
+        let empty = RunLengthProfile::new();
+        let total: f64 = empty.distribution().iter().flat_map(|(_, b)| b.iter()).sum();
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn report_derived_metrics() {
+        let mut energy = EnergyAccounting::new();
+        energy.record(Component::Dram, 1000.0);
+        let report = SimulationReport {
+            benchmark: "TEST".to_string(),
+            scheme: "RT-3".to_string(),
+            completion_time: Cycle::new(500),
+            latency: LatencyBreakdown {
+                compute: 100,
+                l1_to_llc_home: 300,
+                synchronization: 50,
+                ..Default::default()
+            },
+            misses: MissBreakdown::default(),
+            energy,
+            run_lengths: RunLengthProfile::new(),
+            total_accesses: 100,
+            replicas_created: 5,
+            back_invalidations: 0,
+        };
+        assert!((report.energy_delay_product() - 1000.0 * 500.0).abs() < 1e-9);
+        assert!((report.average_memory_latency() - 3.0).abs() < 1e-9);
+        let text = report.to_string();
+        assert!(text.contains("TEST"));
+        assert!(text.contains("RT-3"));
+    }
+}

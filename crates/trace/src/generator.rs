@@ -1,0 +1,456 @@
+//! Profile-driven trace generation.
+
+use lad_common::rng::DeterministicRng;
+use lad_common::types::{CoreId, DataClass, MemOp, MemoryAccess};
+
+use crate::pattern::{AddressSpace, ClassMix, ReuseModel};
+
+/// Everything that characterizes one benchmark's memory behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (matches the paper's label, e.g. `"BARNES"`).
+    pub name: &'static str,
+    /// Problem-size description reproduced from Table 2.
+    pub problem_size: &'static str,
+    /// Relative frequency of each data class at the LLC.
+    pub class_mix: ClassMix,
+    /// Reuse run-length model per class, in the order
+    /// instruction / private / shared-RO / shared-RW.
+    pub reuse: [ReuseModel; 4],
+    /// Instruction footprint in cache lines.
+    pub instruction_lines: u64,
+    /// Shared read-only footprint in cache lines.
+    pub shared_ro_lines: u64,
+    /// Shared read-write footprint in cache lines.
+    pub shared_rw_lines: u64,
+    /// Private footprint per core, in cache lines.
+    pub private_lines_per_core: u64,
+    /// Fraction of shared read-write accesses that are writes.
+    pub rw_write_fraction: f64,
+    /// Fraction of private accesses that are writes.
+    pub private_write_fraction: f64,
+    /// Migratory sharing: shared read-write lines are used in
+    /// read-then-write bursts by one core at a time (the LU-NC pattern).
+    pub migratory: bool,
+    /// Page-level false sharing of private data (the BLACKSCHOLES pattern):
+    /// different cores' private lines share pages.
+    pub private_false_sharing: bool,
+    /// Number of cores that actively share each shared read-write line
+    /// (small values model low-degree sharing such as RAYTRACE).
+    pub sharing_degree: usize,
+    /// Mean compute cycles between consecutive memory accesses.
+    pub mean_compute_cycles: u32,
+}
+
+impl BenchmarkProfile {
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.class_mix.validate()?;
+        for (i, r) in self.reuse.iter().enumerate() {
+            if !(0.0..=1.0).contains(&r.continue_probability) || r.max_run == 0 {
+                return Err(format!("reuse model {i} is invalid"));
+            }
+        }
+        for (name, f) in [
+            ("rw_write_fraction", self.rw_write_fraction),
+            ("private_write_fraction", self.private_write_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("{name} must lie in [0, 1]"));
+            }
+        }
+        if self.sharing_degree == 0 {
+            return Err("sharing degree must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
+    fn reuse_for(&self, class: DataClass) -> ReuseModel {
+        match class {
+            DataClass::Instruction => self.reuse[0],
+            DataClass::Private => self.reuse[1],
+            DataClass::SharedReadOnly => self.reuse[2],
+            DataClass::SharedReadWrite => self.reuse[3],
+        }
+    }
+
+    /// Builds the address-space layout for `num_cores` cores.
+    pub fn address_space(&self, num_cores: usize) -> AddressSpace {
+        AddressSpace::new(
+            num_cores,
+            self.instruction_lines,
+            self.shared_ro_lines,
+            self.shared_rw_lines,
+            self.private_lines_per_core,
+            self.private_false_sharing,
+        )
+    }
+
+    /// Total data footprint in cache lines for `num_cores` cores (used to
+    /// judge whether the working set fits in the aggregate LLC).
+    pub fn footprint_lines(&self, num_cores: usize) -> u64 {
+        self.instruction_lines
+            + self.shared_ro_lines
+            + self.shared_rw_lines
+            + self.private_lines_per_core * num_cores as u64
+    }
+}
+
+/// A generated multi-threaded trace: one access stream per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    name: String,
+    per_core: Vec<Vec<MemoryAccess>>,
+}
+
+impl WorkloadTrace {
+    /// Builds a trace from per-core access streams.
+    pub fn new(name: impl Into<String>, per_core: Vec<Vec<MemoryAccess>>) -> Self {
+        WorkloadTrace { name: name.into(), per_core }
+    }
+
+    /// Benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores with a stream (some may be empty).
+    pub fn num_cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// The access stream of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_stream(&self, core: CoreId) -> &[MemoryAccess] {
+        &self.per_core[core.index()]
+    }
+
+    /// Total number of accesses across all cores.
+    pub fn total_accesses(&self) -> usize {
+        self.per_core.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over all accesses of all cores (core-major order).
+    pub fn iter(&self) -> impl Iterator<Item = &MemoryAccess> {
+        self.per_core.iter().flatten()
+    }
+}
+
+/// Generates [`WorkloadTrace`]s from a [`BenchmarkProfile`].
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for one profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn new(profile: BenchmarkProfile) -> Self {
+        profile.validate().expect("benchmark profile must be valid");
+        TraceGenerator { profile }
+    }
+
+    /// The profile being generated.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Generates a trace for `num_cores` cores with roughly
+    /// `accesses_per_core` accesses each, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn generate(&self, num_cores: usize, accesses_per_core: usize, seed: u64) -> WorkloadTrace {
+        assert!(num_cores > 0, "need at least one core");
+        let space = self.profile.address_space(num_cores);
+        let root = DeterministicRng::seed_from(seed);
+        let per_core: Vec<Vec<MemoryAccess>> = (0..num_cores)
+            .map(|core| {
+                let mut rng = root.derive(core as u64);
+                self.generate_core(CoreId::new(core), num_cores, accesses_per_core, &space, &mut rng)
+            })
+            .collect();
+        WorkloadTrace::new(self.profile.name, per_core)
+    }
+
+    /// Target number of lines a core keeps "live" per data class.
+    ///
+    /// Reuse is spread across the live set rather than issued back-to-back,
+    /// so it is *not* filtered by the (much smaller) L1 cache and genuinely
+    /// reaches the LLC — which is where the paper measures run-lengths
+    /// (Figure 1) and where the locality classifier observes them.
+    fn live_set_target(&self, class: DataClass) -> usize {
+        let region = self.profile.address_space(1).region_lines(class).max(1) as usize;
+        let target = match class {
+            DataClass::Instruction => 320,
+            _ => 640,
+        };
+        target.min(region)
+    }
+
+    fn generate_core(
+        &self,
+        core: CoreId,
+        num_cores: usize,
+        accesses: usize,
+        space: &AddressSpace,
+        rng: &mut DeterministicRng,
+    ) -> Vec<MemoryAccess> {
+        let profile = &self.profile;
+        let weights = profile.class_mix.weights();
+        let classes = ClassMix::classes();
+        let mut stream = Vec::with_capacity(accesses + 16);
+
+        // Per-class live sets: (line index, remaining accesses in this run).
+        let mut live: [Vec<(u64, u64)>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+
+        while stream.len() < accesses {
+            let class_slot = rng.weighted_index(&weights);
+            let class = classes[class_slot];
+            let reuse = profile.reuse_for(class);
+            let pool = &mut live[class_slot];
+
+            // Keep the live set topped up with fresh lines and their drawn
+            // run-lengths.  The live set is capped relative to the trace
+            // length so that runs actually complete within the trace.
+            let target = self.live_set_target(class).min((accesses / 6).max(8));
+            while pool.len() < target {
+                let index = self.pick_line_index(class, core, num_cores, space, rng);
+                let run = rng.run_length(reuse.continue_probability, reuse.max_run);
+                pool.push((index, run));
+            }
+
+            // Touch a random live line once; retire it when its run is spent.
+            let slot = rng.index(pool.len());
+            let (index, remaining) = pool[slot];
+            let is_last = remaining <= 1;
+            let op = self.pick_op(class, is_last, rng);
+            let compute = self.pick_compute(rng);
+            let address = space.address_for(class, core, index);
+            stream.push(MemoryAccess { core, address, op, compute_cycles: compute, class });
+            if is_last {
+                pool.swap_remove(slot);
+            } else {
+                pool[slot].1 = remaining - 1;
+            }
+        }
+        stream
+    }
+
+    /// Picks which line of the class's region to access.
+    ///
+    /// Shared read-write lines are partitioned among groups of
+    /// `sharing_degree` cores so that the degree of sharing (and therefore
+    /// the invalidation fan-out) is controlled; all other regions are
+    /// uniformly shared.
+    fn pick_line_index(
+        &self,
+        class: DataClass,
+        core: CoreId,
+        num_cores: usize,
+        space: &AddressSpace,
+        rng: &mut DeterministicRng,
+    ) -> u64 {
+        let region = space.region_lines(class);
+        match class {
+            DataClass::SharedReadWrite => {
+                let degree = self.profile.sharing_degree.clamp(1, num_cores);
+                let num_groups = (num_cores / degree).max(1) as u64;
+                let group = (core.index() / degree) as u64 % num_groups;
+                let lines_per_group = (region / num_groups).max(1);
+                let offset = rng.below(lines_per_group);
+                (group * lines_per_group + offset) % region
+            }
+            _ => rng.below(region),
+        }
+    }
+
+    fn pick_op(&self, class: DataClass, last_of_run: bool, rng: &mut DeterministicRng) -> MemOp {
+        match class {
+            DataClass::Instruction => MemOp::InstructionFetch,
+            DataClass::SharedReadOnly => MemOp::Read,
+            DataClass::Private => {
+                if rng.chance(self.profile.private_write_fraction) {
+                    MemOp::Write
+                } else {
+                    MemOp::Read
+                }
+            }
+            DataClass::SharedReadWrite => {
+                if self.profile.migratory {
+                    // Migratory pattern: a read-mostly burst that ends with a
+                    // write before the line moves to its next user.
+                    if last_of_run {
+                        MemOp::Write
+                    } else {
+                        MemOp::Read
+                    }
+                } else if rng.chance(self.profile.rw_write_fraction) {
+                    MemOp::Write
+                } else {
+                    MemOp::Read
+                }
+            }
+        }
+    }
+
+    fn pick_compute(&self, rng: &mut DeterministicRng) -> u32 {
+        let mean = self.profile.mean_compute_cycles;
+        if mean == 0 {
+            0
+        } else {
+            // Uniform in [mean/2, 3*mean/2] keeps the mean while adding jitter.
+            let low = (mean / 2).max(1) as u64;
+            let high = (mean as u64 * 3) / 2;
+            rng.range_inclusive(low, high.max(low)) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+
+    fn profile() -> BenchmarkProfile {
+        Benchmark::Barnes.profile()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let generator = TraceGenerator::new(profile());
+        let a = generator.generate(8, 100, 7);
+        let b = generator.generate(8, 100, 7);
+        assert_eq!(a, b);
+        let c = generator.generate(8, 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_core_streams_have_requested_length() {
+        let generator = TraceGenerator::new(profile());
+        let trace = generator.generate(4, 250, 1);
+        assert_eq!(trace.num_cores(), 4);
+        for core in 0..4 {
+            let stream = trace.core_stream(CoreId::new(core));
+            assert!(stream.len() >= 250);
+            assert!(stream.len() < 250 + 64, "streams should not wildly overshoot");
+            assert!(stream.iter().all(|a| a.core.index() == core));
+        }
+        assert_eq!(trace.total_accesses(), trace.iter().count());
+        assert_eq!(trace.name(), "BARNES");
+    }
+
+    #[test]
+    fn class_mix_is_respected() {
+        let generator = TraceGenerator::new(profile());
+        let trace = generator.generate(8, 2000, 3);
+        let total = trace.total_accesses() as f64;
+        let rw = trace.iter().filter(|a| a.class == DataClass::SharedReadWrite).count() as f64;
+        // BARNES is dominated by shared read-write accesses.
+        assert!(rw / total > 0.6, "shared-RW fraction was {}", rw / total);
+    }
+
+    #[test]
+    fn instruction_accesses_are_fetches_and_ro_lines_never_written() {
+        let generator = TraceGenerator::new(Benchmark::Facesim.profile());
+        let trace = generator.generate(8, 1500, 11);
+        for access in trace.iter() {
+            match access.class {
+                DataClass::Instruction => assert_eq!(access.op, MemOp::InstructionFetch),
+                DataClass::SharedReadOnly => assert_eq!(access.op, MemOp::Read),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn migratory_runs_end_with_a_write() {
+        let generator = TraceGenerator::new(Benchmark::LuNonContiguous.profile());
+        assert!(generator.profile().migratory);
+        let trace = generator.generate(4, 800, 5);
+        let has_rw_writes = trace
+            .iter()
+            .any(|a| a.class == DataClass::SharedReadWrite && a.op == MemOp::Write);
+        assert!(has_rw_writes, "migratory benchmarks must write shared data");
+    }
+
+    #[test]
+    fn sharing_degree_partitions_rw_lines() {
+        // With sharing degree 2, cores 0 and 1 must never touch the shared-RW
+        // lines of cores 2 and 3.
+        let mut profile = Benchmark::Barnes.profile();
+        profile.sharing_degree = 2;
+        let generator = TraceGenerator::new(profile);
+        let trace = generator.generate(4, 1500, 9);
+        let lines_of = |cores: [usize; 2]| -> std::collections::HashSet<u64> {
+            trace
+                .iter()
+                .filter(|a| {
+                    a.class == DataClass::SharedReadWrite && cores.contains(&a.core.index())
+                })
+                .map(|a| a.address.value() / 64)
+                .collect()
+        };
+        let group_a = lines_of([0, 1]);
+        let group_b = lines_of([2, 3]);
+        assert!(!group_a.is_empty() && !group_b.is_empty());
+        assert!(group_a.is_disjoint(&group_b));
+    }
+
+    #[test]
+    fn compute_cycles_track_profile_mean() {
+        let mut profile = profile();
+        profile.mean_compute_cycles = 20;
+        let generator = TraceGenerator::new(profile);
+        let trace = generator.generate(2, 2000, 2);
+        let mean = trace.iter().map(|a| a.compute_cycles as f64).sum::<f64>()
+            / trace.total_accesses() as f64;
+        assert!((15.0..25.0).contains(&mean), "mean compute {mean}");
+        // Zero mean yields zero compute.
+        let mut profile = Benchmark::Barnes.profile();
+        profile.mean_compute_cycles = 0;
+        let trace = TraceGenerator::new(profile).generate(2, 100, 2);
+        assert!(trace.iter().all(|a| a.compute_cycles == 0));
+    }
+
+    #[test]
+    fn footprint_accounts_all_regions() {
+        let p = profile();
+        let footprint = p.footprint_lines(64);
+        assert_eq!(
+            footprint,
+            p.instruction_lines
+                + p.shared_ro_lines
+                + p.shared_rw_lines
+                + 64 * p.private_lines_per_core
+        );
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let mut p = profile();
+        p.rw_write_fraction = 2.0;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.sharing_degree = 0;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.reuse[0] = ReuseModel { continue_probability: 1.5, max_run: 8 };
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.reuse[2] = ReuseModel { continue_probability: 0.5, max_run: 0 };
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Benchmark-suite helpers for the experiment harness.
+
+use crate::benchmarks::Benchmark;
+use crate::generator::{TraceGenerator, WorkloadTrace};
+
+/// A set of benchmarks plus the generation parameters used for a run of the
+/// experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSuite {
+    benchmarks: Vec<Benchmark>,
+    accesses_per_core: usize,
+    seed: u64,
+}
+
+impl BenchmarkSuite {
+    /// The full 21-benchmark suite with a default trace length suitable for
+    /// regenerating the paper's figures on a laptop.
+    pub fn full() -> Self {
+        BenchmarkSuite { benchmarks: Benchmark::ALL.to_vec(), accesses_per_core: 3000, seed: 0x1ad }
+    }
+
+    /// A small, fast subset used by integration tests and examples: one
+    /// benchmark from each behavioural family.
+    pub fn quick() -> Self {
+        BenchmarkSuite {
+            benchmarks: vec![
+                Benchmark::Barnes,        // shared read-write, high reuse
+                Benchmark::Facesim,       // instruction heavy
+                Benchmark::Blackscholes,  // private with false sharing
+                Benchmark::Fluidanimate,  // low reuse, large working set
+                Benchmark::LuNonContiguous, // migratory
+            ],
+            accesses_per_core: 1200,
+            seed: 0x1ad,
+        }
+    }
+
+    /// The subset plotted in Figure 9 (classifier sensitivity).
+    pub fn figure9() -> Self {
+        BenchmarkSuite {
+            benchmarks: vec![
+                Benchmark::Radix,
+                Benchmark::LuNonContiguous,
+                Benchmark::Cholesky,
+                Benchmark::Barnes,
+                Benchmark::OceanNonContiguous,
+                Benchmark::WaterNsquared,
+                Benchmark::Raytrace,
+                Benchmark::Volrend,
+                Benchmark::Streamcluster,
+                Benchmark::Dedup,
+                Benchmark::Ferret,
+                Benchmark::Facesim,
+                Benchmark::ConnectedComponents,
+            ],
+            accesses_per_core: 3000,
+            seed: 0x1ad,
+        }
+    }
+
+    /// The subset plotted in Figure 10 (cluster-size sensitivity).
+    pub fn figure10() -> Self {
+        BenchmarkSuite {
+            benchmarks: vec![
+                Benchmark::Radix,
+                Benchmark::LuNonContiguous,
+                Benchmark::Barnes,
+                Benchmark::WaterNsquared,
+                Benchmark::Raytrace,
+                Benchmark::Volrend,
+                Benchmark::Blackscholes,
+                Benchmark::Swaptions,
+                Benchmark::Fluidanimate,
+                Benchmark::Streamcluster,
+                Benchmark::Ferret,
+                Benchmark::Bodytrack,
+                Benchmark::Facesim,
+                Benchmark::Patricia,
+                Benchmark::ConnectedComponents,
+            ],
+            accesses_per_core: 3000,
+            seed: 0x1ad,
+        }
+    }
+
+    /// A custom suite.
+    pub fn custom(benchmarks: Vec<Benchmark>, accesses_per_core: usize, seed: u64) -> Self {
+        BenchmarkSuite { benchmarks, accesses_per_core, seed }
+    }
+
+    /// Overrides the per-core trace length (builder style).
+    pub fn with_accesses_per_core(mut self, accesses_per_core: usize) -> Self {
+        self.accesses_per_core = accesses_per_core.max(1);
+        self
+    }
+
+    /// Overrides the generation seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The benchmarks in this suite.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Per-core trace length used by [`BenchmarkSuite::trace_for`].
+    pub fn accesses_per_core(&self) -> usize {
+        self.accesses_per_core
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the trace of one benchmark for a machine of `num_cores`
+    /// cores.
+    pub fn trace_for(&self, benchmark: Benchmark, num_cores: usize) -> WorkloadTrace {
+        TraceGenerator::new(benchmark.profile()).generate(
+            num_cores,
+            self.accesses_per_core,
+            self.seed ^ benchmark as u64,
+        )
+    }
+}
+
+impl Default for BenchmarkSuite {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_has_all_benchmarks() {
+        let suite = BenchmarkSuite::full();
+        assert_eq!(suite.benchmarks().len(), 21);
+        assert_eq!(BenchmarkSuite::default(), suite);
+    }
+
+    #[test]
+    fn figure_subsets_match_paper_plots() {
+        assert_eq!(BenchmarkSuite::figure9().benchmarks().len(), 13);
+        assert_eq!(BenchmarkSuite::figure10().benchmarks().len(), 15);
+        assert!(BenchmarkSuite::quick().benchmarks().len() >= 4);
+    }
+
+    #[test]
+    fn builders_adjust_parameters() {
+        let suite = BenchmarkSuite::quick().with_accesses_per_core(100).with_seed(9);
+        assert_eq!(suite.accesses_per_core(), 100);
+        assert_eq!(suite.seed(), 9);
+        assert_eq!(BenchmarkSuite::quick().with_accesses_per_core(0).accesses_per_core(), 1);
+        let custom = BenchmarkSuite::custom(vec![Benchmark::Dedup], 10, 3);
+        assert_eq!(custom.benchmarks(), &[Benchmark::Dedup]);
+    }
+
+    #[test]
+    fn trace_for_uses_distinct_seeds_per_benchmark() {
+        let suite = BenchmarkSuite::quick().with_accesses_per_core(50);
+        let a = suite.trace_for(Benchmark::Barnes, 4);
+        let b = suite.trace_for(Benchmark::Facesim, 4);
+        assert_eq!(a.num_cores(), 4);
+        assert_eq!(b.num_cores(), 4);
+        assert_ne!(a, b);
+        // Same call twice is deterministic.
+        assert_eq!(suite.trace_for(Benchmark::Barnes, 4), a);
+    }
+}

@@ -1,0 +1,53 @@
+//! Tuning the locality classifier: sweep the replication threshold (RT) and
+//! the number of tracked cores of the Limited_k classifier on a benchmark
+//! with many sharers (STREAMCLUSTER), the case Section 4.3 of the paper
+//! highlights.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example classifier_tuning
+//! ```
+
+use locality_replication::prelude::*;
+
+fn main() {
+    let system = SystemConfig::paper_default();
+    let benchmark = Benchmark::Streamcluster;
+    let trace = TraceGenerator::new(benchmark.profile()).generate(system.num_cores, 2500, 3);
+
+    println!("replication-threshold sweep on {} (Limited_3 classifier)", benchmark.label());
+    println!("{:<8} {:>16} {:>16} {:>14}", "RT", "energy (pJ)", "time (cycles)", "replica hits");
+    for rt in [1, 2, 3, 4, 6, 8] {
+        let mut sim = Simulator::new(system.clone(), ReplicationConfig::locality_aware(rt));
+        let report = sim.run(&trace);
+        println!(
+            "{:<8} {:>16.0} {:>16} {:>14}",
+            rt,
+            report.energy.total(),
+            report.completion_time.value(),
+            report.misses.llc_replica_hits
+        );
+    }
+
+    println!();
+    println!("classifier-capacity sweep (RT = 3), normalized to the Complete classifier");
+    let complete = {
+        let config = ReplicationConfig::locality_aware(3).with_classifier(ClassifierKind::Complete);
+        let mut sim = Simulator::new(system.clone(), config);
+        sim.run(&trace)
+    };
+    println!("{:<12} {:>14} {:>16}", "classifier", "norm. energy", "norm. time");
+    for k in [1usize, 3, 5, 7] {
+        let config = ReplicationConfig::locality_aware(3).with_classifier(ClassifierKind::Limited(k));
+        let mut sim = Simulator::new(system.clone(), config);
+        let report = sim.run(&trace);
+        println!(
+            "{:<12} {:>14.3} {:>16.3}",
+            format!("Limited_{k}"),
+            report.energy.total() / complete.energy.total(),
+            report.completion_time.value() as f64 / complete.completion_time.value() as f64,
+        );
+    }
+    println!("{:<12} {:>14.3} {:>16.3}", "Complete", 1.0, 1.0);
+}

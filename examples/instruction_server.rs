@@ -1,0 +1,54 @@
+//! Instruction-footprint-heavy workloads (the FACESIM / BODYTRACK / RAYTRACE
+//! family), the case Reactive-NUCA's cluster-level instruction replication
+//! was designed for.
+//!
+//! The locality-aware protocol replicates instructions *at the requesting
+//! core* (not one slice per 4-core cluster), so the serialization delay of
+//! fetching the line across the cluster disappears once the classifier has
+//! seen enough reuse.  This example compares the three instruction-heavy
+//! benchmarks under R-NUCA, ASR and the locality-aware protocol.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example instruction_server
+//! ```
+
+use locality_replication::prelude::*;
+
+fn main() {
+    let system = SystemConfig::paper_default();
+    let suite = BenchmarkSuite::custom(
+        vec![Benchmark::Facesim, Benchmark::Bodytrack, Benchmark::Raytrace],
+        2500,
+        11,
+    );
+    let runner = ExperimentRunner::new(system, suite);
+
+    let configs = [
+        ReplicationConfig::static_nuca(),
+        ReplicationConfig::reactive_nuca(),
+        ReplicationConfig::asr(1.0),
+        ReplicationConfig::locality_aware(3),
+    ];
+
+    println!(
+        "{:<12} {:<10} {:>12} {:>14} {:>18}",
+        "benchmark", "scheme", "norm. time", "norm. energy", "replica hit frac"
+    );
+    for benchmark in runner.suite().benchmarks().to_vec() {
+        let baseline = runner.run_one(benchmark, &configs[0]);
+        for config in &configs {
+            let report = runner.run_one(benchmark, config);
+            println!(
+                "{:<12} {:<10} {:>12.3} {:>14.3} {:>18.3}",
+                benchmark.label(),
+                report.scheme,
+                report.completion_time.value() as f64 / baseline.completion_time.value() as f64,
+                report.energy.total() / baseline.energy.total(),
+                report.misses.replica_hit_fraction(),
+            );
+        }
+        println!();
+    }
+}

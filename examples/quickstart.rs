@@ -1,0 +1,45 @@
+//! Quick start: simulate one benchmark under the locality-aware protocol and
+//! the Static-NUCA baseline, and print the paper's three headline metrics
+//! (completion time, energy, and where L1 misses were served).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use locality_replication::prelude::*;
+
+fn main() {
+    // The paper's 64-core target (Table 1).  Scale the trace length down if
+    // you are exploring interactively.
+    let system = SystemConfig::paper_default();
+    let accesses_per_core = 2000;
+
+    let trace = TraceGenerator::new(Benchmark::Barnes.profile()).generate(
+        system.num_cores,
+        accesses_per_core,
+        42,
+    );
+    println!(
+        "benchmark {} ({}): {} cores x {} accesses",
+        trace.name(),
+        Benchmark::Barnes.profile().problem_size,
+        trace.num_cores(),
+        accesses_per_core
+    );
+
+    for config in [ReplicationConfig::static_nuca(), ReplicationConfig::locality_aware(3)] {
+        let mut simulator = Simulator::new(system.clone(), config);
+        let report = simulator.run(&trace);
+        println!();
+        println!("--- {} ---", report.scheme);
+        println!("completion time : {}", report.completion_time);
+        println!("total energy    : {:.1} pJ", report.energy.total());
+        println!(
+            "L1 misses       : {} replica hits / {} home hits / {} off-chip",
+            report.misses.llc_replica_hits, report.misses.llc_home_hits, report.misses.offchip_misses
+        );
+        println!("replicas created: {}", report.replicas_created);
+    }
+}

@@ -1,0 +1,37 @@
+//! Full scheme shoot-out on a representative benchmark subset: the same
+//! seven configurations as Figures 6 and 7 (S-NUCA, R-NUCA, VR, ASR at its
+//! best level, RT-1, RT-3, RT-8), with energy and completion time normalized
+//! to S-NUCA and averaged across benchmarks.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example scheme_shootout
+//! ```
+
+use locality_replication::prelude::*;
+
+fn main() {
+    let system = SystemConfig::paper_default();
+    let suite = BenchmarkSuite::quick().with_accesses_per_core(2000);
+    let runner = ExperimentRunner::new(system, suite);
+    let comparison = runner.run_paper_comparison();
+
+    println!("normalized to S-NUCA, averaged over {:?}",
+        comparison.benchmarks().iter().map(|b| b.label()).collect::<Vec<_>>());
+    println!("{:<8} {:>14} {:>18}", "scheme", "energy", "completion time");
+    for scheme in SchemeComparison::SCHEME_ORDER {
+        println!(
+            "{:<8} {:>14.3} {:>18.3}",
+            scheme,
+            comparison.average_normalized_energy(scheme, "S-NUCA"),
+            comparison.average_normalized_completion_time(scheme, "S-NUCA"),
+        );
+    }
+
+    let (energy_red, time_red) = comparison.reduction_vs("RT-3", "S-NUCA");
+    println!();
+    println!(
+        "RT-3 vs S-NUCA: {energy_red:.1}% lower energy, {time_red:.1}% lower completion time"
+    );
+}

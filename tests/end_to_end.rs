@@ -1,0 +1,149 @@
+//! End-to-end integration tests spanning every crate: trace generation,
+//! placement, coherence, replication, NoC, DRAM, energy and metrics.
+//!
+//! These use the scaled-down 16-core test configuration so they stay fast in
+//! debug builds while exercising the same protocol paths as the 64-core
+//! target.
+
+use locality_replication::prelude::*;
+
+fn trace(benchmark: Benchmark, accesses: usize) -> lad_trace::generator::WorkloadTrace {
+    TraceGenerator::new(benchmark.profile()).generate(
+        SystemConfig::small_test().num_cores,
+        accesses,
+        2024,
+    )
+}
+
+fn run(benchmark: Benchmark, accesses: usize, config: ReplicationConfig) -> SimulationReport {
+    let mut sim = Simulator::new(SystemConfig::small_test(), config);
+    sim.run(&trace(benchmark, accesses))
+}
+
+#[test]
+fn every_scheme_runs_every_quick_benchmark() {
+    let configs = [
+        ReplicationConfig::static_nuca(),
+        ReplicationConfig::reactive_nuca(),
+        ReplicationConfig::victim_replication(),
+        ReplicationConfig::asr(0.5),
+        ReplicationConfig::locality_aware(3),
+    ];
+    for benchmark in BenchmarkSuite::quick().benchmarks() {
+        for config in &configs {
+            let report = run(*benchmark, 400, config.clone());
+            // Every access is either an L1 hit or classified by where it was
+            // served.
+            assert_eq!(
+                report.total_accesses,
+                report.misses.l1_hits + report.misses.l1_misses(),
+                "{benchmark} under {} loses accesses",
+                config.label()
+            );
+            assert!(report.completion_time.value() > 0);
+            assert!(report.energy.total() > 0.0);
+            // Compute plus memory latency must be attributed somewhere.
+            assert!(report.latency.total() > 0);
+        }
+    }
+}
+
+#[test]
+fn non_replicating_schemes_never_create_replicas() {
+    for config in [ReplicationConfig::static_nuca(), ReplicationConfig::reactive_nuca()] {
+        let report = run(Benchmark::Barnes, 800, config);
+        assert_eq!(report.replicas_created, 0, "{}", report.scheme);
+        assert_eq!(report.misses.llc_replica_hits, 0);
+    }
+}
+
+#[test]
+fn locality_aware_converts_home_hits_into_replica_hits() {
+    let baseline = run(Benchmark::Barnes, 1600, ReplicationConfig::static_nuca());
+    let locality = run(Benchmark::Barnes, 1600, ReplicationConfig::locality_aware(3));
+    assert!(locality.misses.llc_replica_hits > 0);
+    // Replica hits displace traffic that previously had to travel to the home
+    // slices or off-chip.
+    assert!(
+        locality.misses.llc_home_hits + locality.misses.offchip_misses
+            < baseline.misses.llc_home_hits + baseline.misses.offchip_misses,
+        "replication must reduce traffic to the home slices and off-chip"
+    );
+    // The off-chip miss count must not explode from replication pressure on a
+    // benchmark whose working set fits in the LLC.
+    assert!(
+        locality.misses.offchip_misses
+            <= baseline.misses.offchip_misses + baseline.misses.offchip_misses / 2 + 64
+    );
+}
+
+#[test]
+fn replication_threshold_trades_replicas_for_pressure() {
+    let rt1 = run(Benchmark::Barnes, 1600, ReplicationConfig::locality_aware(1));
+    let rt3 = run(Benchmark::Barnes, 1600, ReplicationConfig::locality_aware(3));
+    let rt8 = run(Benchmark::Barnes, 1600, ReplicationConfig::locality_aware(8));
+    assert!(rt1.replicas_created >= rt3.replicas_created);
+    assert!(rt3.replicas_created >= rt8.replicas_created);
+}
+
+#[test]
+fn low_reuse_benchmark_sees_little_replication_under_rt3() {
+    let report = run(Benchmark::Fluidanimate, 1600, ReplicationConfig::locality_aware(3));
+    let rt1 = run(Benchmark::Fluidanimate, 1600, ReplicationConfig::locality_aware(1));
+    // RT-3 filters out most of the single-use lines RT-1 would replicate.
+    assert!(report.replicas_created < rt1.replicas_created);
+}
+
+#[test]
+fn reports_are_deterministic_across_runs() {
+    let a = run(Benchmark::LuNonContiguous, 600, ReplicationConfig::locality_aware(3));
+    let b = run(Benchmark::LuNonContiguous, 600, ReplicationConfig::locality_aware(3));
+    assert_eq!(a.completion_time, b.completion_time);
+    assert_eq!(a.misses.llc_replica_hits, b.misses.llc_replica_hits);
+    assert_eq!(a.replicas_created, b.replicas_created);
+    assert!((a.energy.total() - b.energy.total()).abs() < 1e-9);
+}
+
+#[test]
+fn energy_breakdown_covers_expected_components() {
+    let report = run(Benchmark::Barnes, 800, ReplicationConfig::locality_aware(3));
+    assert!(report.energy.component(Component::L1D) > 0.0);
+    assert!(report.energy.component(Component::L2Cache) > 0.0);
+    assert!(report.energy.component(Component::Directory) > 0.0);
+    assert!(report.energy.component(Component::NetworkRouter) > 0.0);
+    assert!(report.energy.component(Component::NetworkLink) > 0.0);
+    let fractions: f64 = report.energy.fractions().iter().map(|(_, f)| f).sum();
+    assert!((fractions - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn experiment_runner_produces_a_full_comparison() {
+    let suite = BenchmarkSuite::custom(vec![Benchmark::Barnes, Benchmark::Dedup], 500, 5);
+    let runner = ExperimentRunner::new(SystemConfig::small_test(), suite).with_threads(4);
+    let comparison = runner.run_paper_comparison();
+    for scheme in SchemeComparison::SCHEME_ORDER {
+        for benchmark in comparison.benchmarks().to_vec() {
+            assert!(
+                comparison.report(benchmark, scheme).is_some(),
+                "missing {benchmark} under {scheme}"
+            );
+            let normalized = comparison.normalized_energy(benchmark, scheme, "S-NUCA");
+            assert!(normalized > 0.0 && normalized.is_finite());
+        }
+    }
+    // S-NUCA normalized to itself is exactly 1.
+    assert!((comparison.average_normalized_energy("S-NUCA", "S-NUCA") - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn run_length_characterization_distinguishes_benchmarks() {
+    let barnes = run(Benchmark::Barnes, 1600, ReplicationConfig::static_nuca());
+    let dist = barnes.run_lengths.distribution();
+    let srw: f64 = dist
+        .iter()
+        .find(|(c, _)| *c == DataClass::SharedReadWrite)
+        .map(|(_, b)| b.iter().sum())
+        .unwrap();
+    let total: f64 = dist.iter().flat_map(|(_, b)| b.iter()).sum();
+    assert!(srw / total > 0.5, "BARNES LLC accesses must be dominated by shared read-write data");
+}

@@ -1,0 +1,108 @@
+//! Property-based integration tests: the protocol invariants must hold for
+//! arbitrary (small) workloads, schemes and thresholds — not just the
+//! hand-written benchmark profiles.
+
+use lad_common::config::SystemConfig;
+use lad_common::types::{CoreId, MemoryAccess};
+use lad_replication::classifier::ClassifierKind;
+use lad_replication::config::ReplicationConfig;
+use lad_sim::engine::Simulator;
+use lad_trace::generator::WorkloadTrace;
+use proptest::prelude::*;
+
+/// A compact encoding of a random access: (core, line, is_write).
+fn access_strategy(num_cores: usize, lines: u64) -> impl Strategy<Value = (usize, u64, bool)> {
+    (0..num_cores, 0..lines, any::<bool>())
+}
+
+fn build_trace(num_cores: usize, raw: &[(usize, u64, bool)]) -> WorkloadTrace {
+    let mut per_core = vec![Vec::new(); num_cores];
+    for (core, line, is_write) in raw {
+        let core_id = CoreId::new(*core);
+        let address = lad_common::types::Address::new(line * 64);
+        let access = if *is_write {
+            MemoryAccess::write(core_id, address)
+        } else {
+            MemoryAccess::read(core_id, address)
+        };
+        per_core[*core].push(access.with_class(lad_common::types::DataClass::SharedReadWrite));
+    }
+    WorkloadTrace::new("PROPTEST", per_core)
+}
+
+fn all_configs() -> Vec<ReplicationConfig> {
+    vec![
+        ReplicationConfig::static_nuca(),
+        ReplicationConfig::reactive_nuca(),
+        ReplicationConfig::victim_replication(),
+        ReplicationConfig::asr(0.75),
+        ReplicationConfig::locality_aware(1),
+        ReplicationConfig::locality_aware(3).with_classifier(ClassifierKind::Limited(1)),
+        ReplicationConfig::locality_aware(3).with_classifier(ClassifierKind::Complete),
+        ReplicationConfig::locality_aware(8).with_cluster_size(4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the interleaving of reads and writes, the simulator must
+    /// account for every access, keep time monotonic and never lose energy.
+    #[test]
+    fn accesses_are_conserved_for_arbitrary_workloads(
+        raw in prop::collection::vec(access_strategy(8, 96), 1..400),
+        config_idx in 0usize..8,
+    ) {
+        let system = SystemConfig::small_test().with_num_cores(8);
+        let trace = build_trace(8, &raw);
+        let config = all_configs()[config_idx].clone();
+        let mut sim = Simulator::new(system, config);
+        let report = sim.run(&trace);
+        prop_assert_eq!(report.total_accesses, raw.len() as u64);
+        prop_assert_eq!(
+            report.total_accesses,
+            report.misses.l1_hits + report.misses.l1_misses()
+        );
+        prop_assert!(report.completion_time.value() > 0);
+        prop_assert!(report.energy.total() >= 0.0);
+        prop_assert!(report.energy.total().is_finite());
+    }
+
+    /// Replication never changes *what* is computed, only where lines are
+    /// cached: a scheme must serve exactly the same number of accesses as the
+    /// non-replicating baseline on the same trace.
+    #[test]
+    fn schemes_agree_on_access_counts(
+        raw in prop::collection::vec(access_strategy(4, 64), 1..250),
+    ) {
+        let system = SystemConfig::small_test().with_num_cores(4);
+        let trace = build_trace(4, &raw);
+        let mut counts = Vec::new();
+        for config in [
+            ReplicationConfig::static_nuca(),
+            ReplicationConfig::locality_aware(3),
+            ReplicationConfig::victim_replication(),
+        ] {
+            let mut sim = Simulator::new(system.clone(), config);
+            let report = sim.run(&trace);
+            counts.push(report.total_accesses);
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Schemes that never replicate must never report replica hits, for any
+    /// workload.
+    #[test]
+    fn baselines_without_replication_have_no_replica_hits(
+        raw in prop::collection::vec(access_strategy(8, 128), 1..300),
+    ) {
+        let system = SystemConfig::small_test().with_num_cores(8);
+        let trace = build_trace(8, &raw);
+        for config in [ReplicationConfig::static_nuca(), ReplicationConfig::reactive_nuca()] {
+            let mut sim = Simulator::new(system.clone(), config);
+            let report = sim.run(&trace);
+            prop_assert_eq!(report.replicas_created, 0);
+            prop_assert_eq!(report.misses.llc_replica_hits, 0);
+        }
+    }
+}
