@@ -10,10 +10,14 @@
 //! cargo run --release -p lad-bench --bin fig9_limited_classifier
 //! ```
 //!
-//! All binaries honour two environment variables so quick runs are possible:
+//! All binaries honour two environment variables plus a `--quick` flag so
+//! fast runs are possible:
 //!
 //! * `LAD_ACCESSES` — accesses per core (default 4000),
-//! * `LAD_CORES` — number of simulated cores (default 64, the paper target).
+//! * `LAD_CORES` — number of simulated cores (default 64, the paper target),
+//! * `--quick` — smoke-test scale (8 cores, 150 accesses per core) used by
+//!   CI to exercise every figure binary; explicit environment variables
+//!   still take precedence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,14 +26,21 @@ use lad_common::config::SystemConfig;
 use lad_sim::experiment::ExperimentRunner;
 use lad_trace::suite::BenchmarkSuite;
 
+/// Whether the binary was invoked with `--quick` (smoke-test scale).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|arg| arg == "--quick")
+}
+
 /// Accesses per core used by the harness (override with `LAD_ACCESSES`).
 pub fn accesses_per_core() -> usize {
-    std::env::var("LAD_ACCESSES").ok().and_then(|v| v.parse().ok()).unwrap_or(4000)
+    let fallback = if quick_mode() { 150 } else { 4000 };
+    std::env::var("LAD_ACCESSES").ok().and_then(|v| v.parse().ok()).unwrap_or(fallback)
 }
 
 /// Number of cores simulated by the harness (override with `LAD_CORES`).
 pub fn num_cores() -> usize {
-    std::env::var("LAD_CORES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    let fallback = if quick_mode() { 8 } else { 64 };
+    std::env::var("LAD_CORES").ok().and_then(|v| v.parse().ok()).unwrap_or(fallback)
 }
 
 /// The system configuration used by the harness: the paper's Table 1 target,

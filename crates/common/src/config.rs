@@ -253,7 +253,7 @@ impl SystemConfig {
         }
         for (name, cache) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("llc", &self.llc_slice)] {
             let lines = cache.capacity_bytes / self.cache_line_bytes;
-            if lines == 0 || lines % cache.associativity != 0 {
+            if lines == 0 || !lines.is_multiple_of(cache.associativity) {
                 return Err(ConfigError::new(format!(
                     "{name} geometry invalid: {} bytes / {}-way does not form whole sets",
                     cache.capacity_bytes, cache.associativity

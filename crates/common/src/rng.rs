@@ -2,13 +2,14 @@
 //!
 //! All stochastic decisions in the reproduction (synthetic workload
 //! generation, ASR's probabilistic replication, tie-breaking) flow through
-//! [`DeterministicRng`], a thin facade over `rand::rngs::SmallRng` seeded
+//! [`DeterministicRng`], a small self-contained xoshiro256++ generator seeded
 //! explicitly, so any experiment can be re-run bit-for-bit from its seed.
+//! The generator is implemented inline (rather than depending on the `rand`
+//! crate) so the workspace builds fully offline and the byte-exact streams
+//! every determinism test relies on can never shift under a dependency
+//! upgrade.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A seeded, reproducible random number generator.
+/// A seeded, reproducible random number generator (xoshiro256++).
 ///
 /// # Example
 ///
@@ -20,13 +21,27 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// One SplitMix64 step, used for seed expansion and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        DeterministicRng { inner: SmallRng::seed_from_u64(seed) }
+        // Expand the seed through SplitMix64, the seeding procedure the
+        // xoshiro authors recommend: it guarantees a non-zero state and
+        // decorrelates consecutive seeds.
+        let mut s = seed;
+        let state = [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        DeterministicRng { state }
     }
 
     /// Derives an independent child generator; `stream` distinguishes the
@@ -34,23 +49,29 @@ impl DeterministicRng {
     pub fn derive(&self, stream: u64) -> Self {
         // Mix the stream index with a SplitMix64 step so children differ even
         // for small consecutive stream ids.
-        let mut z = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        DeterministicRng { inner: SmallRng::seed_from_u64(self.base_entropy() ^ z) }
+        let mut z = stream;
+        let z = splitmix64(&mut z);
+        DeterministicRng::seed_from(self.base_entropy() ^ z)
     }
 
     fn base_entropy(&self) -> u64 {
-        // SmallRng does not expose its state; clone and draw one value so the
-        // parent's own sequence is unaffected.
-        let mut probe = self.inner.clone();
-        probe.gen::<u64>()
+        // Drawing from a clone leaves the parent's own sequence unaffected.
+        let mut probe = self.clone();
+        probe.next_u64()
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -60,7 +81,15 @@ impl DeterministicRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Debiased via rejection sampling: retry draws that land in the
+        // incomplete final copy of `[0, bound)` within the u64 range.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let draw = self.next_u64();
+            if draw <= zone {
+                return draw % bound;
+            }
+        }
     }
 
     /// Uniform `usize` in `[0, bound)`.
@@ -70,7 +99,7 @@ impl DeterministicRng {
     /// Panics if `bound` is zero.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        self.below(bound as u64) as usize
     }
 
     /// Uniform value in `[low, high]` (inclusive).
@@ -80,7 +109,12 @@ impl DeterministicRng {
     /// Panics if `low > high`.
     pub fn range_inclusive(&mut self, low: u64, high: u64) -> u64 {
         assert!(low <= high, "low must not exceed high");
-        self.inner.gen_range(low..=high)
+        let span = high - low;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            low + self.below(span + 1)
+        }
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
@@ -91,13 +125,14 @@ impl DeterministicRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // The top 53 bits fill the double's mantissa exactly.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Picks an index according to a slice of non-negative weights.

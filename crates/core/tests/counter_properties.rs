@@ -1,0 +1,98 @@
+//! Property tests for the saturating Replica-Reuse / Home-Reuse counters
+//! (Figure 4): under *any* interleaving of protocol operations the counter
+//! must stay inside `[0, max]`, never wrap below zero, and be monotone
+//! non-decreasing under increments.
+
+use lad_replication::counter::SaturatingCounter;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Increment,
+    Reset,
+    Set(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Increment),
+        Just(Op::Reset),
+        (0u32..64).prop_map(Op::Set),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The counter value never leaves `[0, max]` whatever the op sequence;
+    /// with the paper's RT = 3 ceiling it always fits the 2 storage bits of
+    /// Section 2.4.1.
+    #[test]
+    fn value_stays_within_ceiling(
+        max in 1u32..16,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut counter = SaturatingCounter::new(max);
+        for op in ops {
+            match op {
+                Op::Increment => { counter.increment(); }
+                Op::Reset => counter.reset(),
+                Op::Set(v) => counter.set(v),
+            }
+            prop_assert!(counter.value() <= counter.max());
+            prop_assert!(counter.value() < (1u32 << counter.storage_bits()));
+        }
+    }
+
+    /// Increments are monotone non-decreasing and gain at most one per step
+    /// (no underflow via wrap-around, no skipped states).
+    #[test]
+    fn increments_are_monotone(
+        max in 1u32..16,
+        start in 0u32..64,
+        steps in 1usize..64,
+    ) {
+        let mut counter = SaturatingCounter::with_value(max, start);
+        let mut previous = counter.value();
+        for _ in 0..steps {
+            let next = counter.increment();
+            prop_assert!(next >= previous, "increment went backwards: {previous} -> {next}");
+            prop_assert!(next - previous <= 1, "increment skipped states: {previous} -> {next}");
+            prop_assert!(next <= max);
+            previous = next;
+        }
+    }
+
+    /// Enough increments always saturate exactly at the ceiling, and the
+    /// saturated counter reports `reached(threshold)` for every threshold up
+    /// to the ceiling — the condition the classifier's promotion to replica
+    /// mode keys on.
+    #[test]
+    fn saturates_exactly_at_ceiling(max in 1u32..16) {
+        let mut counter = SaturatingCounter::new(max);
+        for _ in 0..(max + 5) {
+            counter.increment();
+        }
+        prop_assert_eq!(counter.value(), max);
+        for threshold in 0..=max {
+            prop_assert!(counter.reached(threshold));
+        }
+        prop_assert!(!counter.reached(max + 1));
+    }
+
+    /// Reset always lands on zero and `with_value`/`set` clamp instead of
+    /// wrapping, from any state.
+    #[test]
+    fn reset_and_set_never_underflow_or_overflow(
+        max in 1u32..16,
+        value in 0u32..1024,
+    ) {
+        let mut counter = SaturatingCounter::with_value(max, value);
+        prop_assert!(counter.value() <= max);
+        counter.set(value);
+        prop_assert!(counter.value() <= max);
+        prop_assert_eq!(counter.value(), value.min(max));
+        counter.reset();
+        prop_assert_eq!(counter.value(), 0);
+    }
+}

@@ -90,8 +90,8 @@ mod tests {
         assert_eq!(stats.messages(), 2);
         assert_eq!(stats.data_messages(), 1);
         assert_eq!(stats.control_messages(), 1);
-        assert_eq!(stats.flit_hops(), 2 * 9 + 3 * 1);
-        assert_eq!(stats.router_traversals(), 3 * 9 + 4 * 1);
+        assert_eq!(stats.flit_hops(), 2 * 9 + 3);
+        assert_eq!(stats.router_traversals(), 3 * 9 + 4);
         assert_eq!(stats.max_latency(), Cycle::new(12));
         assert!((stats.mean_latency().unwrap() - 9.0).abs() < 1e-12);
     }

@@ -129,7 +129,7 @@ impl Network {
                     arrival = finish;
                 } else {
                     link_state.flits += flits as u64;
-                    head_time = head_time + self.hop_latency as u64;
+                    head_time += self.hop_latency as u64;
                     arrival = head_time + (flits - 1) as u64;
                 }
             }
@@ -280,8 +280,8 @@ mod tests {
         assert_eq!(stats.messages(), 2);
         assert_eq!(stats.data_messages(), 1);
         assert_eq!(stats.control_messages(), 1);
-        assert_eq!(stats.flit_hops(), 9 * 2 + 1 * 2);
-        assert_eq!(stats.router_traversals(), (2 + 1) * 9 + (2 + 1) * 1);
+        assert_eq!(stats.flit_hops(), 9 * 2 + 2);
+        assert_eq!(stats.router_traversals(), (2 + 1) * 9 + (2 + 1));
         assert!(stats.max_latency().value() > 0);
         net.reset_stats();
         assert_eq!(net.stats().messages(), 0);

@@ -130,7 +130,7 @@ impl Mesh {
             return (0..self.num_routers()).map(CoreId::new).collect();
         }
         let side = (cluster_size as f64).sqrt().round() as usize;
-        if side * side == cluster_size && self.width % side == 0 && self.height % side == 0 {
+        if side * side == cluster_size && self.width.is_multiple_of(side) && self.height.is_multiple_of(side) {
             let (x, y) = self.position(core);
             let bx = (x / side) * side;
             let by = (y / side) * side;

@@ -1,0 +1,181 @@
+//! Value-generation strategies: the sampled subset of proptest's
+//! `Strategy` ecosystem (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors `Strategy::prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (mirrors `Strategy::boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always generates a clone of one value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn sample(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Chooses uniformly between type-erased variants (built by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<V> {
+    variants: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `variants`; must be non-empty.
+    pub fn new(variants: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = (rng.next_u64() % self.variants.len() as u64) as usize;
+        self.variants[idx].sample(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (mirrors
+/// `proptest::arbitrary::Arbitrary`, generation only).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                ((self.start as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                ((*self.start() as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_impls {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

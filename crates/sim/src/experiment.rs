@@ -85,13 +85,13 @@ impl ExperimentRunner {
             .collect();
 
         let mut results = BTreeMap::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let chunk_size = jobs.len().div_ceil(self.threads).max(1);
             let handles: Vec<_> = jobs
                 .chunks(chunk_size)
                 .map(|chunk| {
                     let runner = self;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         chunk
                             .iter()
                             .map(|(benchmark, config)| {
@@ -107,8 +107,7 @@ impl ExperimentRunner {
                     results.insert(key, report);
                 }
             }
-        })
-        .expect("thread scope failed");
+        });
         results
     }
 

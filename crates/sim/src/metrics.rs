@@ -2,7 +2,7 @@
 //! breakdown (Figure 8), run-length characterization (Figure 1) and the
 //! combined per-run report.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use lad_common::stats::Histogram;
@@ -137,8 +137,10 @@ impl fmt::Display for MissBreakdown {
 /// a conflicting access by another core or an eviction.
 #[derive(Debug, Clone, Default)]
 pub struct RunLengthProfile {
-    histograms: HashMap<DataClass, Histogram>,
-    open_runs: HashMap<CacheLine, (CoreId, u64, DataClass)>,
+    // Ordered maps so the Debug rendering and any iteration over the profile
+    // are byte-stable across runs (HashMap order varies per process).
+    histograms: BTreeMap<DataClass, Histogram>,
+    open_runs: BTreeMap<CacheLine, (CoreId, u64, DataClass)>,
 }
 
 impl RunLengthProfile {
@@ -187,7 +189,7 @@ impl RunLengthProfile {
 
     /// Closes all open runs (call at the end of the simulation).
     pub fn finalize(&mut self) {
-        let open: Vec<_> = self.open_runs.drain().collect();
+        let open = std::mem::take(&mut self.open_runs);
         for (_, (_, count, class)) in open {
             self.histograms.entry(class).or_default().record(count);
         }
