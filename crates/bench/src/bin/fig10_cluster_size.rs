@@ -2,7 +2,8 @@
 //! cluster sizes 1, 4, 16 and 64, normalized to cluster size 1 (the paper's
 //! chosen configuration), at RT = 3, on the Figure 10 benchmark subset.
 
-use lad_bench::{csv_row, f3, harness_runner};
+use lad_bench::{csv_row, emit_json, f3, figure_json, harness_runner};
+use lad_common::json::JsonValue;
 use lad_common::stats::geometric_mean;
 use lad_replication::config::ReplicationConfig;
 use lad_trace::suite::BenchmarkSuite;
@@ -21,12 +22,14 @@ fn main() {
 
     let mut energy_ratios: Vec<Vec<f64>> = vec![Vec::new(); cluster_sizes.len()];
     let mut time_ratios: Vec<Vec<f64>> = vec![Vec::new(); cluster_sizes.len()];
+    let mut json_rows = Vec::new();
 
     for benchmark in runner.suite().benchmarks().to_vec() {
         let reference =
             runner.run_one(benchmark, &ReplicationConfig::locality_aware(3).with_cluster_size(1));
         let mut energy_fields = Vec::new();
         let mut time_fields = Vec::new();
+        let mut json_cells = Vec::new();
         for (i, cluster) in cluster_sizes.iter().enumerate() {
             let report = runner.run_one(
                 benchmark,
@@ -39,20 +42,41 @@ fn main() {
             time_ratios[i].push(time_ratio);
             energy_fields.push(f3(energy_ratio));
             time_fields.push(f3(time_ratio));
+            json_cells.push(JsonValue::object([
+                ("cluster_size", JsonValue::from(*cluster)),
+                ("normalized_energy", JsonValue::from(energy_ratio)),
+                ("normalized_completion_time", JsonValue::from(time_ratio)),
+            ]));
         }
         let mut fields = vec![benchmark.label().to_string()];
         fields.extend(energy_fields);
         fields.extend(time_fields);
         csv_row(fields);
+        json_rows.push(JsonValue::object([
+            ("benchmark", JsonValue::from(benchmark.label())),
+            ("cells", JsonValue::Array(json_cells)),
+        ]));
     }
 
     println!();
     println!("Geometric means (the paper's GEOMEAN bars):");
+    let mut json_geomeans = Vec::new();
     for (i, cluster) in cluster_sizes.iter().enumerate() {
-        println!(
-            "  C-{cluster}: energy {:.3}, completion time {:.3}",
-            geometric_mean(&energy_ratios[i]).unwrap_or(1.0),
-            geometric_mean(&time_ratios[i]).unwrap_or(1.0)
-        );
+        let energy = geometric_mean(&energy_ratios[i]).unwrap_or(1.0);
+        let time = geometric_mean(&time_ratios[i]).unwrap_or(1.0);
+        println!("  C-{cluster}: energy {energy:.3}, completion time {time:.3}");
+        json_geomeans.push(JsonValue::object([
+            ("cluster_size", JsonValue::from(*cluster)),
+            ("normalized_energy", JsonValue::from(energy)),
+            ("normalized_completion_time", JsonValue::from(time)),
+        ]));
     }
+
+    emit_json(&figure_json(
+        "fig10_cluster_size",
+        JsonValue::object([
+            ("rows", JsonValue::Array(json_rows)),
+            ("geomeans", JsonValue::Array(json_geomeans)),
+        ]),
+    ));
 }

@@ -3,10 +3,13 @@
 //! Static-NUCA baseline (replication disabled), exactly as the paper's
 //! characterization does.
 
-use lad_bench::{csv_row, f3, harness_runner};
+use lad_bench::{csv_row, emit_json, f3, figure_json, harness_runner};
+use lad_common::json::JsonValue;
 use lad_common::types::DataClass;
 use lad_replication::config::ReplicationConfig;
 use lad_trace::suite::BenchmarkSuite;
+
+const BUCKETS: [&str; 3] = ["1-2", "3-9", ">=10"];
 
 fn main() {
     let runner = harness_runner(BenchmarkSuite::full());
@@ -15,20 +18,38 @@ fn main() {
         ["benchmark".to_string()]
             .into_iter()
             .chain(DataClass::ALL.iter().flat_map(|class| {
-                ["1-2", "3-9", ">=10"]
+                BUCKETS
                     .iter()
                     .map(move |bucket| format!("{} [{}]", class.label(), bucket))
             })),
     );
 
     let baseline = ReplicationConfig::static_nuca();
+    let mut json_rows = Vec::new();
     for benchmark in runner.suite().benchmarks().to_vec() {
         let report = runner.run_one(benchmark, &baseline);
         let distribution = report.run_lengths.distribution();
         let mut fields = vec![benchmark.label().to_string()];
-        for (_, buckets) in distribution {
+        let mut json_cells = Vec::new();
+        for (class, buckets) in distribution {
             fields.extend(buckets.iter().map(|fraction| f3(*fraction)));
+            for (bucket, fraction) in BUCKETS.iter().zip(buckets) {
+                json_cells.push(JsonValue::object([
+                    ("class", JsonValue::from(class.label())),
+                    ("bucket", JsonValue::from(*bucket)),
+                    ("fraction", JsonValue::from(fraction)),
+                ]));
+            }
         }
         csv_row(fields);
+        json_rows.push(JsonValue::object([
+            ("benchmark", JsonValue::from(benchmark.label())),
+            ("cells", JsonValue::Array(json_cells)),
+        ]));
     }
+
+    emit_json(&figure_json(
+        "fig1_runlength",
+        JsonValue::object([("rows", JsonValue::Array(json_rows))]),
+    ));
 }

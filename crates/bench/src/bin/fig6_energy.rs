@@ -2,14 +2,18 @@
 //! configurations (S-NUCA, R-NUCA, VR, ASR, RT-1, RT-3, RT-8), normalized to
 //! S-NUCA.
 
-use lad_bench::{csv_row, f3, harness_runner};
+use lad_bench::{comparison_rows, csv_row, emit_json, f3, figure_json, harness_runner};
+use lad_common::json::JsonValue;
 use lad_energy::accounting::Component;
+use lad_replication::scheme::SchemeId;
 use lad_sim::experiment::SchemeComparison;
 use lad_trace::suite::BenchmarkSuite;
 
 fn main() {
     let runner = harness_runner(BenchmarkSuite::full());
     let comparison = runner.run_paper_comparison();
+    let baseline = SchemeId::StaticNuca;
+    let rows = comparison_rows(&comparison, baseline).expect("S-NUCA baseline must be present");
 
     println!("Figure 6: energy breakdown, normalized to S-NUCA");
     csv_row(
@@ -18,34 +22,41 @@ fn main() {
             .chain(Component::ALL.iter().map(|c| format!("{}(norm)", c.label()))),
     );
 
-    for benchmark in comparison.benchmarks().to_vec() {
-        let baseline_total = comparison
-            .report(benchmark, "S-NUCA")
-            .map(|r| r.energy.total())
-            .unwrap_or(1.0);
-        for scheme in SchemeComparison::SCHEME_ORDER {
-            let Some(report) = comparison.report(benchmark, scheme) else { continue };
-            let mut fields = vec![
-                benchmark.label().to_string(),
-                scheme.to_string(),
-                f3(report.energy.total() / baseline_total),
-            ];
-            fields.extend(
-                Component::ALL
-                    .iter()
-                    .map(|c| f3(report.energy.component(*c) / baseline_total)),
-            );
-            csv_row(fields);
-        }
+    for row in &rows {
+        let baseline_total = row.baseline.energy.total();
+        let mut fields = vec![
+            row.benchmark.label().to_string(),
+            row.scheme.label(),
+            f3(row.report.energy.total() / baseline_total),
+        ];
+        fields.extend(
+            Component::ALL
+                .iter()
+                .map(|c| f3(row.report.energy.component(*c) / baseline_total)),
+        );
+        csv_row(fields);
     }
 
     println!();
     println!("Average normalized energy (the paper's AVERAGE bars):");
+    let mut averages = Vec::new();
     for scheme in SchemeComparison::SCHEME_ORDER {
-        println!(
-            "  {:<8} {:.3}",
-            scheme,
-            comparison.average_normalized_energy(scheme, "S-NUCA")
-        );
+        let average = comparison
+            .average_normalized_energy(scheme, baseline)
+            .unwrap_or_else(|err| panic!("figure 6 average: {err}"));
+        println!("  {:<8} {average:.3}", scheme.label());
+        averages.push(JsonValue::object([
+            ("scheme", JsonValue::from(scheme.label())),
+            ("normalized_energy", JsonValue::from(average)),
+        ]));
     }
+
+    emit_json(&figure_json(
+        "fig6_energy",
+        JsonValue::object([
+            ("baseline", JsonValue::from(baseline.label())),
+            ("averages", JsonValue::Array(averages)),
+            ("comparison", comparison.to_json()),
+        ]),
+    ));
 }

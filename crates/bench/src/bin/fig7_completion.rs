@@ -1,7 +1,9 @@
 //! Figure 7: completion-time breakdown per benchmark for the seven
 //! configurations, normalized to S-NUCA.
 
-use lad_bench::{csv_row, f3, harness_runner};
+use lad_bench::{comparison_rows, csv_row, emit_json, f3, figure_json, harness_runner};
+use lad_common::json::JsonValue;
+use lad_replication::scheme::SchemeId;
 use lad_sim::experiment::SchemeComparison;
 use lad_sim::metrics::LatencyBreakdown;
 use lad_trace::suite::BenchmarkSuite;
@@ -9,6 +11,8 @@ use lad_trace::suite::BenchmarkSuite;
 fn main() {
     let runner = harness_runner(BenchmarkSuite::full());
     let comparison = runner.run_paper_comparison();
+    let baseline = SchemeId::StaticNuca;
+    let rows = comparison_rows(&comparison, baseline).expect("S-NUCA baseline must be present");
 
     println!("Figure 7: completion-time breakdown, normalized to S-NUCA");
     csv_row(
@@ -17,30 +21,41 @@ fn main() {
             .chain(LatencyBreakdown::LABELS.iter().map(|l| format!("{l}(norm)"))),
     );
 
-    for benchmark in comparison.benchmarks().to_vec() {
-        let baseline_total = comparison
-            .report(benchmark, "S-NUCA")
-            .map(|r| r.latency.total() as f64)
-            .unwrap_or(1.0);
-        for scheme in SchemeComparison::SCHEME_ORDER {
-            let Some(report) = comparison.report(benchmark, scheme) else { continue };
-            let mut fields = vec![
-                benchmark.label().to_string(),
-                scheme.to_string(),
-                f3(comparison.normalized_completion_time(benchmark, scheme, "S-NUCA")),
-            ];
-            fields.extend(report.latency.values().iter().map(|v| f3(*v as f64 / baseline_total)));
-            csv_row(fields);
-        }
+    for row in &rows {
+        let baseline_total = row.baseline.latency.total() as f64;
+        let normalized_completion = comparison
+            .normalized_completion_time(row.benchmark, row.scheme, baseline)
+            .unwrap_or_else(|err| panic!("figure 7 normalization: {err}"));
+        let mut fields = vec![
+            row.benchmark.label().to_string(),
+            row.scheme.label(),
+            f3(normalized_completion),
+        ];
+        fields
+            .extend(row.report.latency.values().iter().map(|v| f3(*v as f64 / baseline_total)));
+        csv_row(fields);
     }
 
     println!();
     println!("Average normalized completion time (the paper's AVERAGE bars):");
+    let mut averages = Vec::new();
     for scheme in SchemeComparison::SCHEME_ORDER {
-        println!(
-            "  {:<8} {:.3}",
-            scheme,
-            comparison.average_normalized_completion_time(scheme, "S-NUCA")
-        );
+        let average = comparison
+            .average_normalized_completion_time(scheme, baseline)
+            .unwrap_or_else(|err| panic!("figure 7 average: {err}"));
+        println!("  {:<8} {average:.3}", scheme.label());
+        averages.push(JsonValue::object([
+            ("scheme", JsonValue::from(scheme.label())),
+            ("normalized_completion_time", JsonValue::from(average)),
+        ]));
     }
+
+    emit_json(&figure_json(
+        "fig7_completion",
+        JsonValue::object([
+            ("baseline", JsonValue::from(baseline.label())),
+            ("averages", JsonValue::Array(averages)),
+            ("comparison", comparison.to_json()),
+        ]),
+    ));
 }

@@ -1,13 +1,16 @@
 //! Figure 8: L1 cache-miss-type breakdown (LLC replica hits, LLC home hits,
 //! off-chip misses) per benchmark and configuration.
 
-use lad_bench::{csv_row, f3, harness_runner};
-use lad_sim::experiment::SchemeComparison;
+use lad_bench::{comparison_rows, csv_row, emit_json, f3, figure_json, harness_runner};
+use lad_common::json::JsonValue;
+use lad_replication::scheme::SchemeId;
 use lad_trace::suite::BenchmarkSuite;
 
 fn main() {
     let runner = harness_runner(BenchmarkSuite::full());
     let comparison = runner.run_paper_comparison();
+    let rows = comparison_rows(&comparison, SchemeId::StaticNuca)
+        .expect("S-NUCA baseline must be present");
 
     println!("Figure 8: L1 miss type breakdown (fractions of all L1 misses)");
     csv_row([
@@ -17,17 +20,30 @@ fn main() {
         "llc_home_hits".to_string(),
         "offchip_misses".to_string(),
     ]);
-    for benchmark in comparison.benchmarks().to_vec() {
-        for scheme in SchemeComparison::SCHEME_ORDER {
-            let Some(report) = comparison.report(benchmark, scheme) else { continue };
-            let misses = report.misses.l1_misses().max(1) as f64;
-            csv_row([
-                benchmark.label().to_string(),
-                scheme.to_string(),
-                f3(report.misses.llc_replica_hits as f64 / misses),
-                f3(report.misses.llc_home_hits as f64 / misses),
-                f3(report.misses.offchip_misses as f64 / misses),
-            ]);
-        }
+    let mut json_rows = Vec::new();
+    for row in &rows {
+        let misses = row.report.misses.l1_misses().max(1) as f64;
+        let replica = row.report.misses.llc_replica_hits as f64 / misses;
+        let home = row.report.misses.llc_home_hits as f64 / misses;
+        let offchip = row.report.misses.offchip_misses as f64 / misses;
+        csv_row([
+            row.benchmark.label().to_string(),
+            row.scheme.label(),
+            f3(replica),
+            f3(home),
+            f3(offchip),
+        ]);
+        json_rows.push(JsonValue::object([
+            ("benchmark", JsonValue::from(row.benchmark.label())),
+            ("scheme", JsonValue::from(row.scheme.label())),
+            ("llc_replica_hits", JsonValue::from(replica)),
+            ("llc_home_hits", JsonValue::from(home)),
+            ("offchip_misses", JsonValue::from(offchip)),
+        ]));
     }
+
+    emit_json(&figure_json(
+        "fig8_miss_breakdown",
+        JsonValue::object([("rows", JsonValue::Array(json_rows))]),
+    ));
 }

@@ -2,7 +2,8 @@
 //! (k = 1, 3, 5, 7) normalized to the Complete (k = 64) classifier, at the
 //! paper's optimum RT = 3, on the Figure 9 benchmark subset.
 
-use lad_bench::{csv_row, f3, harness_runner};
+use lad_bench::{csv_row, emit_json, f3, figure_json, harness_runner};
+use lad_common::json::JsonValue;
 use lad_common::stats::geometric_mean;
 use lad_replication::classifier::ClassifierKind;
 use lad_replication::config::ReplicationConfig;
@@ -24,6 +25,7 @@ fn main() {
 
     let mut energy_ratios: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
     let mut time_ratios: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
+    let mut json_rows = Vec::new();
 
     for benchmark in runner.suite().benchmarks().to_vec() {
         let complete = runner.run_one(
@@ -32,6 +34,7 @@ fn main() {
         );
         let mut energy_fields = Vec::new();
         let mut time_fields = Vec::new();
+        let mut json_cells = Vec::new();
         for (i, k) in ks.iter().enumerate() {
             let report = runner.run_one(
                 benchmark,
@@ -44,6 +47,11 @@ fn main() {
             time_ratios[i].push(time_ratio);
             energy_fields.push(f3(energy_ratio));
             time_fields.push(f3(time_ratio));
+            json_cells.push(JsonValue::object([
+                ("k", JsonValue::from(*k)),
+                ("normalized_energy", JsonValue::from(energy_ratio)),
+                ("normalized_completion_time", JsonValue::from(time_ratio)),
+            ]));
         }
         let mut fields = vec![benchmark.label().to_string()];
         fields.extend(energy_fields);
@@ -51,16 +59,32 @@ fn main() {
         fields.extend(time_fields);
         fields.push(f3(1.0));
         csv_row(fields);
+        json_rows.push(JsonValue::object([
+            ("benchmark", JsonValue::from(benchmark.label())),
+            ("cells", JsonValue::Array(json_cells)),
+        ]));
     }
 
     println!();
     println!("Geometric means (the paper's GEOMEAN bars):");
+    let mut json_geomeans = Vec::new();
     for (i, k) in ks.iter().enumerate() {
-        println!(
-            "  k={k}: energy {:.3}, completion time {:.3}",
-            geometric_mean(&energy_ratios[i]).unwrap_or(1.0),
-            geometric_mean(&time_ratios[i]).unwrap_or(1.0)
-        );
+        let energy = geometric_mean(&energy_ratios[i]).unwrap_or(1.0);
+        let time = geometric_mean(&time_ratios[i]).unwrap_or(1.0);
+        println!("  k={k}: energy {energy:.3}, completion time {time:.3}");
+        json_geomeans.push(JsonValue::object([
+            ("k", JsonValue::from(*k)),
+            ("normalized_energy", JsonValue::from(energy)),
+            ("normalized_completion_time", JsonValue::from(time)),
+        ]));
     }
     println!("  k=64: energy 1.000, completion time 1.000 (reference)");
+
+    emit_json(&figure_json(
+        "fig9_limited_classifier",
+        JsonValue::object([
+            ("rows", JsonValue::Array(json_rows)),
+            ("geomeans", JsonValue::Array(json_geomeans)),
+        ]),
+    ));
 }

@@ -5,19 +5,47 @@
 //! Paper-reported values: energy ↓ 16%, 14%, 13%, 21% and completion time
 //! ↓ 4%, 9%, 6%, 13% versus VR, ASR, R-NUCA, S-NUCA respectively.
 
-use lad_bench::harness_runner;
+use lad_bench::{emit_json, figure_json, harness_runner};
+use lad_common::json::JsonValue;
+use lad_replication::scheme::SchemeId;
 use lad_trace::suite::BenchmarkSuite;
 
 fn main() {
     let runner = harness_runner(BenchmarkSuite::full());
     let comparison = runner.run_paper_comparison();
+    let scheme = SchemeId::Rt(3);
 
     println!("Headline: RT-3 vs the four baselines (averaged over the suite)");
-    println!("{:<10} {:>22} {:>26}", "baseline", "energy reduction (%)", "completion-time reduction (%)");
-    for baseline in ["VR", "ASR", "R-NUCA", "S-NUCA"] {
-        let (energy, time) = comparison.reduction_vs("RT-3", baseline);
-        println!("{baseline:<10} {energy:>22.1} {time:>26.1}");
+    println!(
+        "{:<10} {:>22} {:>26}",
+        "baseline", "energy reduction (%)", "completion-time reduction (%)"
+    );
+    let mut json_rows = Vec::new();
+    for baseline in [
+        SchemeId::VictimReplication,
+        SchemeId::Asr,
+        SchemeId::ReactiveNuca,
+        SchemeId::StaticNuca,
+    ] {
+        let (energy, time) = comparison
+            .reduction_vs(scheme, baseline)
+            .unwrap_or_else(|err| panic!("headline comparison: {err}"));
+        println!("{:<10} {energy:>22.1} {time:>26.1}", baseline.label());
+        json_rows.push(JsonValue::object([
+            ("baseline", JsonValue::from(baseline.label())),
+            ("energy_reduction_pct", JsonValue::from(energy)),
+            ("completion_time_reduction_pct", JsonValue::from(time)),
+        ]));
     }
     println!();
     println!("paper-reported: VR 16/4, ASR 14/9, R-NUCA 13/6, S-NUCA 21/13 (energy%/time%)");
+
+    emit_json(&figure_json(
+        "headline_summary",
+        JsonValue::object([
+            ("scheme", JsonValue::from(scheme.label())),
+            ("reductions", JsonValue::Array(json_rows)),
+            ("comparison", comparison.to_json()),
+        ]),
+    ));
 }

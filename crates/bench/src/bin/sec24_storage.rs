@@ -1,6 +1,7 @@
 //! Section 2.4.1: storage overhead of the locality classifier.
 
-use lad_bench::harness_system;
+use lad_bench::{emit_json, figure_json, harness_system};
+use lad_common::json::JsonValue;
 use lad_replication::classifier::ClassifierKind;
 use lad_replication::overhead::StorageOverhead;
 
@@ -17,6 +18,7 @@ fn main() {
         "{:<14} {:>16} {:>18} {:>14} {:>14} {:>20}",
         "classifier", "classifier KB", "replica-reuse KB", "ACKwise4 KB", "full-map KB", "overhead vs slice %"
     );
+    let mut json_rows = Vec::new();
     for (label, kind) in [
         ("Limited_1", ClassifierKind::Limited(1)),
         ("Limited_3", ClassifierKind::Limited(3)),
@@ -41,8 +43,29 @@ fn main() {
             overhead.full_map_kb,
             overhead.overhead_fraction_of_slice() * 100.0
         );
+        json_rows.push(JsonValue::object([
+            ("classifier", JsonValue::from(label)),
+            ("classifier_kb", JsonValue::from(overhead.classifier_kb)),
+            ("replica_reuse_kb", JsonValue::from(overhead.replica_reuse_kb)),
+            ("ackwise_kb", JsonValue::from(overhead.ackwise_kb)),
+            ("full_map_kb", JsonValue::from(overhead.full_map_kb)),
+            (
+                "overhead_fraction_of_slice",
+                JsonValue::from(overhead.overhead_fraction_of_slice()),
+            ),
+        ]));
     }
     println!();
     println!("paper-reported: Limited_3 = 13.5 KB, Complete = 96 KB, replica reuse = 1 KB,");
     println!("ACKwise4 = 12 KB, full-map = 32 KB per 256 KB slice; total 14.5 KB protocol overhead.");
+
+    emit_json(&figure_json(
+        "sec24_storage",
+        JsonValue::object([
+            ("llc_slice_kb", JsonValue::from(system.llc_slice.capacity_bytes / 1024)),
+            ("entries", JsonValue::from(entries)),
+            ("num_cores", JsonValue::from(system.num_cores)),
+            ("rows", JsonValue::Array(json_rows)),
+        ]),
+    ));
 }

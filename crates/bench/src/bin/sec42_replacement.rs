@@ -4,8 +4,9 @@
 //! The paper reports 15% / 5% lower energy and 5% / 2% lower completion time
 //! for BLACKSCHOLES and FACESIM, with the other benchmarks unchanged.
 
-use lad_bench::{csv_row, f3, harness_runner};
+use lad_bench::{csv_row, emit_json, f3, figure_json, harness_runner};
 use lad_cache::llc_slice::LlcReplacementPolicy;
+use lad_common::json::JsonValue;
 use lad_replication::config::ReplicationConfig;
 use lad_trace::suite::BenchmarkSuite;
 
@@ -20,6 +21,7 @@ fn main() {
         "back_invalidations(modified)".to_string(),
         "back_invalidations(plain)".to_string(),
     ]);
+    let mut json_rows = Vec::new();
     for benchmark in runner.suite().benchmarks().to_vec() {
         let modified = runner.run_one(
             benchmark,
@@ -31,12 +33,27 @@ fn main() {
             &ReplicationConfig::locality_aware(3)
                 .with_llc_replacement(LlcReplacementPolicy::PlainLru),
         );
+        let energy_ratio = modified.energy.total() / plain.energy.total();
+        let time_ratio =
+            modified.completion_time.value() as f64 / plain.completion_time.value() as f64;
         csv_row([
             benchmark.label().to_string(),
-            f3(modified.energy.total() / plain.energy.total()),
-            f3(modified.completion_time.value() as f64 / plain.completion_time.value() as f64),
+            f3(energy_ratio),
+            f3(time_ratio),
             modified.back_invalidations.to_string(),
             plain.back_invalidations.to_string(),
         ]);
+        json_rows.push(JsonValue::object([
+            ("benchmark", JsonValue::from(benchmark.label())),
+            ("energy_ratio", JsonValue::from(energy_ratio)),
+            ("completion_time_ratio", JsonValue::from(time_ratio)),
+            ("back_invalidations_modified", JsonValue::from(modified.back_invalidations)),
+            ("back_invalidations_plain", JsonValue::from(plain.back_invalidations)),
+        ]));
     }
+
+    emit_json(&figure_json(
+        "sec42_replacement",
+        JsonValue::object([("rows", JsonValue::Array(json_rows))]),
+    ));
 }

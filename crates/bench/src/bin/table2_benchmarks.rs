@@ -1,10 +1,12 @@
 //! Table 2: the benchmark suite and its problem sizes, together with the
 //! synthetic-profile parameters used to stand in for each application.
 
-use lad_bench::csv_row;
+use lad_bench::{csv_row, emit_json, figure_json, validate_json_target};
+use lad_common::json::JsonValue;
 use lad_trace::benchmarks::Benchmark;
 
 fn main() {
+    validate_json_target();
     println!("Table 2: benchmarks and problem sizes (synthetic stand-ins)");
     csv_row([
         "suite".to_string(),
@@ -13,6 +15,7 @@ fn main() {
         "footprint_lines_64c".to_string(),
         "dominant_class".to_string(),
     ]);
+    let mut json_rows = Vec::new();
     for benchmark in Benchmark::ALL {
         let profile = benchmark.profile();
         let weights = profile.class_mix.weights();
@@ -30,5 +33,17 @@ fn main() {
             profile.footprint_lines(64).to_string(),
             dominant.to_string(),
         ]);
+        json_rows.push(JsonValue::object([
+            ("suite", JsonValue::from(benchmark.suite_name())),
+            ("benchmark", JsonValue::from(benchmark.label())),
+            ("problem_size", JsonValue::from(profile.problem_size)),
+            ("footprint_lines_64c", JsonValue::from(profile.footprint_lines(64))),
+            ("dominant_class", JsonValue::from(dominant)),
+        ]));
     }
+
+    emit_json(&figure_json(
+        "table2_benchmarks",
+        JsonValue::object([("rows", JsonValue::Array(json_rows))]),
+    ));
 }

@@ -10,25 +10,76 @@
 //! cargo run --release -p lad-bench --bin fig9_limited_classifier
 //! ```
 //!
-//! All binaries honour two environment variables plus a `--quick` flag so
-//! fast runs are possible:
+//! All binaries honour two environment variables plus two flags:
 //!
 //! * `LAD_ACCESSES` — accesses per core (default 4000),
 //! * `LAD_CORES` — number of simulated cores (default 64, the paper target),
 //! * `--quick` — smoke-test scale (8 cores, 150 accesses per core) used by
 //!   CI to exercise every figure binary; explicit environment variables
-//!   still take precedence.
+//!   still take precedence,
+//! * `--json <path>` — additionally write the binary's results as a JSON
+//!   document (see [`emit_json`]) that round-trips through
+//!   `lad_common::json::JsonValue::parse`; CI validates every binary's
+//!   output this way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+
 use lad_common::config::SystemConfig;
-use lad_sim::experiment::ExperimentRunner;
+use lad_common::json::JsonValue;
+use lad_replication::scheme::{SchemeId, UnknownScheme};
+use lad_sim::experiment::{ExperimentRunner, SchemeComparison};
+use lad_sim::metrics::SimulationReport;
+use lad_trace::benchmarks::Benchmark;
 use lad_trace::suite::BenchmarkSuite;
 
 /// Whether the binary was invoked with `--quick` (smoke-test scale).
 pub fn quick_mode() -> bool {
     std::env::args().any(|arg| arg == "--quick")
+}
+
+/// The path given with `--json <path>`, if any.
+pub fn json_output_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return Some(PathBuf::from(
+                args.next().expect("--json requires a path argument"),
+            ));
+        }
+    }
+    None
+}
+
+/// Fails fast on an unusable `--json` target: a missing path argument or an
+/// unwritable location should abort before the simulations run, not after.
+/// Creates (truncates) the target file; [`emit_json`] overwrites it with the
+/// real document at the end of the run.  Called by [`harness_system`] /
+/// [`harness_runner`], so every figure binary validates the flag at startup.
+pub fn validate_json_target() {
+    if let Some(path) = json_output_path() {
+        std::fs::write(&path, "{}\n").unwrap_or_else(|err| {
+            panic!("cannot write JSON report to {}: {err}", path.display())
+        });
+    }
+}
+
+/// Writes `value` (pretty-printed) to the `--json <path>` target when the
+/// flag is present; a no-op otherwise.  The note goes to stderr so stdout
+/// stays pure CSV.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — a silently dropped report is
+/// worse than a failed run.
+pub fn emit_json(value: &JsonValue) {
+    if let Some(path) = json_output_path() {
+        std::fs::write(&path, value.pretty())
+            .unwrap_or_else(|err| panic!("cannot write JSON report to {}: {err}", path.display()));
+        eprintln!("wrote JSON report to {}", path.display());
+    }
 }
 
 /// Accesses per core used by the harness (override with `LAD_ACCESSES`).
@@ -46,6 +97,7 @@ pub fn num_cores() -> usize {
 /// The system configuration used by the harness: the paper's Table 1 target,
 /// scaled to [`num_cores`] cores.
 pub fn harness_system() -> SystemConfig {
+    validate_json_target();
     let cores = num_cores();
     if cores == 64 {
         SystemConfig::paper_default()
@@ -58,6 +110,56 @@ pub fn harness_system() -> SystemConfig {
 pub fn harness_runner(suite: BenchmarkSuite) -> ExperimentRunner {
     let suite = suite.with_accesses_per_core(accesses_per_core());
     ExperimentRunner::new(harness_system(), suite)
+}
+
+/// One `(benchmark, scheme)` cell of a [`SchemeComparison`], paired with the
+/// benchmark's baseline report — the shape Figures 6–8 iterate over.
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonRow<'a> {
+    /// The benchmark of this row.
+    pub benchmark: Benchmark,
+    /// The scheme column of this row.
+    pub scheme: SchemeId,
+    /// The report of `(benchmark, scheme)`.
+    pub report: &'a SimulationReport,
+    /// The report of `(benchmark, baseline)` the row normalizes against.
+    pub baseline: &'a SimulationReport,
+}
+
+/// Flattens a comparison into the row order the paper's figures plot: for
+/// every benchmark, every present scheme of
+/// [`SchemeComparison::SCHEME_ORDER`], each paired with the benchmark's
+/// `baseline` report.  Schemes absent from the comparison are skipped;
+/// a missing *baseline* is an error.
+///
+/// # Errors
+///
+/// Returns [`UnknownScheme`] when any benchmark lacks the baseline report.
+pub fn comparison_rows(
+    comparison: &SchemeComparison,
+    baseline: SchemeId,
+) -> Result<Vec<ComparisonRow<'_>>, UnknownScheme> {
+    let mut rows = Vec::new();
+    for &benchmark in comparison.benchmarks() {
+        let baseline_report = comparison.report(benchmark, baseline)?;
+        for scheme in SchemeComparison::SCHEME_ORDER {
+            if let Ok(report) = comparison.report(benchmark, scheme) {
+                rows.push(ComparisonRow { benchmark, scheme, report, baseline: baseline_report });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Wraps a figure's JSON payload with its name, so every `--json` document
+/// is self-describing: `{"figure": <name>, ...payload fields}`.
+pub fn figure_json(name: &str, payload: JsonValue) -> JsonValue {
+    let mut pairs = vec![("figure".to_string(), JsonValue::from(name))];
+    match payload {
+        JsonValue::Object(fields) => pairs.extend(fields),
+        other => pairs.push(("data".to_string(), other)),
+    }
+    JsonValue::Object(pairs)
 }
 
 /// Prints one CSV row (comma-joined).
@@ -91,5 +193,33 @@ mod tests {
     fn runner_uses_requested_trace_length() {
         let runner = harness_runner(BenchmarkSuite::quick());
         assert_eq!(runner.suite().accesses_per_core(), accesses_per_core());
+    }
+
+    #[test]
+    fn comparison_rows_pair_each_scheme_with_the_baseline() {
+        let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup], 120, 3);
+        let runner = ExperimentRunner::new(SystemConfig::small_test(), suite).with_threads(2);
+        let comparison = runner.run_paper_comparison();
+        let rows = comparison_rows(&comparison, SchemeId::StaticNuca).unwrap();
+        assert_eq!(rows.len(), SchemeComparison::SCHEME_ORDER.len());
+        for row in &rows {
+            assert_eq!(row.benchmark, Benchmark::Dedup);
+            assert_eq!(row.baseline.scheme_id, SchemeId::StaticNuca);
+        }
+        // A baseline that was never run is a typed error.
+        let err = comparison_rows(&comparison, SchemeId::Custom("NOPE")).unwrap_err();
+        assert_eq!(err.scheme, SchemeId::Custom("NOPE"));
+    }
+
+    #[test]
+    fn figure_json_is_self_describing() {
+        let wrapped = figure_json(
+            "fig6_energy",
+            JsonValue::object([("rows", JsonValue::Array(vec![]))]),
+        );
+        assert_eq!(wrapped.get("figure").and_then(JsonValue::as_str), Some("fig6_energy"));
+        assert!(wrapped.get("rows").is_some());
+        let scalar = figure_json("x", JsonValue::from(1.0));
+        assert!(scalar.get("data").is_some());
     }
 }

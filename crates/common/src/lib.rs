@@ -12,6 +12,8 @@
 //!   metric collection of the simulator and the experiment harness.
 //! * [`rng`] — a small deterministic random-number facade so that every
 //!   simulation and workload generator is reproducible from a seed.
+//! * [`json`] — a dependency-free JSON document model (serializer + strict
+//!   parser) used for the machine-readable experiment reports.
 //!
 //! # Example
 //!
@@ -33,9 +35,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod types;
 
 pub use config::SystemConfig;
+pub use json::JsonValue;
 pub use types::{Address, CacheLine, CoreId, Cycle, DataClass, MemOp};

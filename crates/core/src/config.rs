@@ -3,7 +3,7 @@
 use lad_cache::llc_slice::LlcReplacementPolicy;
 
 use crate::classifier::ClassifierKind;
-use crate::scheme::SchemeKind;
+use crate::scheme::{SchemeId, SchemeKind};
 
 /// Every knob of the replication layer, bundled for an experiment run.
 ///
@@ -121,6 +121,26 @@ impl ReplicationConfig {
         self
     }
 
+    /// The typed identifier of this configuration in experiment matrices
+    /// and comparisons: the scheme family plus its *primary* sweep
+    /// parameter (`SchemeId::AsrAt` for the ASR level, `SchemeId::Rt` for
+    /// the replication threshold).
+    ///
+    /// Secondary knobs (cluster size, classifier organization, LLC
+    /// replacement) are *not* part of the id — `RT-3` and `RT-3/C-16` both
+    /// map to `SchemeId::Rt(3)`.  Sweeps over those knobs either run
+    /// ad hoc (`ExperimentRunner::run_one`, the way Figures 9 and 10 do) or
+    /// register each variant under a distinct `SchemeId::Custom` name.
+    pub fn scheme_id(&self) -> SchemeId {
+        match self.scheme {
+            SchemeKind::StaticNuca => SchemeId::StaticNuca,
+            SchemeKind::ReactiveNuca => SchemeId::ReactiveNuca,
+            SchemeKind::VictimReplication => SchemeId::VictimReplication,
+            SchemeKind::AdaptiveSelectiveReplication => SchemeId::asr_at_level(self.asr_level),
+            SchemeKind::LocalityAware => SchemeId::Rt(self.replication_threshold),
+        }
+    }
+
     /// A short, unique label for reports: `S-NUCA`, `R-NUCA`, `VR`,
     /// `ASR-0.50`, `RT-3`, `RT-3/C-4`, ...
     pub fn label(&self) -> String {
@@ -187,6 +207,26 @@ mod tests {
         );
         assert_eq!(ReplicationConfig::locality_aware(3).scheme, SchemeKind::LocalityAware);
         assert_eq!(ReplicationConfig::default(), ReplicationConfig::paper_default());
+    }
+
+    #[test]
+    fn scheme_ids_carry_the_sweep_parameter() {
+        assert_eq!(ReplicationConfig::static_nuca().scheme_id(), SchemeId::StaticNuca);
+        assert_eq!(ReplicationConfig::reactive_nuca().scheme_id(), SchemeId::ReactiveNuca);
+        assert_eq!(
+            ReplicationConfig::victim_replication().scheme_id(),
+            SchemeId::VictimReplication
+        );
+        assert_eq!(ReplicationConfig::asr(0.25).scheme_id(), SchemeId::AsrAt(25));
+        assert_eq!(ReplicationConfig::locality_aware(8).scheme_id(), SchemeId::Rt(8));
+        // The id label agrees with the report label (cluster size 1).
+        for config in [
+            ReplicationConfig::static_nuca(),
+            ReplicationConfig::asr(0.5),
+            ReplicationConfig::locality_aware(3),
+        ] {
+            assert_eq!(config.scheme_id().label(), config.label());
+        }
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! * [`policies`] — the per-scheme replication decision helpers
 //!   (Victim Replication's victim-cache insertion rule, ASR's probabilistic
 //!   shared-read-only replication).
+//! * [`policy`] — the pluggable [`ReplicationPolicy`](policy::ReplicationPolicy)
+//!   trait the timing engine drives its replication decisions through, the
+//!   built-in policies implementing the five schemes, and the
+//!   [`SchemeRegistry`](policy::SchemeRegistry) that lets out-of-crate
+//!   schemes join experiment sweeps under a typed [`SchemeId`].
 //! * [`overhead`] — the storage-overhead model of Section 2.4, reproducing
 //!   the 13.5 KB / 96 KB per-slice classifier costs.
 //!
@@ -55,6 +60,7 @@ pub mod entry;
 pub mod overhead;
 pub mod placement;
 pub mod policies;
+pub mod policy;
 pub mod scheme;
 
 pub use classifier::{ClassifierKind, LocalityClassifier, ReplicationMode};
@@ -62,4 +68,8 @@ pub use config::ReplicationConfig;
 pub use counter::SaturatingCounter;
 pub use entry::{HomeEntry, LlcEntry, ReplicaEntry};
 pub use placement::HomeMap;
-pub use scheme::SchemeKind;
+pub use policy::{
+    builtin_policy, EvictDecision, FillDecision, RegisteredScheme, ReplicationPolicy,
+    SchemeRegistry,
+};
+pub use scheme::{SchemeId, SchemeKind, UnknownScheme};

@@ -1,8 +1,14 @@
 //! The protocol engine: drives every memory access through the L1 caches,
 //! the replica and home LLC slices, the directory, the classifier, the NoC
 //! and DRAM, accumulating the paper's latency, miss and energy breakdowns.
+//!
+//! Every replication *decision* is delegated to the simulator's
+//! [`ReplicationPolicy`], so the same timing skeleton runs the paper's five
+//! schemes and any out-of-crate policy registered through a
+//! [`SchemeRegistry`](lad_replication::policy::SchemeRegistry).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use lad_coherence::ackwise::InvalidationTargets;
 use lad_coherence::mesi::MesiState;
@@ -14,16 +20,39 @@ use lad_energy::accounting::{Component, EnergyAccounting};
 use lad_energy::model::EnergyModel;
 use lad_noc::message::MessageKind;
 use lad_noc::Network;
-use lad_replication::classifier::ReplicationMode;
 use lad_replication::config::ReplicationConfig;
 use lad_replication::entry::{HomeEntry, LlcEntry, ReplicaEntry};
 use lad_replication::placement::HomeMap;
-use lad_replication::policies::{AsrPolicy, VictimReplicationPolicy};
-use lad_replication::scheme::SchemeKind;
+use lad_replication::policy::{builtin_policy, EvictDecision, FillDecision, ReplicationPolicy};
+use lad_replication::scheme::SchemeId;
 use lad_trace::generator::WorkloadTrace;
 
 use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
 use crate::tile::Tile;
+
+/// Where one memory access was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// The access hit in the core's private L1 cache.
+    L1,
+    /// The L1 miss hit an LLC replica at the local (or cluster) slice.
+    LlcReplica,
+    /// The L1 miss was served at the line's home LLC slice.
+    LlcHome,
+    /// The line had to be fetched from off-chip DRAM.
+    OffChip,
+}
+
+/// The result of driving one access through [`Simulator::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The issuing core.
+    pub core: CoreId,
+    /// Where the access was served.
+    pub served_by: ServedBy,
+    /// The issuing core's local clock after the access completed.
+    pub finish: Cycle,
+}
 
 /// Result of probing one sharer during an invalidation round.
 #[derive(Debug, Clone, Copy)]
@@ -40,12 +69,32 @@ struct SharerProbe {
 /// scheme; [`Simulator::run`] executes a workload trace to completion and
 /// produces a [`SimulationReport`].  Internal state is reset at the start of
 /// every run, so the same simulator can execute several traces.
+///
+/// # Stepping
+///
+/// `run` is a thin loop over the resumable stepping API, which is public so
+/// traces can be streamed, interleaved with other work, and checkpointed:
+///
+/// 1. [`Simulator::begin`] resets state for a stream spanning `num_cores`
+///    cores,
+/// 2. [`Simulator::profile_access`] feeds the profiling pass (page
+///    classification for R-NUCA placement; ground-truth data classes),
+/// 3. [`Simulator::step`] executes one access and returns where it was
+///    served ([`AccessOutcome`]),
+/// 4. [`Simulator::report`] snapshots a full [`SimulationReport`] at any
+///    point — it does not consume state, so it can checkpoint a simulation
+///    mid-stream and be called again after more steps.
 #[derive(Debug)]
 pub struct Simulator {
     system: SystemConfig,
     replication: ReplicationConfig,
+    policy: Arc<dyn ReplicationPolicy>,
+    scheme_id: SchemeId,
+    label: String,
     energy_model: EnergyModel,
     seed: u64,
+    benchmark: String,
+    active_cores: usize,
 
     tiles: Vec<Tile>,
     network: Network,
@@ -75,7 +124,8 @@ impl Simulator {
         Self::with_energy_model(system, replication, EnergyModel::paper_default())
     }
 
-    /// Builds a simulator with an explicit energy model.
+    /// Builds a simulator with an explicit energy model, running the
+    /// built-in policy of `replication.scheme`.
     ///
     /// # Panics
     ///
@@ -83,6 +133,50 @@ impl Simulator {
     pub fn with_energy_model(
         system: SystemConfig,
         replication: ReplicationConfig,
+        energy_model: EnergyModel,
+    ) -> Self {
+        let policy = builtin_policy(&replication);
+        let label = replication.label();
+        Self::build(system, replication, policy, label, energy_model)
+    }
+
+    /// Builds a simulator around a custom [`ReplicationPolicy`] (registered
+    /// or not), using the default energy model.  `replication` supplies the
+    /// engine knobs (replication threshold, classifier organization, cluster
+    /// size, LLC replacement); placement and every replication decision come
+    /// from the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration fails validation.
+    pub fn with_policy(
+        system: SystemConfig,
+        replication: ReplicationConfig,
+        policy: Arc<dyn ReplicationPolicy>,
+    ) -> Self {
+        Self::with_policy_and_energy_model(system, replication, policy, EnergyModel::paper_default())
+    }
+
+    /// [`Simulator::with_policy`] with an explicit energy model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration fails validation.
+    pub fn with_policy_and_energy_model(
+        system: SystemConfig,
+        replication: ReplicationConfig,
+        policy: Arc<dyn ReplicationPolicy>,
+        energy_model: EnergyModel,
+    ) -> Self {
+        let label = policy.id().label();
+        Self::build(system, replication, policy, label, energy_model)
+    }
+
+    fn build(
+        system: SystemConfig,
+        replication: ReplicationConfig,
+        policy: Arc<dyn ReplicationPolicy>,
+        label: String,
         energy_model: EnergyModel,
     ) -> Self {
         system.validate().expect("system configuration must be valid");
@@ -96,11 +190,12 @@ impl Simulator {
             (0..system.dram.num_controllers).map(|i| system.dram_controller_core(i)).collect();
         let dram = DramSystem::new(&system.dram, system.cache_line_bytes, controller_cores);
         let home_map = HomeMap::new(
-            replication.scheme.placement_policy(),
+            policy.placement(),
             system.num_cores,
             system.cache_line_bytes,
             system.page_bytes,
         );
+        let active_cores = system.num_cores;
         Simulator {
             tiles,
             network,
@@ -118,8 +213,13 @@ impl Simulator {
             total_accesses: 0,
             system,
             replication,
+            scheme_id: policy.id(),
+            policy,
+            label,
             energy_model,
             seed: 0x5eed,
+            benchmark: String::new(),
+            active_cores,
         }
     }
 
@@ -139,6 +239,23 @@ impl Simulator {
         &self.replication
     }
 
+    /// The replication policy driving this simulator's decisions.
+    pub fn policy(&self) -> &Arc<dyn ReplicationPolicy> {
+        &self.policy
+    }
+
+    /// The typed scheme identity of this simulator.
+    pub fn scheme_id(&self) -> SchemeId {
+        self.scheme_id
+    }
+
+    /// The local clock of one core — external drivers use this to interleave
+    /// streams the way [`Simulator::run`] does (always advance the core that
+    /// is furthest behind).
+    pub fn core_clock(&self, core: CoreId) -> Cycle {
+        self.tiles[core.index()].clock
+    }
+
     fn reset(&mut self) {
         self.tiles = (0..self.system.num_cores)
             .map(|i| Tile::new(CoreId::new(i), &self.system, &self.replication))
@@ -150,7 +267,7 @@ impl Simulator {
         self.dram =
             DramSystem::new(&self.system.dram, self.system.cache_line_bytes, controller_cores);
         self.home_map = HomeMap::new(
-            self.replication.scheme.placement_policy(),
+            self.policy.placement(),
             self.system.num_cores,
             self.system.cache_line_bytes,
             self.system.page_bytes,
@@ -167,27 +284,117 @@ impl Simulator {
         self.total_accesses = 0;
     }
 
-    /// Runs a workload trace to completion.
+    // ----- the stepping API ------------------------------------------------
+
+    /// Resets all simulation state and starts a new access stream named
+    /// `benchmark` that spans cores `0..num_cores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream spans more cores than the simulated system has.
+    pub fn begin(&mut self, benchmark: &str, num_cores: usize) {
+        assert!(
+            num_cores <= self.system.num_cores,
+            "trace has {} cores but the system only has {}",
+            num_cores,
+            self.system.num_cores
+        );
+        self.reset();
+        self.benchmark = benchmark.to_string();
+        self.active_cores = num_cores;
+    }
+
+    /// Feeds one access to the profiling pass: page classification for
+    /// R-NUCA placement and the ground-truth data class of every line (used
+    /// by ASR and the Figure 1 characterization).  Call for every access of
+    /// the stream between [`Simulator::begin`] and the first
+    /// [`Simulator::step`]; streaming drivers that cannot afford a full
+    /// profiling pass may skip it at the cost of degraded R-NUCA placement
+    /// and ASR classification.
+    pub fn profile_access(&mut self, access: &MemoryAccess) {
+        let line = access.address.line(self.system.cache_line_bytes);
+        self.home_map.record_page_access(line, access.core, access.op.is_instruction());
+        self.line_class.entry(line).or_insert(access.class);
+    }
+
+    /// Executes one memory access and returns where it was served.
+    ///
+    /// Accesses of different cores may be submitted in any order; for
+    /// results comparable to [`Simulator::run`], advance the core whose
+    /// [`Simulator::core_clock`] is smallest first.
+    pub fn step(&mut self, access: &MemoryAccess) -> AccessOutcome {
+        let served_by = self.process_access(access);
+        self.total_accesses += 1;
+        AccessOutcome {
+            core: access.core,
+            served_by,
+            finish: self.tiles[access.core.index()].clock,
+        }
+    }
+
+    /// Snapshots the simulation results accumulated so far into a
+    /// [`SimulationReport`].
+    ///
+    /// The snapshot includes the final-barrier synchronization time as if
+    /// the stream ended now, but does not consume or alter any state:
+    /// stepping can continue afterwards, which makes this the checkpoint
+    /// primitive for long streams.
+    pub fn report(&self) -> SimulationReport {
+        // Final barrier: completion is the slowest core; the rest synchronize.
+        let completion = (0..self.active_cores)
+            .map(|c| self.tiles[c].clock)
+            .fold(Cycle::ZERO, Cycle::max);
+        let mut latency = self.latency;
+        for c in 0..self.active_cores {
+            latency.synchronization += completion.since(self.tiles[c].clock).value();
+        }
+        let mut run_lengths = self.run_lengths.clone();
+        run_lengths.finalize();
+
+        // Network and DRAM energy from their cumulative event counts.
+        let mut energy = self.energy.clone();
+        let stats = self.network.stats();
+        energy.record(
+            Component::NetworkRouter,
+            stats.router_traversals() as f64 * self.energy_model.router_flit_pj,
+        );
+        energy.record(
+            Component::NetworkLink,
+            stats.flit_hops() as f64 * self.energy_model.link_flit_hop_pj,
+        );
+        energy.record(
+            Component::Dram,
+            self.dram.total_accesses() as f64 * self.energy_model.dram_access_pj,
+        );
+
+        SimulationReport {
+            benchmark: self.benchmark.clone(),
+            scheme: self.label.clone(),
+            scheme_id: self.scheme_id,
+            completion_time: completion,
+            latency,
+            misses: self.misses,
+            energy,
+            run_lengths,
+            total_accesses: self.total_accesses,
+            replicas_created: self.replicas_created,
+            back_invalidations: self.back_invalidations,
+        }
+    }
+
+    /// Runs a workload trace to completion: a profiling pass, then a loop
+    /// over [`Simulator::step`] that always advances the core furthest
+    /// behind, then a [`Simulator::report`] snapshot.
     ///
     /// # Panics
     ///
     /// Panics if the trace was generated for more cores than the simulated
     /// system has.
     pub fn run(&mut self, trace: &WorkloadTrace) -> SimulationReport {
-        assert!(
-            trace.num_cores() <= self.system.num_cores,
-            "trace has {} cores but the system only has {}",
-            trace.num_cores(),
-            self.system.num_cores
-        );
-        self.reset();
+        self.begin(trace.name(), trace.num_cores());
 
-        // Profiling pass: page classification for R-NUCA placement and the
-        // ground-truth data class of every line (used by ASR and Figure 1).
         for access in trace.iter() {
-            let line = access.address.line(self.system.cache_line_bytes);
-            self.home_map.record_page_access(line, access.core, access.op.is_instruction());
-            self.line_class.entry(line).or_insert(access.class);
+            self.profile_access(access);
         }
 
         // Interleave cores by local time: always advance the core that is
@@ -200,51 +407,15 @@ impl Simulator {
             let Some(core) = next else { break };
             let access = trace.core_stream(CoreId::new(core))[cursors[core]];
             cursors[core] += 1;
-            self.process_access(&access);
-            self.total_accesses += 1;
+            self.step(&access);
         }
 
-        // Final barrier: completion is the slowest core; the rest synchronize.
-        let completion = (0..trace.num_cores())
-            .map(|c| self.tiles[c].clock)
-            .fold(Cycle::ZERO, Cycle::max);
-        for c in 0..trace.num_cores() {
-            self.latency.synchronization += completion.since(self.tiles[c].clock).value();
-        }
-        self.run_lengths.finalize();
-
-        // Network and DRAM energy from their event counts.
-        let stats = self.network.stats();
-        self.energy.record(
-            Component::NetworkRouter,
-            stats.router_traversals() as f64 * self.energy_model.router_flit_pj,
-        );
-        self.energy.record(
-            Component::NetworkLink,
-            stats.flit_hops() as f64 * self.energy_model.link_flit_hop_pj,
-        );
-        self.energy.record(
-            Component::Dram,
-            self.dram.total_accesses() as f64 * self.energy_model.dram_access_pj,
-        );
-
-        SimulationReport {
-            benchmark: trace.name().to_string(),
-            scheme: self.replication.label(),
-            completion_time: completion,
-            latency: self.latency,
-            misses: self.misses,
-            energy: self.energy.clone(),
-            run_lengths: std::mem::take(&mut self.run_lengths),
-            total_accesses: self.total_accesses,
-            replicas_created: self.replicas_created,
-            back_invalidations: self.back_invalidations,
-        }
+        self.report()
     }
 
     // ----- per-access processing ------------------------------------------
 
-    fn process_access(&mut self, access: &MemoryAccess) {
+    fn process_access(&mut self, access: &MemoryAccess) -> ServedBy {
         let core = access.core;
         let line = access.address.line(self.system.cache_line_bytes);
         let is_instruction = access.op.is_instruction();
@@ -284,7 +455,7 @@ impl Simulator {
         if served_by_l1 {
             self.misses.l1_hits += 1;
             self.tiles[core.index()].clock = now;
-            return;
+            return ServedBy::L1;
         }
 
         // ----- L1 miss ------------------------------------------------------
@@ -300,7 +471,7 @@ impl Simulator {
                 {
                     now = done;
                     self.tiles[core.index()].clock = now;
-                    return;
+                    return ServedBy::LlcReplica;
                 }
             }
         }
@@ -319,13 +490,18 @@ impl Simulator {
         let l1_state = if is_write { MesiState::Modified } else { grant_state };
         self.fill_l1(core, is_instruction, line, l1_state, now);
         self.tiles[core.index()].clock = now;
+        if served_offchip {
+            ServedBy::OffChip
+        } else {
+            ServedBy::LlcHome
+        }
     }
 
     /// The LLC slice that may hold a replica for `core` (its own slice, or
     /// the designated slice of its cluster), or `None` for schemes that never
     /// replicate.
     fn replica_slice_for(&self, core: CoreId, line: CacheLine) -> Option<CoreId> {
-        if !self.replication.scheme.replicates() {
+        if !self.policy.replicates() {
             return None;
         }
         let cluster = self.replication.cluster_size.max(1);
@@ -391,7 +567,7 @@ impl Simulator {
             .map(|r| r.state)
             .unwrap_or(MesiState::Shared);
 
-        if self.replication.scheme == SchemeKind::VictimReplication {
+        if self.policy.invalidate_replica_on_hit() {
             // VR: the replica is moved into the L1; the LLC copy is
             // invalidated (and must be written back again on the next L1
             // eviction) — the write-energy overhead the paper describes.
@@ -472,7 +648,7 @@ impl Simulator {
         // Home LLC lookup (tag + directory).
         self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
         self.energy.record(Component::Directory, self.energy_model.directory_access_pj);
-        if self.replication.scheme == SchemeKind::LocalityAware {
+        if self.policy.uses_classifier() {
             self.energy.record(Component::Directory, self.energy_model.classifier_access_pj);
         }
         let llc_latency = self.tiles[home.index()].llc.access_latency() as u64;
@@ -586,29 +762,29 @@ impl Simulator {
             grant_state = outcome.grant.as_state();
         }
 
-        // Locality classification and replication decision.
+        // Replication decision: the policy classifies the requester (and
+        // trains any classifier state in the home entry); the engine only
+        // materializes a replica when a distinct replica slice exists.
+        let policy = Arc::clone(&self.policy);
+        let wants_replica = {
+            let entry = self.home_entry_mut(home, line);
+            policy.replicate_on_fill(FillDecision {
+                core,
+                is_write,
+                other_sharers_present,
+                own_replica_reuse,
+                classifier: &mut entry.classifier,
+            })
+        };
         let mut create_replica = false;
         let mut replica_state = grant_state;
-        if self.replication.scheme == SchemeKind::LocalityAware {
-            let rt = self.replication.replication_threshold;
-            let entry = self.home_entry_mut(home, line);
-            if let Some(reuse) = own_replica_reuse {
-                entry.classifier.on_replica_invalidated(core, reuse);
-            }
-            let mode = if is_write {
-                entry.classifier.on_home_write(core, other_sharers_present)
-            } else {
-                entry.classifier.on_home_read(core)
-            };
-            if mode == ReplicationMode::Replica {
-                if let Some(rc) = replica_slice {
-                    if rc != home {
-                        create_replica = true;
-                        replica_state = if is_write { MesiState::Modified } else { MesiState::Shared };
-                    }
+        if wants_replica {
+            if let Some(rc) = replica_slice {
+                if rc != home {
+                    create_replica = true;
+                    replica_state = if is_write { MesiState::Modified } else { MesiState::Shared };
                 }
             }
-            let _ = rt;
         }
 
         // Track the run at the home for the Figure 1 characterization.
@@ -765,7 +941,7 @@ impl Simulator {
         }
         let dirty = state.is_dirty();
         let home = self.home_map.home_for(line, core);
-        let scheme = self.replication.scheme;
+        let policy = Arc::clone(&self.policy);
 
         // Merge into an existing entry in the local (or cluster) LLC slice.
         if let Some(rc) = self.replica_slice_for(core, line) {
@@ -789,7 +965,7 @@ impl Simulator {
                             .record(Component::L2Cache, self.energy_model.llc_data_write_pj);
                     }
                     entry.directory.handle_eviction(core);
-                    if scheme == SchemeKind::LocalityAware {
+                    if policy.uses_classifier() {
                         entry.classifier.on_sharer_evicted(core);
                     }
                     self.energy.record(Component::Directory, self.energy_model.directory_access_pj);
@@ -799,24 +975,22 @@ impl Simulator {
             }
         }
 
-        // Victim Replication / ASR: try to turn the victim into a replica.
-        if scheme.replicates_on_eviction() {
+        // Eviction-driven replication (Victim Replication, ASR, customs):
+        // ask the policy whether the victim becomes a replica.
+        if policy.replicates_on_eviction() {
             let replica_core = core;
-            let install = match scheme {
-                SchemeKind::VictimReplication => {
-                    // victim_for is None when the set still has room (or the
-                    // line is somehow already resident).
-                    let slice = &self.tiles[replica_core.index()].llc;
-                    let candidate = slice.victim_for(line).map(|(_, entry)| entry.clone());
-                    let set_has_room = candidate.is_none();
-                    VictimReplicationPolicy.should_insert_victim(set_has_room, candidate.as_ref())
-                }
-                SchemeKind::AdaptiveSelectiveReplication => {
-                    let class = *self.line_class.get(&line).unwrap_or(&DataClass::Private);
-                    AsrPolicy::new(self.replication.asr_level).should_replicate(class, &mut self.rng)
-                }
-                _ => false,
-            };
+            // victim_for is None when the set still has room (or the line is
+            // somehow already resident).  The candidate is borrowed straight
+            // out of the slice — no clone on this hot path.
+            let candidate = self.tiles[replica_core.index()].llc.victim_for(line);
+            let set_has_free_way = candidate.is_none();
+            let class = *self.line_class.get(&line).unwrap_or(&DataClass::Private);
+            let install = policy.replicate_on_l1_evict(EvictDecision {
+                class,
+                set_has_free_way,
+                victim: candidate.map(|(_, entry)| entry),
+                rng: &mut self.rng,
+            });
             if install && home != replica_core {
                 self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
                 let mut rep = ReplicaEntry::new(state, self.replication.replication_threshold);
@@ -920,7 +1094,7 @@ impl Simulator {
             if dirty {
                 entry.dirty = true;
             }
-            if self.replication.scheme == SchemeKind::LocalityAware {
+            if self.policy.uses_classifier() {
                 match replica_reuse {
                     Some(reuse) => entry.classifier.on_replica_evicted(core, reuse),
                     None => entry.classifier.on_sharer_evicted(core),

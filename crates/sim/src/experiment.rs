@@ -8,14 +8,24 @@
 //! product.  [`SchemeComparison`] reproduces exactly that procedure;
 //! [`ExperimentRunner`] parallelizes the independent simulations across
 //! threads.
+//!
+//! Everything is keyed by typed [`SchemeId`]s resolved through a
+//! [`SchemeRegistry`], so custom out-of-crate [`ReplicationPolicy`]s sweep
+//! through the same matrix machinery as the paper's built-ins, and a lookup
+//! of a scheme that was never run is a typed [`UnknownScheme`] error instead
+//! of a silent `NaN`.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lad_common::config::SystemConfig;
+use lad_common::json::JsonValue;
 use lad_common::stats::{geometric_mean, mean, normalized};
 use lad_energy::model::EnergyModel;
 use lad_replication::config::ReplicationConfig;
 use lad_replication::policies::AsrPolicy;
+use lad_replication::policy::{RegisteredScheme, ReplicationPolicy, SchemeRegistry};
+use lad_replication::scheme::{SchemeId, UnknownScheme};
 use lad_trace::benchmarks::Benchmark;
 use lad_trace::suite::BenchmarkSuite;
 
@@ -23,22 +33,30 @@ use crate::engine::Simulator;
 use crate::metrics::SimulationReport;
 
 /// Runs simulations for a benchmark suite, optionally in parallel.
+///
+/// The runner resolves schemes through its [`SchemeRegistry`] (the built-in
+/// registry by default), so custom policies registered with
+/// [`ExperimentRunner::register_scheme`] are swept exactly like the paper's
+/// schemes.
 #[derive(Debug, Clone)]
 pub struct ExperimentRunner {
     system: SystemConfig,
     suite: BenchmarkSuite,
     energy_model: EnergyModel,
     threads: usize,
+    registry: SchemeRegistry,
 }
 
 impl ExperimentRunner {
-    /// Creates a runner for one system configuration and benchmark suite.
+    /// Creates a runner for one system configuration and benchmark suite,
+    /// with the built-in scheme registry.
     pub fn new(system: SystemConfig, suite: BenchmarkSuite) -> Self {
         ExperimentRunner {
             system,
             suite,
             energy_model: EnergyModel::paper_default(),
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            registry: SchemeRegistry::builtin(),
         }
     }
 
@@ -54,12 +72,35 @@ impl ExperimentRunner {
         self
     }
 
+    /// Replaces the scheme registry (builder style).
+    pub fn with_registry(mut self, registry: SchemeRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers a (typically out-of-crate) policy so the runner can sweep
+    /// it by its [`SchemeId`].  `config` supplies the engine knobs the
+    /// policy runs with; any previous entry under the same id is replaced.
+    pub fn register_scheme(
+        &mut self,
+        policy: Arc<dyn ReplicationPolicy>,
+        config: ReplicationConfig,
+    ) {
+        self.registry.register(policy, config);
+    }
+
     /// The benchmark suite being run.
     pub fn suite(&self) -> &BenchmarkSuite {
         &self.suite
     }
 
-    /// Runs one benchmark under one configuration.
+    /// The scheme registry the runner resolves sweeps through.
+    pub fn registry(&self) -> &SchemeRegistry {
+        &self.registry
+    }
+
+    /// Runs one benchmark under one ad-hoc configuration (bypassing the
+    /// registry), using the built-in policy of `config.scheme`.
     pub fn run_one(&self, benchmark: Benchmark, config: &ReplicationConfig) -> SimulationReport {
         let trace = self.suite.trace_for(benchmark, self.system.num_cores);
         let mut sim = Simulator::with_energy_model(
@@ -70,18 +111,52 @@ impl ExperimentRunner {
         sim.run(&trace)
     }
 
-    /// Runs every benchmark of the suite under every configuration, in
+    /// Runs one benchmark under one registered scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when `scheme` is not in the registry.
+    pub fn run_scheme(
+        &self,
+        benchmark: Benchmark,
+        scheme: SchemeId,
+    ) -> Result<SimulationReport, UnknownScheme> {
+        let entry = self.registry.get(scheme)?;
+        Ok(self.run_registered(benchmark, entry))
+    }
+
+    fn run_registered(&self, benchmark: Benchmark, scheme: &RegisteredScheme) -> SimulationReport {
+        let trace = self.suite.trace_for(benchmark, self.system.num_cores);
+        let mut sim = Simulator::with_policy_and_energy_model(
+            self.system.clone(),
+            scheme.config.clone(),
+            Arc::clone(&scheme.policy),
+            self.energy_model.clone(),
+        );
+        sim.run(&trace)
+    }
+
+    /// Runs every benchmark of the suite under every requested scheme, in
     /// parallel across worker threads.  Results are keyed by
-    /// `(benchmark, configuration label)`.
+    /// `(benchmark, scheme id)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with [`UnknownScheme`] (before simulating anything) if any
+    /// requested scheme is not registered.
     pub fn run_matrix(
         &self,
-        configs: &[ReplicationConfig],
-    ) -> BTreeMap<(Benchmark, String), SimulationReport> {
-        let jobs: Vec<(Benchmark, ReplicationConfig)> = self
+        schemes: &[SchemeId],
+    ) -> Result<BTreeMap<(Benchmark, SchemeId), SimulationReport>, UnknownScheme> {
+        let resolved: Vec<(SchemeId, &RegisteredScheme)> = schemes
+            .iter()
+            .map(|&id| Ok((id, self.registry.get(id)?)))
+            .collect::<Result<_, UnknownScheme>>()?;
+        let jobs: Vec<(Benchmark, SchemeId, &RegisteredScheme)> = self
             .suite
             .benchmarks()
             .iter()
-            .flat_map(|b| configs.iter().map(move |c| (*b, c.clone())))
+            .flat_map(|b| resolved.iter().map(move |(id, entry)| (*b, *id, *entry)))
             .collect();
 
         let mut results = BTreeMap::new();
@@ -94,9 +169,9 @@ impl ExperimentRunner {
                     scope.spawn(move || {
                         chunk
                             .iter()
-                            .map(|(benchmark, config)| {
-                                let report = runner.run_one(*benchmark, config);
-                                ((*benchmark, config.label()), report)
+                            .map(|(benchmark, id, entry)| {
+                                let report = runner.run_registered(*benchmark, entry);
+                                ((*benchmark, *id), report)
                             })
                             .collect::<Vec<_>>()
                     })
@@ -108,25 +183,40 @@ impl ExperimentRunner {
                 }
             }
         });
-        results
+        Ok(results)
+    }
+
+    /// The scheme ids of the paper's standard sweep: the four baselines
+    /// (with ASR at every level of [`AsrPolicy::LEVELS`]) and RT-1, RT-3,
+    /// RT-8.
+    pub fn paper_sweep() -> Vec<SchemeId> {
+        let mut schemes = vec![
+            SchemeId::StaticNuca,
+            SchemeId::ReactiveNuca,
+            SchemeId::VictimReplication,
+            SchemeId::Rt(1),
+            SchemeId::Rt(3),
+            SchemeId::Rt(8),
+        ];
+        for level in AsrPolicy::LEVELS {
+            schemes.push(SchemeId::asr_at_level(level));
+        }
+        schemes
     }
 
     /// Runs the paper's standard seven-configuration comparison
     /// (S-NUCA, R-NUCA, VR, ASR at its best level, RT-1, RT-3, RT-8) for the
     /// whole suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a custom registry (see
+    /// [`ExperimentRunner::with_registry`]) dropped one of the built-in
+    /// schemes of the sweep.
     pub fn run_paper_comparison(&self) -> SchemeComparison {
-        let mut configs = vec![
-            ReplicationConfig::static_nuca(),
-            ReplicationConfig::reactive_nuca(),
-            ReplicationConfig::victim_replication(),
-            ReplicationConfig::locality_aware(1),
-            ReplicationConfig::locality_aware(3),
-            ReplicationConfig::locality_aware(8),
-        ];
-        for level in AsrPolicy::LEVELS {
-            configs.push(ReplicationConfig::asr(level));
-        }
-        let results = self.run_matrix(&configs);
+        let results = self
+            .run_matrix(&Self::paper_sweep())
+            .expect("the paper sweep must be registered (is a custom registry missing built-ins?)");
         SchemeComparison::from_results(self.suite.benchmarks().to_vec(), results)
     }
 }
@@ -135,27 +225,36 @@ impl ExperimentRunner {
 #[derive(Debug, Clone)]
 pub struct SchemeComparison {
     benchmarks: Vec<Benchmark>,
-    /// Reports keyed by `(benchmark, scheme label)`, with ASR already
-    /// collapsed to its best level per benchmark (label `"ASR"`).
-    reports: BTreeMap<(Benchmark, String), SimulationReport>,
+    /// Reports keyed by `(benchmark, scheme id)`, with the ASR level sweep
+    /// already collapsed to its best level per benchmark under
+    /// [`SchemeId::Asr`].
+    reports: BTreeMap<(Benchmark, SchemeId), SimulationReport>,
 }
 
 impl SchemeComparison {
-    /// The scheme labels of the paper's figures, in plotting order.
-    pub const SCHEME_ORDER: [&'static str; 7] =
-        ["S-NUCA", "R-NUCA", "VR", "ASR", "RT-1", "RT-3", "RT-8"];
+    /// The scheme columns of the paper's figures, in plotting order.
+    pub const SCHEME_ORDER: [SchemeId; 7] = [
+        SchemeId::StaticNuca,
+        SchemeId::ReactiveNuca,
+        SchemeId::VictimReplication,
+        SchemeId::Asr,
+        SchemeId::Rt(1),
+        SchemeId::Rt(3),
+        SchemeId::Rt(8),
+    ];
 
     /// Builds the comparison from a raw result matrix, selecting ASR's best
     /// replication level per benchmark by energy-delay product (the paper's
-    /// methodology, Section 3.3).
+    /// methodology, Section 3.3): every [`SchemeId::AsrAt`] entry competes
+    /// for the collapsed [`SchemeId::Asr`] column.
     pub fn from_results(
         benchmarks: Vec<Benchmark>,
-        results: BTreeMap<(Benchmark, String), SimulationReport>,
+        results: BTreeMap<(Benchmark, SchemeId), SimulationReport>,
     ) -> Self {
-        let mut reports: BTreeMap<(Benchmark, String), SimulationReport> = BTreeMap::new();
-        for ((benchmark, label), report) in results {
-            if label.starts_with("ASR-") {
-                let key = (benchmark, "ASR".to_string());
+        let mut reports: BTreeMap<(Benchmark, SchemeId), SimulationReport> = BTreeMap::new();
+        for ((benchmark, id), report) in results {
+            if let SchemeId::AsrAt(_) = id {
+                let key = (benchmark, SchemeId::Asr);
                 let better = match reports.get(&key) {
                     None => true,
                     Some(existing) => {
@@ -166,7 +265,7 @@ impl SchemeComparison {
                     reports.insert(key, report);
                 }
             } else {
-                reports.insert((benchmark, label), report);
+                reports.insert((benchmark, id), report);
             }
         }
         SchemeComparison { benchmarks, reports }
@@ -177,113 +276,246 @@ impl SchemeComparison {
         &self.benchmarks
     }
 
-    /// The report for one benchmark under one scheme label, if present.
-    pub fn report(&self, benchmark: Benchmark, scheme: &str) -> Option<&SimulationReport> {
-        self.reports.get(&(benchmark, scheme.to_string()))
+    /// The scheme columns present for at least one benchmark, in
+    /// [`SchemeId`] order.
+    pub fn schemes(&self) -> Vec<SchemeId> {
+        let mut ids: Vec<SchemeId> = self.reports.keys().map(|(_, id)| *id).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// The report for one benchmark under one scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when that cell of the matrix was never run.
+    pub fn report(
+        &self,
+        benchmark: Benchmark,
+        scheme: SchemeId,
+    ) -> Result<&SimulationReport, UnknownScheme> {
+        self.reports
+            .get(&(benchmark, scheme))
+            .ok_or_else(|| UnknownScheme::new(scheme, benchmark.label()))
     }
 
     /// Energy of `scheme` normalized to the `baseline` scheme for one
-    /// benchmark (1.0 when either is missing).
-    pub fn normalized_energy(&self, benchmark: Benchmark, scheme: &str, baseline: &str) -> f64 {
-        match (self.report(benchmark, scheme), self.report(benchmark, baseline)) {
-            (Some(s), Some(b)) => normalized(s.energy.total(), b.energy.total()),
-            _ => 1.0,
-        }
+    /// benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when either report is missing — a missing
+    /// baseline is an experiment bug, not a 1.0.
+    pub fn normalized_energy(
+        &self,
+        benchmark: Benchmark,
+        scheme: SchemeId,
+        baseline: SchemeId,
+    ) -> Result<f64, UnknownScheme> {
+        let s = self.report(benchmark, scheme)?;
+        let b = self.report(benchmark, baseline)?;
+        Ok(normalized(s.energy.total(), b.energy.total()))
     }
 
     /// Completion time of `scheme` normalized to `baseline` for one
     /// benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when either report is missing.
     pub fn normalized_completion_time(
         &self,
         benchmark: Benchmark,
-        scheme: &str,
-        baseline: &str,
-    ) -> f64 {
-        match (self.report(benchmark, scheme), self.report(benchmark, baseline)) {
-            (Some(s), Some(b)) => normalized(
-                s.completion_time.value() as f64,
-                b.completion_time.value() as f64,
-            ),
-            _ => 1.0,
-        }
+        scheme: SchemeId,
+        baseline: SchemeId,
+    ) -> Result<f64, UnknownScheme> {
+        let s = self.report(benchmark, scheme)?;
+        let b = self.report(benchmark, baseline)?;
+        Ok(normalized(s.completion_time.value() as f64, b.completion_time.value() as f64))
+    }
+
+    fn normalized_over_benchmarks(
+        &self,
+        scheme: SchemeId,
+        baseline: SchemeId,
+        metric: impl Fn(&Self, Benchmark, SchemeId, SchemeId) -> Result<f64, UnknownScheme>,
+    ) -> Result<Vec<f64>, UnknownScheme> {
+        self.benchmarks.iter().map(|b| metric(self, *b, scheme, baseline)).collect()
     }
 
     /// Arithmetic mean (over benchmarks) of the normalized energy of a
     /// scheme — the "Average" bar of Figure 6.
-    pub fn average_normalized_energy(&self, scheme: &str, baseline: &str) -> f64 {
-        let values: Vec<f64> = self
-            .benchmarks
-            .iter()
-            .map(|b| self.normalized_energy(*b, scheme, baseline))
-            .collect();
-        mean(&values).unwrap_or(1.0)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when any benchmark is missing either
+    /// report.
+    pub fn average_normalized_energy(
+        &self,
+        scheme: SchemeId,
+        baseline: SchemeId,
+    ) -> Result<f64, UnknownScheme> {
+        let values =
+            self.normalized_over_benchmarks(scheme, baseline, Self::normalized_energy)?;
+        Ok(mean(&values).unwrap_or(1.0))
     }
 
     /// Arithmetic mean (over benchmarks) of the normalized completion time —
     /// the "Average" bar of Figure 7.
-    pub fn average_normalized_completion_time(&self, scheme: &str, baseline: &str) -> f64 {
-        let values: Vec<f64> = self
-            .benchmarks
-            .iter()
-            .map(|b| self.normalized_completion_time(*b, scheme, baseline))
-            .collect();
-        mean(&values).unwrap_or(1.0)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when any benchmark is missing either
+    /// report.
+    pub fn average_normalized_completion_time(
+        &self,
+        scheme: SchemeId,
+        baseline: SchemeId,
+    ) -> Result<f64, UnknownScheme> {
+        let values =
+            self.normalized_over_benchmarks(scheme, baseline, Self::normalized_completion_time)?;
+        Ok(mean(&values).unwrap_or(1.0))
     }
 
     /// Geometric mean of normalized energy (used by Figures 9 and 10).
-    pub fn geomean_normalized_energy(&self, scheme: &str, baseline: &str) -> f64 {
-        let values: Vec<f64> = self
-            .benchmarks
-            .iter()
-            .map(|b| self.normalized_energy(*b, scheme, baseline))
-            .collect();
-        geometric_mean(&values).unwrap_or(1.0)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when any benchmark is missing either
+    /// report.
+    pub fn geomean_normalized_energy(
+        &self,
+        scheme: SchemeId,
+        baseline: SchemeId,
+    ) -> Result<f64, UnknownScheme> {
+        let values =
+            self.normalized_over_benchmarks(scheme, baseline, Self::normalized_energy)?;
+        Ok(geometric_mean(&values).unwrap_or(1.0))
     }
 
     /// Geometric mean of normalized completion time (Figures 9 and 10).
-    pub fn geomean_normalized_completion_time(&self, scheme: &str, baseline: &str) -> f64 {
-        let values: Vec<f64> = self
-            .benchmarks
-            .iter()
-            .map(|b| self.normalized_completion_time(*b, scheme, baseline))
-            .collect();
-        geometric_mean(&values).unwrap_or(1.0)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when any benchmark is missing either
+    /// report.
+    pub fn geomean_normalized_completion_time(
+        &self,
+        scheme: SchemeId,
+        baseline: SchemeId,
+    ) -> Result<f64, UnknownScheme> {
+        let values =
+            self.normalized_over_benchmarks(scheme, baseline, Self::normalized_completion_time)?;
+        Ok(geometric_mean(&values).unwrap_or(1.0))
     }
 
     /// The headline result of the paper: the percentage reduction in energy
-    /// and completion time of `scheme` relative to each baseline, averaged
+    /// and completion time of `scheme` relative to `baseline`, averaged
     /// over benchmarks.  Returns `(energy_reduction_pct, time_reduction_pct)`.
-    pub fn reduction_vs(&self, scheme: &str, baseline: &str) -> (f64, f64) {
-        let energy: Vec<f64> = self
-            .benchmarks
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownScheme`] when any benchmark is missing either
+    /// report.
+    pub fn reduction_vs(
+        &self,
+        scheme: SchemeId,
+        baseline: SchemeId,
+    ) -> Result<(f64, f64), UnknownScheme> {
+        let energy = self.average_normalized_energy(scheme, baseline)?;
+        let time = self.average_normalized_completion_time(scheme, baseline)?;
+        Ok(((1.0 - energy) * 100.0, (1.0 - time) * 100.0))
+    }
+
+    /// The whole comparison as a JSON object (benchmarks plus one entry per
+    /// matrix cell).  Round-trips through [`SchemeComparison::from_json`].
+    pub fn to_json(&self) -> JsonValue {
+        let benchmarks: Vec<JsonValue> =
+            self.benchmarks.iter().map(|b| JsonValue::from(b.label())).collect();
+        let entries: Vec<JsonValue> = self
+            .reports
             .iter()
-            .map(|b| self.normalized_energy(*b, scheme, baseline))
+            .map(|((benchmark, scheme), report)| {
+                JsonValue::object([
+                    ("benchmark", JsonValue::from(benchmark.label())),
+                    ("scheme", JsonValue::from(scheme.label())),
+                    ("report", report.to_json()),
+                ])
+            })
             .collect();
-        let time: Vec<f64> = self
-            .benchmarks
+        JsonValue::object([
+            ("benchmarks", JsonValue::Array(benchmarks)),
+            ("entries", JsonValue::Array(entries)),
+        ])
+    }
+
+    /// Rebuilds a comparison from [`SchemeComparison::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry or unknown
+    /// benchmark label.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let benchmark_for = |label: &str| {
+            Benchmark::ALL
+                .iter()
+                .copied()
+                .find(|b| b.label() == label)
+                .ok_or_else(|| format!("unknown benchmark {label:?}"))
+        };
+        let benchmarks = value
+            .get("benchmarks")
+            .and_then(JsonValue::as_array)
+            .ok_or("comparison is missing the benchmark list")?
             .iter()
-            .map(|b| self.normalized_completion_time(*b, scheme, baseline))
-            .collect();
-        (
-            (1.0 - mean(&energy).unwrap_or(1.0)) * 100.0,
-            (1.0 - mean(&time).unwrap_or(1.0)) * 100.0,
-        )
+            .map(|b| {
+                b.as_str()
+                    .ok_or_else(|| "benchmark labels must be strings".to_string())
+                    .and_then(benchmark_for)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut reports = BTreeMap::new();
+        for entry in value
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or("comparison is missing the entry list")?
+        {
+            let benchmark = benchmark_for(
+                entry
+                    .get("benchmark")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("comparison entry is missing its benchmark")?,
+            )?;
+            let scheme = SchemeId::parse(
+                entry
+                    .get("scheme")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("comparison entry is missing its scheme")?,
+            );
+            let report = SimulationReport::from_json(
+                entry.get("report").ok_or("comparison entry is missing its report")?,
+            )?;
+            reports.insert((benchmark, scheme), report);
+        }
+        Ok(SchemeComparison { benchmarks, reports })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile};
     use lad_common::types::Cycle;
     use lad_energy::accounting::{Component, EnergyAccounting};
-    use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile};
 
-    fn fake_report(benchmark: &str, scheme: &str, energy: f64, time: u64) -> SimulationReport {
+    fn fake_report(benchmark: &str, scheme: SchemeId, energy: f64, time: u64) -> SimulationReport {
         let mut acc = EnergyAccounting::new();
         acc.record(Component::L2Cache, energy);
         SimulationReport {
             benchmark: benchmark.to_string(),
-            scheme: scheme.to_string(),
+            scheme: scheme.label(),
+            scheme_id: scheme,
             completion_time: Cycle::new(time),
             latency: LatencyBreakdown::default(),
             misses: MissBreakdown::default(),
@@ -300,21 +532,64 @@ mod tests {
         let mut results = BTreeMap::new();
         let benchmarks = vec![Benchmark::Barnes, Benchmark::Dedup];
         for b in &benchmarks {
-            results.insert((*b, "S-NUCA".to_string()), fake_report(b.label(), "S-NUCA", 100.0, 1000));
-            results.insert((*b, "RT-3".to_string()), fake_report(b.label(), "RT-3", 80.0, 900));
+            results.insert(
+                (*b, SchemeId::StaticNuca),
+                fake_report(b.label(), SchemeId::StaticNuca, 100.0, 1000),
+            );
+            results.insert((*b, SchemeId::Rt(3)), fake_report(b.label(), SchemeId::Rt(3), 80.0, 900));
         }
         let cmp = SchemeComparison::from_results(benchmarks, results);
-        assert!((cmp.normalized_energy(Benchmark::Barnes, "RT-3", "S-NUCA") - 0.8).abs() < 1e-12);
-        assert!((cmp.average_normalized_energy("RT-3", "S-NUCA") - 0.8).abs() < 1e-12);
+        let rt3 = SchemeId::Rt(3);
+        let snuca = SchemeId::StaticNuca;
         assert!(
-            (cmp.average_normalized_completion_time("RT-3", "S-NUCA") - 0.9).abs() < 1e-12
+            (cmp.normalized_energy(Benchmark::Barnes, rt3, snuca).unwrap() - 0.8).abs() < 1e-12
         );
-        assert!((cmp.geomean_normalized_energy("RT-3", "S-NUCA") - 0.8).abs() < 1e-9);
-        let (e_red, t_red) = cmp.reduction_vs("RT-3", "S-NUCA");
+        assert!((cmp.average_normalized_energy(rt3, snuca).unwrap() - 0.8).abs() < 1e-12);
+        assert!(
+            (cmp.average_normalized_completion_time(rt3, snuca).unwrap() - 0.9).abs() < 1e-12
+        );
+        assert!((cmp.geomean_normalized_energy(rt3, snuca).unwrap() - 0.8).abs() < 1e-9);
+        assert!(
+            (cmp.geomean_normalized_completion_time(rt3, snuca).unwrap() - 0.9).abs() < 1e-9
+        );
+        let (e_red, t_red) = cmp.reduction_vs(rt3, snuca).unwrap();
         assert!((e_red - 20.0).abs() < 1e-9);
         assert!((t_red - 10.0).abs() < 1e-9);
-        // Missing scheme falls back to 1.0.
-        assert_eq!(cmp.normalized_energy(Benchmark::Barnes, "VR", "S-NUCA"), 1.0);
+        assert_eq!(cmp.schemes(), vec![snuca, rt3]);
+    }
+
+    #[test]
+    fn missing_scheme_lookups_are_typed_errors_not_nan() {
+        // Regression: the old string-keyed API silently produced 1.0 / NaN
+        // when a scheme or the baseline was missing from the matrix.
+        let mut results = BTreeMap::new();
+        results.insert(
+            (Benchmark::Barnes, SchemeId::StaticNuca),
+            fake_report("BARNES", SchemeId::StaticNuca, 100.0, 1000),
+        );
+        let cmp = SchemeComparison::from_results(vec![Benchmark::Barnes], results);
+
+        // Missing scheme.
+        let err = cmp
+            .normalized_energy(Benchmark::Barnes, SchemeId::VictimReplication, SchemeId::StaticNuca)
+            .unwrap_err();
+        assert_eq!(err.scheme, SchemeId::VictimReplication);
+        assert_eq!(err.context, "BARNES");
+
+        // Missing baseline.
+        let err = cmp
+            .normalized_completion_time(Benchmark::Barnes, SchemeId::StaticNuca, SchemeId::Rt(3))
+            .unwrap_err();
+        assert_eq!(err.scheme, SchemeId::Rt(3));
+
+        // Aggregates propagate the error.
+        assert!(cmp.average_normalized_energy(SchemeId::Rt(3), SchemeId::StaticNuca).is_err());
+        assert!(cmp.geomean_normalized_energy(SchemeId::Rt(3), SchemeId::StaticNuca).is_err());
+        assert!(cmp.reduction_vs(SchemeId::Rt(3), SchemeId::StaticNuca).is_err());
+        assert!(cmp.report(Benchmark::Barnes, SchemeId::Asr).is_err());
+        // The error is displayable for operators.
+        let err = cmp.report(Benchmark::Barnes, SchemeId::Asr).unwrap_err();
+        assert_eq!(err.to_string(), "unknown scheme ASR (BARNES)");
     }
 
     #[test]
@@ -322,20 +597,21 @@ mod tests {
         let mut results = BTreeMap::new();
         let benchmarks = vec![Benchmark::Barnes];
         results.insert(
-            (Benchmark::Barnes, "ASR-0.00".to_string()),
-            fake_report("BARNES", "ASR-0.00", 100.0, 1000),
+            (Benchmark::Barnes, SchemeId::AsrAt(0)),
+            fake_report("BARNES", SchemeId::AsrAt(0), 100.0, 1000),
         );
         results.insert(
-            (Benchmark::Barnes, "ASR-0.50".to_string()),
-            fake_report("BARNES", "ASR-0.50", 50.0, 900),
+            (Benchmark::Barnes, SchemeId::AsrAt(50)),
+            fake_report("BARNES", SchemeId::AsrAt(50), 50.0, 900),
         );
         results.insert(
-            (Benchmark::Barnes, "ASR-1.00".to_string()),
-            fake_report("BARNES", "ASR-1.00", 120.0, 800),
+            (Benchmark::Barnes, SchemeId::AsrAt(100)),
+            fake_report("BARNES", SchemeId::AsrAt(100), 120.0, 800),
         );
         let cmp = SchemeComparison::from_results(benchmarks, results);
-        let chosen = cmp.report(Benchmark::Barnes, "ASR").expect("ASR entry exists");
+        let chosen = cmp.report(Benchmark::Barnes, SchemeId::Asr).expect("ASR entry exists");
         assert_eq!(chosen.scheme, "ASR-0.50");
+        assert_eq!(chosen.scheme_id, SchemeId::AsrAt(50));
         assert_eq!(SchemeComparison::SCHEME_ORDER.len(), 7);
     }
 
@@ -343,15 +619,76 @@ mod tests {
     fn runner_executes_matrix_in_parallel() {
         let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup, Benchmark::Barnes], 150, 1);
         let runner = ExperimentRunner::new(SystemConfig::small_test(), suite).with_threads(2);
-        let configs = [ReplicationConfig::static_nuca(), ReplicationConfig::locality_aware(3)];
-        let results = runner.run_matrix(&configs);
+        let schemes = [SchemeId::StaticNuca, SchemeId::Rt(3)];
+        let results = runner.run_matrix(&schemes).unwrap();
         assert_eq!(results.len(), 4);
-        for ((_, label), report) in &results {
-            assert!(report.total_accesses > 0, "{label} must simulate accesses");
+        for ((_, id), report) in &results {
+            assert!(report.total_accesses > 0, "{id} must simulate accesses");
+            assert_eq!(report.scheme_id, *id);
         }
-        // A single run agrees with the matrix entry (determinism).
-        let single = runner.run_one(Benchmark::Dedup, &ReplicationConfig::static_nuca());
-        let from_matrix = &results[&(Benchmark::Dedup, "S-NUCA".to_string())];
+        // A single run agrees with the matrix entry (determinism), whether
+        // it goes through the registry or an ad-hoc config.
+        let single = runner.run_scheme(Benchmark::Dedup, SchemeId::StaticNuca).unwrap();
+        let from_matrix = &results[&(Benchmark::Dedup, SchemeId::StaticNuca)];
         assert_eq!(single.completion_time, from_matrix.completion_time);
+        let adhoc = runner.run_one(Benchmark::Dedup, &ReplicationConfig::static_nuca());
+        assert_eq!(adhoc.completion_time, from_matrix.completion_time);
+    }
+
+    #[test]
+    fn run_matrix_fails_fast_on_unregistered_schemes() {
+        let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup], 100, 1);
+        let runner = ExperimentRunner::new(SystemConfig::small_test(), suite);
+        let err = runner
+            .run_matrix(&[SchemeId::StaticNuca, SchemeId::Custom("NOPE")])
+            .unwrap_err();
+        assert_eq!(err.scheme, SchemeId::Custom("NOPE"));
+        assert!(runner.run_scheme(Benchmark::Dedup, SchemeId::Custom("NOPE")).is_err());
+    }
+
+    #[test]
+    fn paper_sweep_contains_every_figure_column() {
+        let sweep = ExperimentRunner::paper_sweep();
+        assert_eq!(sweep.len(), 11);
+        let registry = SchemeRegistry::builtin();
+        for id in &sweep {
+            assert!(registry.contains(*id), "{id} missing from the built-in registry");
+        }
+    }
+
+    #[test]
+    fn comparison_json_roundtrips() {
+        let mut results = BTreeMap::new();
+        let benchmarks = vec![Benchmark::Barnes, Benchmark::Dedup];
+        for b in &benchmarks {
+            for (id, energy, time) in [
+                (SchemeId::StaticNuca, 100.0, 1000),
+                (SchemeId::AsrAt(25), 90.0, 950),
+                (SchemeId::AsrAt(75), 85.0, 940),
+                (SchemeId::Rt(3), 80.0, 900),
+            ] {
+                results.insert((*b, id), fake_report(b.label(), id, energy, time));
+            }
+        }
+        let cmp = SchemeComparison::from_results(benchmarks, results);
+        let json = cmp.to_json();
+        let text = json.pretty();
+        let reparsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(reparsed, json);
+        let decoded = SchemeComparison::from_json(&reparsed).unwrap();
+        assert_eq!(decoded.benchmarks(), cmp.benchmarks());
+        assert_eq!(decoded.to_json(), json);
+        assert!(
+            (decoded.normalized_energy(Benchmark::Barnes, SchemeId::Rt(3), SchemeId::StaticNuca)
+                .unwrap()
+                - 0.8)
+                .abs()
+                < 1e-12
+        );
+        // The collapsed ASR column survived the round trip.
+        assert_eq!(
+            decoded.report(Benchmark::Dedup, SchemeId::Asr).unwrap().scheme_id,
+            SchemeId::AsrAt(75)
+        );
     }
 }

@@ -42,6 +42,6 @@ pub mod experiment;
 pub mod metrics;
 pub mod tile;
 
-pub use engine::Simulator;
+pub use engine::{AccessOutcome, ServedBy, Simulator};
 pub use experiment::{ExperimentRunner, SchemeComparison};
 pub use metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};

@@ -5,9 +5,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use lad_common::json::JsonValue;
 use lad_common::stats::Histogram;
 use lad_common::types::{CacheLine, CoreId, Cycle, DataClass};
-use lad_energy::accounting::EnergyAccounting;
+use lad_energy::accounting::{Component, EnergyAccounting};
+use lad_replication::scheme::SchemeId;
 
 /// The completion-time components of Figure 7, accumulated over all cores
 /// (in cycles).
@@ -58,6 +60,43 @@ impl LatencyBreakdown {
     /// Sum of all components.
     pub fn total(&self) -> u64 {
         self.values().iter().sum()
+    }
+
+    /// The breakdown as a JSON object keyed by the Figure 7 labels.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            Self::LABELS
+                .iter()
+                .zip(self.values())
+                .map(|(label, value)| (label.to_string(), JsonValue::from(value)))
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a breakdown from [`LatencyBreakdown::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let mut values = [0u64; 7];
+        for (label, slot) in Self::LABELS.iter().zip(values.iter_mut()) {
+            *slot = value
+                .get(label)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("latency breakdown is missing {label:?}"))?;
+        }
+        let [compute, l1_to_llc_replica, l1_to_llc_home, llc_home_waiting, llc_home_to_sharers, llc_home_to_offchip, synchronization] =
+            values;
+        Ok(LatencyBreakdown {
+            compute,
+            l1_to_llc_replica,
+            l1_to_llc_home,
+            llc_home_waiting,
+            llc_home_to_sharers,
+            llc_home_to_offchip,
+            synchronization,
+        })
     }
 
     /// Merges another breakdown into this one.
@@ -119,6 +158,36 @@ impl MissBreakdown {
         } else {
             self.offchip_misses as f64 / misses as f64
         }
+    }
+
+    /// The breakdown as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("l1_hits", JsonValue::from(self.l1_hits)),
+            ("llc_replica_hits", JsonValue::from(self.llc_replica_hits)),
+            ("llc_home_hits", JsonValue::from(self.llc_home_hits)),
+            ("offchip_misses", JsonValue::from(self.offchip_misses)),
+        ])
+    }
+
+    /// Rebuilds a breakdown from [`MissBreakdown::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("miss breakdown is missing {name:?}"))
+        };
+        Ok(MissBreakdown {
+            l1_hits: field("l1_hits")?,
+            llc_replica_hits: field("llc_replica_hits")?,
+            llc_home_hits: field("llc_home_hits")?,
+            offchip_misses: field("offchip_misses")?,
+        })
     }
 }
 
@@ -251,6 +320,61 @@ impl RunLengthProfile {
     pub fn mean_run_length(&self, class: DataClass) -> Option<f64> {
         self.histograms.get(&class).and_then(Histogram::mean)
     }
+
+    /// The per-class run-length histograms as a JSON object
+    /// (`{class label: [[run length, count], ...]}`).  Open runs are not
+    /// serialized — call [`RunLengthProfile::finalize`] first (reports
+    /// produced by the simulator already are).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.histograms
+                .iter()
+                .map(|(class, histogram)| {
+                    let samples: Vec<JsonValue> = histogram
+                        .iter()
+                        .map(|(value, count)| {
+                            JsonValue::Array(vec![JsonValue::from(value), JsonValue::from(count)])
+                        })
+                        .collect();
+                    (class.label().to_string(), JsonValue::Array(samples))
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a finalized profile from [`RunLengthProfile::to_json`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unknown class or malformed sample.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let pairs = value.as_object().ok_or("run-length profile must be an object")?;
+        let mut profile = RunLengthProfile::new();
+        for (label, samples) in pairs {
+            let class = DataClass::ALL
+                .iter()
+                .copied()
+                .find(|c| c.label() == label)
+                .ok_or_else(|| format!("unknown data class {label:?}"))?;
+            let samples = samples
+                .as_array()
+                .ok_or_else(|| format!("run lengths of {label:?} must be an array"))?;
+            let histogram = profile.histograms.entry(class).or_default();
+            for sample in samples {
+                let pair = sample.as_array().filter(|p| p.len() == 2);
+                let (value, count) = match pair {
+                    Some([v, c]) => (v.as_u64(), c.as_u64()),
+                    _ => (None, None),
+                };
+                match (value, count) {
+                    (Some(value), Some(count)) => histogram.record_weighted(value, count),
+                    _ => return Err(format!("malformed run-length sample for {label:?}")),
+                }
+            }
+        }
+        Ok(profile)
+    }
 }
 
 /// The complete result of one simulation run.
@@ -258,8 +382,11 @@ impl RunLengthProfile {
 pub struct SimulationReport {
     /// Benchmark name.
     pub benchmark: String,
-    /// Label of the scheme configuration (e.g. `RT-3`, `S-NUCA`).
+    /// Label of the scheme configuration (e.g. `RT-3`, `S-NUCA`,
+    /// `RT-3/C-16`).
     pub scheme: String,
+    /// Typed identity of the scheme, used as the experiment-matrix key.
+    pub scheme_id: SchemeId,
     /// Parallel completion time (the slowest core).
     pub completion_time: Cycle,
     /// Completion-time components summed over cores.
@@ -292,6 +419,88 @@ impl SimulationReport {
         }
         let memory_cycles = self.latency.total() - self.latency.compute - self.latency.synchronization;
         memory_cycles as f64 / self.total_accesses as f64
+    }
+
+    /// The full report as a JSON object — the machine-readable form emitted
+    /// by the figure binaries' `--json` flag.  Numeric values round-trip
+    /// exactly through [`SimulationReport::from_json`].
+    pub fn to_json(&self) -> JsonValue {
+        let energy = JsonValue::Object(
+            self.energy
+                .iter()
+                .map(|(component, pj)| (component.label().to_string(), JsonValue::from(pj)))
+                .collect(),
+        );
+        JsonValue::object([
+            ("benchmark", JsonValue::from(self.benchmark.as_str())),
+            ("scheme", JsonValue::from(self.scheme.as_str())),
+            ("scheme_id", JsonValue::from(self.scheme_id.label())),
+            ("completion_time", JsonValue::from(self.completion_time.value())),
+            ("total_accesses", JsonValue::from(self.total_accesses)),
+            ("replicas_created", JsonValue::from(self.replicas_created)),
+            ("back_invalidations", JsonValue::from(self.back_invalidations)),
+            ("latency", self.latency.to_json()),
+            ("misses", self.misses.to_json()),
+            ("energy", energy),
+            ("run_lengths", self.run_lengths.to_json()),
+        ])
+    }
+
+    /// Rebuilds a report from [`SimulationReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let str_field = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("report is missing string field {name:?}"))
+        };
+        let u64_field = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("report is missing numeric field {name:?}"))
+        };
+        let energy_obj = value
+            .get("energy")
+            .and_then(JsonValue::as_object)
+            .ok_or("report is missing the energy breakdown")?;
+        let mut energy = EnergyAccounting::new();
+        for (label, pj) in energy_obj {
+            let component = Component::ALL
+                .iter()
+                .copied()
+                .find(|c| c.label() == label)
+                .ok_or_else(|| format!("unknown energy component {label:?}"))?;
+            let pj = pj.as_f64().ok_or_else(|| format!("energy of {label:?} must be a number"))?;
+            if pj < 0.0 {
+                return Err(format!("energy of {label:?} must be non-negative"));
+            }
+            energy.record(component, pj);
+        }
+        Ok(SimulationReport {
+            benchmark: str_field("benchmark")?,
+            scheme: str_field("scheme")?,
+            scheme_id: SchemeId::parse(&str_field("scheme_id")?),
+            completion_time: Cycle::new(u64_field("completion_time")?),
+            latency: LatencyBreakdown::from_json(
+                value.get("latency").ok_or("report is missing the latency breakdown")?,
+            )?,
+            misses: MissBreakdown::from_json(
+                value.get("misses").ok_or("report is missing the miss breakdown")?,
+            )?,
+            energy,
+            run_lengths: RunLengthProfile::from_json(
+                value.get("run_lengths").ok_or("report is missing the run-length profile")?,
+            )?,
+            total_accesses: u64_field("total_accesses")?,
+            replicas_created: u64_field("replicas_created")?,
+            back_invalidations: u64_field("back_invalidations")?,
+        })
     }
 }
 
@@ -399,6 +608,7 @@ mod tests {
         let report = SimulationReport {
             benchmark: "TEST".to_string(),
             scheme: "RT-3".to_string(),
+            scheme_id: SchemeId::Rt(3),
             completion_time: Cycle::new(500),
             latency: LatencyBreakdown {
                 compute: 100,
@@ -418,5 +628,92 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("TEST"));
         assert!(text.contains("RT-3"));
+    }
+
+    #[test]
+    fn report_json_roundtrips_exactly() {
+        let mut energy = EnergyAccounting::new();
+        energy.record(Component::Dram, 1234.5678901234);
+        energy.record(Component::L2Cache, 0.1 + 0.2);
+        let mut run_lengths = RunLengthProfile::new();
+        for _ in 0..5 {
+            run_lengths.record_access(
+                CacheLine::from_index(1),
+                CoreId::new(0),
+                DataClass::SharedReadWrite,
+                false,
+            );
+        }
+        run_lengths.record_access(CacheLine::from_index(2), CoreId::new(1), DataClass::Private, true);
+        run_lengths.finalize();
+        let report = SimulationReport {
+            benchmark: "BARNES".to_string(),
+            scheme: "ASR-0.50".to_string(),
+            scheme_id: SchemeId::AsrAt(50),
+            completion_time: Cycle::new(987_654_321),
+            latency: LatencyBreakdown {
+                compute: 1,
+                l1_to_llc_replica: 2,
+                l1_to_llc_home: 3,
+                llc_home_waiting: 4,
+                llc_home_to_sharers: 5,
+                llc_home_to_offchip: 6,
+                synchronization: 7,
+            },
+            misses: MissBreakdown {
+                l1_hits: 10,
+                llc_replica_hits: 11,
+                llc_home_hits: 12,
+                offchip_misses: 13,
+            },
+            energy,
+            run_lengths,
+            total_accesses: 46,
+            replicas_created: 3,
+            back_invalidations: 1,
+        };
+
+        // Through the document model and through the textual serializer.
+        let json = report.to_json();
+        let text = json.pretty();
+        let reparsed = lad_common::json::JsonValue::parse(&text).unwrap();
+        assert_eq!(reparsed, json);
+        let decoded = SimulationReport::from_json(&reparsed).unwrap();
+        // The Debug rendering covers every field, including histogram
+        // contents and exact float totals.
+        assert_eq!(format!("{decoded:?}"), format!("{report:?}"));
+    }
+
+    #[test]
+    fn report_from_json_rejects_malformed_documents() {
+        let report = SimulationReport {
+            benchmark: "T".to_string(),
+            scheme: "S-NUCA".to_string(),
+            scheme_id: SchemeId::StaticNuca,
+            completion_time: Cycle::new(1),
+            latency: LatencyBreakdown::default(),
+            misses: MissBreakdown::default(),
+            energy: EnergyAccounting::new(),
+            run_lengths: RunLengthProfile::new(),
+            total_accesses: 0,
+            replicas_created: 0,
+            back_invalidations: 0,
+        };
+        let json = report.to_json();
+        // Removing any top-level field must produce an error, not a panic.
+        if let JsonValue::Object(pairs) = &json {
+            for i in 0..pairs.len() {
+                let mut broken = pairs.clone();
+                broken.remove(i);
+                assert!(
+                    SimulationReport::from_json(&JsonValue::Object(broken)).is_err(),
+                    "dropping field {} must fail",
+                    pairs[i].0
+                );
+            }
+        } else {
+            panic!("report JSON must be an object");
+        }
+        assert!(SimulationReport::from_json(&JsonValue::Null).is_err());
     }
 }

@@ -42,13 +42,19 @@ pub use lad_trace as trace;
 /// The types most applications of the library need.
 pub mod prelude {
     pub use lad_common::config::SystemConfig;
+    pub use lad_common::json::JsonValue;
     pub use lad_common::types::{Address, CacheLine, CoreId, Cycle, DataClass, MemOp, MemoryAccess};
     pub use lad_energy::accounting::Component;
     pub use lad_energy::model::EnergyModel;
     pub use lad_replication::classifier::{ClassifierKind, ReplicationMode};
     pub use lad_replication::config::ReplicationConfig;
-    pub use lad_replication::scheme::SchemeKind;
-    pub use lad_sim::engine::Simulator;
+    pub use lad_replication::placement::PlacementPolicy;
+    pub use lad_replication::policy::{
+        builtin_policy, EvictDecision, FillDecision, RegisteredScheme, ReplicationPolicy,
+        SchemeRegistry,
+    };
+    pub use lad_replication::scheme::{SchemeId, SchemeKind, UnknownScheme};
+    pub use lad_sim::engine::{AccessOutcome, ServedBy, Simulator};
     pub use lad_sim::experiment::{ExperimentRunner, SchemeComparison};
     pub use lad_sim::metrics::SimulationReport;
     pub use lad_trace::benchmarks::Benchmark;

@@ -3,34 +3,35 @@
 //!
 //! Two independent simulator instances fed the identically-seeded trace must
 //! produce byte-identical [`SimulationReport`]s (compared on the full `Debug`
-//! rendering, which covers every counter, histogram and energy total).
+//! rendering, which covers every counter, histogram and energy total) — and
+//! the resumable stepping API (`begin` / `profile_access` / `step` /
+//! `report`) must be byte-identical to `run`, for every scheme.
 
 use locality_replication::prelude::*;
+use proptest::prelude::*;
 
-/// One representative configuration per label in
+/// One representative configuration per column of
 /// [`SchemeComparison::SCHEME_ORDER`].
-fn config_for(scheme: &str) -> ReplicationConfig {
+fn config_for(scheme: SchemeId) -> ReplicationConfig {
     match scheme {
-        "S-NUCA" => ReplicationConfig::static_nuca(),
-        "R-NUCA" => ReplicationConfig::reactive_nuca(),
-        "VR" => ReplicationConfig::victim_replication(),
-        "ASR" => ReplicationConfig::asr(0.75),
-        "RT-1" => ReplicationConfig::locality_aware(1),
-        "RT-3" => ReplicationConfig::locality_aware(3),
-        "RT-8" => ReplicationConfig::locality_aware(8),
-        other => panic!("unknown scheme label {other:?}"),
+        SchemeId::StaticNuca => ReplicationConfig::static_nuca(),
+        SchemeId::ReactiveNuca => ReplicationConfig::reactive_nuca(),
+        SchemeId::VictimReplication => ReplicationConfig::victim_replication(),
+        SchemeId::Asr => ReplicationConfig::asr(0.75),
+        SchemeId::AsrAt(level) => ReplicationConfig::asr(f64::from(level) / 100.0),
+        SchemeId::Rt(rt) => ReplicationConfig::locality_aware(rt),
+        SchemeId::Custom(other) => panic!("no built-in configuration for {other:?}"),
     }
 }
 
-fn report(scheme: &str, seed: u64) -> String {
+fn trace_for_seed(seed: u64) -> lad_trace::generator::WorkloadTrace {
     let system = SystemConfig::small_test();
-    let trace = TraceGenerator::new(Benchmark::Radix.profile()).generate(
-        system.num_cores,
-        300,
-        seed,
-    );
-    let mut sim = Simulator::new(system, config_for(scheme));
-    format!("{:?}", sim.run(&trace))
+    TraceGenerator::new(Benchmark::Radix.profile()).generate(system.num_cores, 300, seed)
+}
+
+fn report(scheme: SchemeId, seed: u64) -> String {
+    let mut sim = Simulator::new(SystemConfig::small_test(), config_for(scheme));
+    format!("{:?}", sim.run(&trace_for_seed(seed)))
 }
 
 #[test]
@@ -46,15 +47,105 @@ fn same_seed_gives_byte_identical_reports_for_every_scheme() {
 fn different_seeds_change_the_workload() {
     // Guards against the trace generator silently ignoring its seed, which
     // would make the test above pass vacuously.
-    let first = report("S-NUCA", 1);
-    let second = report("S-NUCA", 2);
+    let first = report(SchemeId::StaticNuca, 1);
+    let second = report(SchemeId::StaticNuca, 2);
     assert_ne!(first, second, "seed has no effect on the S-NUCA report");
 }
 
 #[test]
 fn identically_seeded_traces_are_equal() {
-    let system = SystemConfig::small_test();
-    let a = TraceGenerator::new(Benchmark::Radix.profile()).generate(system.num_cores, 300, 77);
-    let b = TraceGenerator::new(Benchmark::Radix.profile()).generate(system.num_cores, 300, 77);
+    let a = trace_for_seed(77);
+    let b = trace_for_seed(77);
     assert_eq!(a, b);
+}
+
+/// Drives a trace through the public stepping API the way `run` does:
+/// profiling pass, then always advance the core whose clock is furthest
+/// behind, then snapshot.
+fn step_driven_report(scheme: SchemeId, seed: u64) -> String {
+    let system = SystemConfig::small_test();
+    let trace = trace_for_seed(seed);
+    let mut sim = Simulator::new(system, config_for(scheme));
+
+    sim.begin(trace.name(), trace.num_cores());
+    for access in trace.iter() {
+        sim.profile_access(access);
+    }
+    let mut cursors = vec![0usize; trace.num_cores()];
+    let mut outcomes = 0usize;
+    loop {
+        let next = (0..trace.num_cores())
+            .filter(|&c| cursors[c] < trace.core_stream(CoreId::new(c)).len())
+            .min_by_key(|&c| sim.core_clock(CoreId::new(c)));
+        let Some(core) = next else { break };
+        let access = trace.core_stream(CoreId::new(core))[cursors[core]];
+        cursors[core] += 1;
+        let outcome = sim.step(&access);
+        assert_eq!(outcome.core, access.core);
+        assert_eq!(outcome.finish, sim.core_clock(access.core));
+        outcomes += 1;
+    }
+    assert_eq!(outcomes, trace.total_accesses());
+    format!("{:?}", sim.report())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Property: for every scheme of the paper's comparison, executing a
+    /// trace through the public stepping API produces a byte-identical
+    /// report to `Simulator::run`.
+    #[test]
+    fn step_driven_execution_matches_run(seed in 1u64..10_000) {
+        for scheme in SchemeComparison::SCHEME_ORDER {
+            let via_run = report(scheme, seed);
+            let via_step = step_driven_report(scheme, seed);
+            prop_assert_eq!(
+                via_run,
+                via_step,
+                "{} diverges between run and step at seed {}",
+                scheme,
+                seed
+            );
+        }
+    }
+}
+
+#[test]
+fn report_is_a_checkpoint_not_a_terminal_operation() {
+    // Snapshotting mid-stream must not perturb the final report.
+    let scheme = SchemeId::Rt(3);
+    let trace = trace_for_seed(42);
+    let system = SystemConfig::small_test();
+
+    let mut checkpointed = Simulator::new(system.clone(), config_for(scheme));
+    checkpointed.begin(trace.name(), trace.num_cores());
+    for access in trace.iter() {
+        checkpointed.profile_access(access);
+    }
+    let mut mid_completion = Cycle::ZERO;
+    for (i, access) in trace.iter().enumerate() {
+        checkpointed.step(access);
+        if i == trace.total_accesses() / 2 {
+            // Checkpoint halfway through; the snapshot is self-consistent...
+            let snapshot = checkpointed.report();
+            assert_eq!(snapshot.total_accesses as usize, i + 1);
+            mid_completion = snapshot.completion_time;
+        }
+    }
+    let final_report = checkpointed.report();
+    // ...covers a prefix of the stream...
+    assert!(mid_completion <= final_report.completion_time);
+
+    // ...and did not change the outcome relative to an uncheckpointed run
+    // over the same (sequential) access order.
+    let mut plain = Simulator::new(system, config_for(scheme));
+    plain.begin(trace.name(), trace.num_cores());
+    for access in trace.iter() {
+        plain.profile_access(access);
+    }
+    for access in trace.iter() {
+        plain.step(access);
+    }
+    assert_eq!(format!("{:?}", plain.report()), format!("{final_report:?}"));
 }

@@ -124,15 +124,99 @@ fn experiment_runner_produces_a_full_comparison() {
     for scheme in SchemeComparison::SCHEME_ORDER {
         for benchmark in comparison.benchmarks().to_vec() {
             assert!(
-                comparison.report(benchmark, scheme).is_some(),
+                comparison.report(benchmark, scheme).is_ok(),
                 "missing {benchmark} under {scheme}"
             );
-            let normalized = comparison.normalized_energy(benchmark, scheme, "S-NUCA");
+            let normalized = comparison
+                .normalized_energy(benchmark, scheme, SchemeId::StaticNuca)
+                .unwrap_or_else(|err| panic!("{err}"));
             assert!(normalized > 0.0 && normalized.is_finite());
         }
     }
     // S-NUCA normalized to itself is exactly 1.
-    assert!((comparison.average_normalized_energy("S-NUCA", "S-NUCA") - 1.0).abs() < 1e-12);
+    let self_normalized = comparison
+        .average_normalized_energy(SchemeId::StaticNuca, SchemeId::StaticNuca)
+        .unwrap();
+    assert!((self_normalized - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn missing_schemes_surface_as_typed_errors_not_silent_defaults() {
+    // Regression for the old string-keyed API, which mapped a missing
+    // scheme or baseline to a silent 1.0: a matrix that never ran VR must
+    // report the lookup as an UnknownScheme error.
+    let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup], 200, 5);
+    let runner = ExperimentRunner::new(SystemConfig::small_test(), suite).with_threads(2);
+    let results = runner.run_matrix(&[SchemeId::StaticNuca, SchemeId::Rt(3)]).unwrap();
+    let comparison = SchemeComparison::from_results(vec![Benchmark::Dedup], results);
+
+    let err = comparison
+        .normalized_energy(Benchmark::Dedup, SchemeId::VictimReplication, SchemeId::StaticNuca)
+        .unwrap_err();
+    assert_eq!(err.scheme, SchemeId::VictimReplication);
+    let err = comparison
+        .normalized_completion_time(Benchmark::Dedup, SchemeId::Rt(3), SchemeId::Asr)
+        .unwrap_err();
+    assert_eq!(err.scheme, SchemeId::Asr, "missing baseline must name the baseline");
+    // Present cells still work.
+    let ok = comparison
+        .normalized_energy(Benchmark::Dedup, SchemeId::Rt(3), SchemeId::StaticNuca)
+        .unwrap();
+    assert!(ok.is_finite() && ok > 0.0);
+}
+
+/// An out-of-crate policy: replicate every line at the requester's slice on
+/// every home fill, never consulting any classifier — the kind of scheme the
+/// registry exists for.
+#[derive(Debug)]
+struct AlwaysReplicate;
+
+impl ReplicationPolicy for AlwaysReplicate {
+    fn id(&self) -> SchemeId {
+        SchemeId::Custom("ALWAYS")
+    }
+    fn placement(&self) -> PlacementPolicy {
+        PlacementPolicy::AddressInterleaved
+    }
+    fn replicates(&self) -> bool {
+        true
+    }
+    fn replicate_on_fill(&self, _: FillDecision<'_>) -> bool {
+        true
+    }
+    fn replicate_on_l1_evict(&self, _: EvictDecision<'_>) -> bool {
+        false
+    }
+}
+
+#[test]
+fn custom_policy_registered_in_the_registry_runs_through_run_matrix() {
+    let suite = BenchmarkSuite::custom(vec![Benchmark::Barnes], 600, 5);
+    let mut runner = ExperimentRunner::new(SystemConfig::small_test(), suite).with_threads(2);
+    runner.register_scheme(
+        std::sync::Arc::new(AlwaysReplicate),
+        ReplicationConfig::static_nuca(),
+    );
+
+    let results = runner
+        .run_matrix(&[SchemeId::StaticNuca, SchemeId::Custom("ALWAYS")])
+        .expect("registered custom scheme must resolve");
+    let custom = &results[&(Benchmark::Barnes, SchemeId::Custom("ALWAYS"))];
+    let baseline = &results[&(Benchmark::Barnes, SchemeId::StaticNuca)];
+
+    assert_eq!(custom.scheme, "ALWAYS");
+    assert_eq!(custom.scheme_id, SchemeId::Custom("ALWAYS"));
+    assert!(custom.replicas_created > 0, "always-replicate must create replicas");
+    assert!(custom.misses.llc_replica_hits > 0);
+    assert_eq!(baseline.replicas_created, 0);
+    assert_eq!(custom.total_accesses, baseline.total_accesses);
+
+    // The same custom scheme also flows through the comparison machinery.
+    let comparison = SchemeComparison::from_results(vec![Benchmark::Barnes], results);
+    let normalized = comparison
+        .normalized_energy(Benchmark::Barnes, SchemeId::Custom("ALWAYS"), SchemeId::StaticNuca)
+        .unwrap();
+    assert!(normalized.is_finite() && normalized > 0.0);
 }
 
 #[test]
