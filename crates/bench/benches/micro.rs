@@ -87,7 +87,11 @@ fn bench_network(c: &mut Criterion) {
                     network.send(
                         CoreId::new(i % 64),
                         CoreId::new((i * 7) % 64),
-                        if i % 2 == 0 { MessageKind::Control } else { MessageKind::Data },
+                        if i % 2 == 0 {
+                            MessageKind::Control
+                        } else {
+                            MessageKind::Data
+                        },
                         Cycle::new(i as u64),
                     );
                 }
@@ -95,6 +99,37 @@ fn bench_network(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+}
+
+fn bench_ladt_codec(c: &mut Criterion) {
+    use lad_traceio::reader::TraceReader;
+    use lad_traceio::writer::encode_workload;
+
+    // 4 cores x 2000 accesses: big enough that the per-access cost
+    // dominates framing, small enough for the CI smoke run.  Mean ns/iter
+    // divided by 8000 gives ns/access (throughput = 1e9 / that, acc/s).
+    let trace = TraceGenerator::new(Benchmark::Barnes.profile()).generate(4, 2000, 5);
+    let accesses = trace.total_accesses();
+    let bytes = encode_workload(&trace, 5).expect("encoding to memory cannot fail");
+    println!(
+        "traceio corpus: {accesses} accesses, {} bytes encoded ({:.2} bytes/access)",
+        bytes.len(),
+        bytes.len() as f64 / accesses as f64
+    );
+
+    c.bench_function("traceio/ladt_encode_8000_accesses", |b| {
+        b.iter(|| encode_workload(&trace, 5).expect("encoding to memory cannot fail"))
+    });
+    c.bench_function("traceio/ladt_decode_8000_accesses", |b| {
+        b.iter(|| {
+            let mut reader = TraceReader::new(bytes.as_slice()).expect("valid header");
+            let mut count = 0u64;
+            while reader.next_access().expect("valid stream").is_some() {
+                count += 1;
+            }
+            count
+        })
     });
 }
 
@@ -124,6 +159,7 @@ criterion_group!(
     bench_cache_array,
     bench_directory,
     bench_network,
+    bench_ladt_codec,
     bench_end_to_end
 );
 criterion_main!(benches);

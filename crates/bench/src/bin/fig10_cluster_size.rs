@@ -25,8 +25,10 @@ fn main() {
     let mut json_rows = Vec::new();
 
     for benchmark in runner.suite().benchmarks().to_vec() {
-        let reference =
-            runner.run_one(benchmark, &ReplicationConfig::locality_aware(3).with_cluster_size(1));
+        let reference = runner.run_one(
+            benchmark,
+            &ReplicationConfig::locality_aware(3).with_cluster_size(1),
+        );
         let mut energy_fields = Vec::new();
         let mut time_fields = Vec::new();
         let mut json_cells = Vec::new();

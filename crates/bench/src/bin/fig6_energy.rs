@@ -17,9 +17,17 @@ fn main() {
 
     println!("Figure 6: energy breakdown, normalized to S-NUCA");
     csv_row(
-        ["benchmark".to_string(), "scheme".to_string(), "total(norm)".to_string()]
-            .into_iter()
-            .chain(Component::ALL.iter().map(|c| format!("{}(norm)", c.label()))),
+        [
+            "benchmark".to_string(),
+            "scheme".to_string(),
+            "total(norm)".to_string(),
+        ]
+        .into_iter()
+        .chain(
+            Component::ALL
+                .iter()
+                .map(|c| format!("{}(norm)", c.label())),
+        ),
     );
 
     for row in &rows {

@@ -16,9 +16,17 @@ fn main() {
 
     println!("Figure 7: completion-time breakdown, normalized to S-NUCA");
     csv_row(
-        ["benchmark".to_string(), "scheme".to_string(), "completion(norm)".to_string()]
-            .into_iter()
-            .chain(LatencyBreakdown::LABELS.iter().map(|l| format!("{l}(norm)"))),
+        [
+            "benchmark".to_string(),
+            "scheme".to_string(),
+            "completion(norm)".to_string(),
+        ]
+        .into_iter()
+        .chain(
+            LatencyBreakdown::LABELS
+                .iter()
+                .map(|l| format!("{l}(norm)")),
+        ),
     );
 
     for row in &rows {
@@ -31,8 +39,13 @@ fn main() {
             row.scheme.label(),
             f3(normalized_completion),
         ];
-        fields
-            .extend(row.report.latency.values().iter().map(|v| f3(*v as f64 / baseline_total)));
+        fields.extend(
+            row.report
+                .latency
+                .values()
+                .iter()
+                .map(|v| f3(*v as f64 / baseline_total)),
+        );
         csv_row(fields);
     }
 

@@ -16,7 +16,12 @@ fn main() {
     );
     println!(
         "{:<14} {:>16} {:>18} {:>14} {:>14} {:>20}",
-        "classifier", "classifier KB", "replica-reuse KB", "ACKwise4 KB", "full-map KB", "overhead vs slice %"
+        "classifier",
+        "classifier KB",
+        "replica-reuse KB",
+        "ACKwise4 KB",
+        "full-map KB",
+        "overhead vs slice %"
     );
     let mut json_rows = Vec::new();
     for (label, kind) in [
@@ -46,7 +51,10 @@ fn main() {
         json_rows.push(JsonValue::object([
             ("classifier", JsonValue::from(label)),
             ("classifier_kb", JsonValue::from(overhead.classifier_kb)),
-            ("replica_reuse_kb", JsonValue::from(overhead.replica_reuse_kb)),
+            (
+                "replica_reuse_kb",
+                JsonValue::from(overhead.replica_reuse_kb),
+            ),
             ("ackwise_kb", JsonValue::from(overhead.ackwise_kb)),
             ("full_map_kb", JsonValue::from(overhead.full_map_kb)),
             (
@@ -57,12 +65,17 @@ fn main() {
     }
     println!();
     println!("paper-reported: Limited_3 = 13.5 KB, Complete = 96 KB, replica reuse = 1 KB,");
-    println!("ACKwise4 = 12 KB, full-map = 32 KB per 256 KB slice; total 14.5 KB protocol overhead.");
+    println!(
+        "ACKwise4 = 12 KB, full-map = 32 KB per 256 KB slice; total 14.5 KB protocol overhead."
+    );
 
     emit_json(&figure_json(
         "sec24_storage",
         JsonValue::object([
-            ("llc_slice_kb", JsonValue::from(system.llc_slice.capacity_bytes / 1024)),
+            (
+                "llc_slice_kb",
+                JsonValue::from(system.llc_slice.capacity_bytes / 1024),
+            ),
             ("entries", JsonValue::from(entries)),
             ("num_cores", JsonValue::from(system.num_cores)),
             ("rows", JsonValue::Array(json_rows)),

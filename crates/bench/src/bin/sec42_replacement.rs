@@ -47,8 +47,14 @@ fn main() {
             ("benchmark", JsonValue::from(benchmark.label())),
             ("energy_ratio", JsonValue::from(energy_ratio)),
             ("completion_time_ratio", JsonValue::from(time_ratio)),
-            ("back_invalidations_modified", JsonValue::from(modified.back_invalidations)),
-            ("back_invalidations_plain", JsonValue::from(plain.back_invalidations)),
+            (
+                "back_invalidations_modified",
+                JsonValue::from(modified.back_invalidations),
+            ),
+            (
+                "back_invalidations_plain",
+                JsonValue::from(plain.back_invalidations),
+            ),
         ]));
     }
 

@@ -69,26 +69,59 @@ fn main() {
         JsonValue::object([
             ("num_cores", JsonValue::from(system.num_cores)),
             ("l1i_kb", JsonValue::from(system.l1i.capacity_bytes / 1024)),
-            ("l1i_associativity", JsonValue::from(system.l1i.associativity)),
+            (
+                "l1i_associativity",
+                JsonValue::from(system.l1i.associativity),
+            ),
             ("l1d_kb", JsonValue::from(system.l1d.capacity_bytes / 1024)),
-            ("l1d_associativity", JsonValue::from(system.l1d.associativity)),
-            ("llc_slice_kb", JsonValue::from(system.llc_slice.capacity_bytes / 1024)),
-            ("llc_associativity", JsonValue::from(system.llc_slice.associativity)),
-            ("llc_tag_latency", JsonValue::from(system.llc_slice.tag_latency)),
-            ("llc_data_latency", JsonValue::from(system.llc_slice.data_latency)),
+            (
+                "l1d_associativity",
+                JsonValue::from(system.l1d.associativity),
+            ),
+            (
+                "llc_slice_kb",
+                JsonValue::from(system.llc_slice.capacity_bytes / 1024),
+            ),
+            (
+                "llc_associativity",
+                JsonValue::from(system.llc_slice.associativity),
+            ),
+            (
+                "llc_tag_latency",
+                JsonValue::from(system.llc_slice.tag_latency),
+            ),
+            (
+                "llc_data_latency",
+                JsonValue::from(system.llc_slice.data_latency),
+            ),
             ("ackwise_pointers", JsonValue::from(system.ackwise_pointers)),
-            ("dram_controllers", JsonValue::from(system.dram.num_controllers)),
+            (
+                "dram_controllers",
+                JsonValue::from(system.dram.num_controllers),
+            ),
             (
                 "dram_bandwidth_bytes_per_cycle",
                 JsonValue::from(system.dram.bandwidth_bytes_per_cycle),
             ),
-            ("dram_access_latency", JsonValue::from(system.dram.access_latency)),
+            (
+                "dram_access_latency",
+                JsonValue::from(system.dram.access_latency),
+            ),
             ("mesh_width", JsonValue::from(system.network.mesh_width)),
             ("mesh_height", JsonValue::from(system.network.mesh_height)),
             ("hop_latency", JsonValue::from(system.network.hop_latency)),
-            ("flit_width_bits", JsonValue::from(system.network.flit_width_bits)),
-            ("replication_threshold", JsonValue::from(replication.replication_threshold)),
-            ("classifier", JsonValue::from(format!("{:?}", replication.classifier))),
+            (
+                "flit_width_bits",
+                JsonValue::from(system.network.flit_width_bits),
+            ),
+            (
+                "replication_threshold",
+                JsonValue::from(replication.replication_threshold),
+            ),
+            (
+                "classifier",
+                JsonValue::from(format!("{:?}", replication.classifier)),
+            ),
             ("cluster_size", JsonValue::from(replication.cluster_size)),
         ]),
     ));

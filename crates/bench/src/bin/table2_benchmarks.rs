@@ -37,7 +37,10 @@ fn main() {
             ("suite", JsonValue::from(benchmark.suite_name())),
             ("benchmark", JsonValue::from(benchmark.label())),
             ("problem_size", JsonValue::from(profile.problem_size)),
-            ("footprint_lines_64c", JsonValue::from(profile.footprint_lines(64))),
+            (
+                "footprint_lines_64c",
+                JsonValue::from(profile.footprint_lines(64)),
+            ),
             ("dominant_class", JsonValue::from(dominant)),
         ]));
     }

@@ -60,9 +60,8 @@ pub fn json_output_path() -> Option<PathBuf> {
 /// [`harness_runner`], so every figure binary validates the flag at startup.
 pub fn validate_json_target() {
     if let Some(path) = json_output_path() {
-        std::fs::write(&path, "{}\n").unwrap_or_else(|err| {
-            panic!("cannot write JSON report to {}: {err}", path.display())
-        });
+        std::fs::write(&path, "{}\n")
+            .unwrap_or_else(|err| panic!("cannot write JSON report to {}: {err}", path.display()));
     }
 }
 
@@ -85,13 +84,19 @@ pub fn emit_json(value: &JsonValue) {
 /// Accesses per core used by the harness (override with `LAD_ACCESSES`).
 pub fn accesses_per_core() -> usize {
     let fallback = if quick_mode() { 150 } else { 4000 };
-    std::env::var("LAD_ACCESSES").ok().and_then(|v| v.parse().ok()).unwrap_or(fallback)
+    std::env::var("LAD_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(fallback)
 }
 
 /// Number of cores simulated by the harness (override with `LAD_CORES`).
 pub fn num_cores() -> usize {
     let fallback = if quick_mode() { 8 } else { 64 };
-    std::env::var("LAD_CORES").ok().and_then(|v| v.parse().ok()).unwrap_or(fallback)
+    std::env::var("LAD_CORES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(fallback)
 }
 
 /// The system configuration used by the harness: the paper's Table 1 target,
@@ -144,7 +149,12 @@ pub fn comparison_rows(
         let baseline_report = comparison.report(benchmark, baseline)?;
         for scheme in SchemeComparison::SCHEME_ORDER {
             if let Ok(report) = comparison.report(benchmark, scheme) {
-                rows.push(ComparisonRow { benchmark, scheme, report, baseline: baseline_report });
+                rows.push(ComparisonRow {
+                    benchmark,
+                    scheme,
+                    report,
+                    baseline: baseline_report,
+                });
             }
         }
     }
@@ -217,7 +227,10 @@ mod tests {
             "fig6_energy",
             JsonValue::object([("rows", JsonValue::Array(vec![]))]),
         );
-        assert_eq!(wrapped.get("figure").and_then(JsonValue::as_str), Some("fig6_energy"));
+        assert_eq!(
+            wrapped.get("figure").and_then(JsonValue::as_str),
+            Some("fig6_energy")
+        );
         assert!(wrapped.get("rows").is_some());
         let scalar = figure_json("x", JsonValue::from(1.0));
         assert!(scalar.get("data").is_some());

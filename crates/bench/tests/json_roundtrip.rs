@@ -45,7 +45,10 @@ fn run_with_json(name: &str, exe: &str) -> JsonValue {
 
     // (2) Serialization is stable: pretty(parse(pretty(v))) == pretty(v).
     let reparsed = JsonValue::parse(&value.pretty()).expect("re-serialized JSON must parse");
-    assert_eq!(reparsed, value, "{name}: JSON is not stable under re-serialization");
+    assert_eq!(
+        reparsed, value,
+        "{name}: JSON is not stable under re-serialization"
+    );
 
     // (3) Self-describing.
     assert_eq!(

@@ -149,7 +149,12 @@ mod tests {
 
     fn config() -> CacheConfig {
         // 8 lines, 2-way => 4 sets.
-        CacheConfig { capacity_bytes: 8 * 64, associativity: 2, tag_latency: 0, data_latency: 1 }
+        CacheConfig {
+            capacity_bytes: 8 * 64,
+            associativity: 2,
+            tag_latency: 0,
+            data_latency: 1,
+        }
     }
 
     fn line(i: u64) -> CacheLine {

@@ -221,7 +221,12 @@ mod tests {
 
     fn config() -> CacheConfig {
         // 16 lines, 4-way => 4 sets.
-        CacheConfig { capacity_bytes: 16 * 64, associativity: 4, tag_latency: 2, data_latency: 4 }
+        CacheConfig {
+            capacity_bytes: 16 * 64,
+            associativity: 4,
+            tag_latency: 2,
+            data_latency: 4,
+        }
     }
 
     fn line(i: u64) -> CacheLine {
@@ -238,7 +243,10 @@ mod tests {
         assert_eq!(slice.tag_latency(), 2);
         assert_eq!(slice.access_latency(), 6);
         assert_eq!(slice.capacity(), 16);
-        assert_eq!(slice.replacement_policy(), LlcReplacementPolicy::SharerAwareLru);
+        assert_eq!(
+            slice.replacement_policy(),
+            LlcReplacementPolicy::SharerAwareLru
+        );
     }
 
     #[test]

@@ -77,8 +77,14 @@ mod tests {
     #[test]
     fn plain_lru_is_constant() {
         let p = PlainLru;
-        assert_eq!(EvictionPriority::<Entry>::priority(&p, &Entry { sharers: 0 }), 0);
-        assert_eq!(EvictionPriority::<Entry>::priority(&p, &Entry { sharers: 9 }), 0);
+        assert_eq!(
+            EvictionPriority::<Entry>::priority(&p, &Entry { sharers: 0 }),
+            0
+        );
+        assert_eq!(
+            EvictionPriority::<Entry>::priority(&p, &Entry { sharers: 9 }),
+            0
+        );
     }
 
     #[test]

@@ -47,9 +47,14 @@ impl<V> SetAssocCache<V> {
     pub fn new(num_sets: usize, associativity: usize) -> Self {
         assert!(num_sets > 0, "need at least one set");
         assert!(associativity > 0, "need at least one way");
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         SetAssocCache {
-            sets: (0..num_sets).map(|_| Vec::with_capacity(associativity)).collect(),
+            sets: (0..num_sets)
+                .map(|_| Vec::with_capacity(associativity))
+                .collect(),
             associativity,
             clock: 0,
             len: 0,
@@ -114,14 +119,20 @@ impl<V> SetAssocCache<V> {
     /// state (a probe, e.g. an asynchronous coherence lookup).
     pub fn peek(&self, line: CacheLine) -> Option<&V> {
         let set = self.set_index(line);
-        self.sets[set].iter().find(|w| w.line == line).map(|w| &w.value)
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| &w.value)
     }
 
     /// Returns a mutable reference to the entry for `line` without updating
     /// the LRU state.
     pub fn peek_mut(&mut self, line: CacheLine) -> Option<&mut V> {
         let set = self.set_index(line);
-        self.sets[set].iter_mut().find(|w| w.line == line).map(|w| &mut w.value)
+        self.sets[set]
+            .iter_mut()
+            .find(|w| w.line == line)
+            .map(|w| &mut w.value)
     }
 
     /// Returns `true` if `line` is resident.
@@ -156,7 +167,11 @@ impl<V> SetAssocCache<V> {
         }
 
         if set.len() < assoc {
-            set.push(Way { line, value, lru_stamp: stamp });
+            set.push(Way {
+                line,
+                value,
+                lru_stamp: stamp,
+            });
             self.len += 1;
             return None;
         }
@@ -168,7 +183,14 @@ impl<V> SetAssocCache<V> {
             .min_by_key(|(_, w)| (policy.priority(&w.value), w.lru_stamp))
             .map(|(i, _)| i)
             .expect("set is full, so non-empty");
-        let victim = std::mem::replace(&mut set[victim_idx], Way { line, value, lru_stamp: stamp });
+        let victim = std::mem::replace(
+            &mut set[victim_idx],
+            Way {
+                line,
+                value,
+                lru_stamp: stamp,
+            },
+        );
         Some((victim.line, victim.value))
     }
 
@@ -213,7 +235,10 @@ impl<V> SetAssocCache<V> {
 
     /// Iterates mutably over all resident `(line, entry)` pairs.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (CacheLine, &mut V)> {
-        self.sets.iter_mut().flatten().map(|w| (w.line, &mut w.value))
+        self.sets
+            .iter_mut()
+            .flatten()
+            .map(|w| (w.line, &mut w.value))
     }
 
     /// Occupancy of the set that `line` maps to, as `(resident, ways)`.
@@ -355,9 +380,15 @@ mod tests {
     fn victim_for_matches_insert() {
         let mut c = SetAssocCache::new(1, 2);
         c.insert(line(1), 'a', &PlainLru);
-        assert!(c.victim_for(line(9), &PlainLru).is_none(), "set not yet full");
+        assert!(
+            c.victim_for(line(9), &PlainLru).is_none(),
+            "set not yet full"
+        );
         c.insert(line(2), 'b', &PlainLru);
-        assert!(c.victim_for(line(1), &PlainLru).is_none(), "already resident");
+        assert!(
+            c.victim_for(line(1), &PlainLru).is_none(),
+            "already resident"
+        );
         let predicted = c.victim_for(line(3), &PlainLru).map(|(l, _)| l).unwrap();
         let actual = c.insert(line(3), 'c', &PlainLru).unwrap().0;
         assert_eq!(predicted, actual);

@@ -62,7 +62,12 @@ impl AckwiseSharers {
     /// Panics if `max_pointers` is zero.
     pub fn new(max_pointers: usize) -> Self {
         assert!(max_pointers > 0, "ACKwise needs at least one pointer");
-        AckwiseSharers { pointers: Vec::with_capacity(max_pointers), max_pointers, global: false, count: 0 }
+        AckwiseSharers {
+            pointers: Vec::with_capacity(max_pointers),
+            max_pointers,
+            global: false,
+            count: 0,
+        }
     }
 
     /// Number of hardware pointers.
@@ -165,10 +170,16 @@ impl AckwiseSharers {
             } else {
                 self.count
             };
-            InvalidationTargets::Broadcast { expected_acks: expected }
+            InvalidationTargets::Broadcast {
+                expected_acks: expected,
+            }
         } else {
             InvalidationTargets::Exact(
-                self.pointers.iter().copied().filter(|c| *c != requester).collect(),
+                self.pointers
+                    .iter()
+                    .copied()
+                    .filter(|c| *c != requester)
+                    .collect(),
             )
         }
     }

@@ -221,7 +221,11 @@ impl DirectoryEntry {
                 self.sharers.add(requester);
                 self.state = HomeState::Exclusive;
                 self.owner = Some(requester);
-                WriteOutcome { needs_memory_fetch: false, invalidations, prior_owner: None }
+                WriteOutcome {
+                    needs_memory_fetch: false,
+                    invalidations,
+                    prior_owner: None,
+                }
             }
         }
     }

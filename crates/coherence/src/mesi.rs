@@ -45,7 +45,10 @@ impl MesiState {
     /// Panics if the line is not writable locally; the protocol must have
     /// obtained exclusive permission first.
     pub fn after_local_write(self) -> MesiState {
-        assert!(self.can_write_locally(), "write requires M or E state, had {self}");
+        assert!(
+            self.can_write_locally(),
+            "write requires M or E state, had {self}"
+        );
         MesiState::Modified
     }
 
@@ -103,7 +106,10 @@ mod tests {
 
     #[test]
     fn write_transition() {
-        assert_eq!(MesiState::Exclusive.after_local_write(), MesiState::Modified);
+        assert_eq!(
+            MesiState::Exclusive.after_local_write(),
+            MesiState::Modified
+        );
         assert_eq!(MesiState::Modified.after_local_write(), MesiState::Modified);
     }
 
@@ -119,8 +125,12 @@ mod tests {
         assert_eq!(MesiState::Exclusive.after_downgrade(), MesiState::Shared);
         assert_eq!(MesiState::Shared.after_downgrade(), MesiState::Shared);
         assert_eq!(MesiState::Invalid.after_downgrade(), MesiState::Invalid);
-        for s in [MesiState::Modified, MesiState::Exclusive, MesiState::Shared, MesiState::Invalid]
-        {
+        for s in [
+            MesiState::Modified,
+            MesiState::Exclusive,
+            MesiState::Shared,
+            MesiState::Invalid,
+        ] {
             assert_eq!(s.after_invalidation(), MesiState::Invalid);
         }
     }

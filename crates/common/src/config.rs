@@ -251,7 +251,11 @@ impl SystemConfig {
                 "page size must be a power of two and at least one cache line",
             ));
         }
-        for (name, cache) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("llc", &self.llc_slice)] {
+        for (name, cache) in [
+            ("l1i", &self.l1i),
+            ("l1d", &self.l1d),
+            ("llc", &self.llc_slice),
+        ] {
             let lines = cache.capacity_bytes / self.cache_line_bytes;
             if lines == 0 || !lines.is_multiple_of(cache.associativity) {
                 return Err(ConfigError::new(format!(
@@ -326,7 +330,9 @@ pub struct ConfigError {
 
 impl ConfigError {
     fn new(message: impl Into<String>) -> Self {
-        ConfigError { message: message.into() }
+        ConfigError {
+            message: message.into(),
+        }
     }
 
     /// Human-readable description of the constraint violation.

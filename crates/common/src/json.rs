@@ -58,7 +58,11 @@ pub struct JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -117,7 +121,12 @@ impl JsonValue {
     pub fn object<K: Into<String>, V: Into<JsonValue>>(
         pairs: impl IntoIterator<Item = (K, V)>,
     ) -> Self {
-        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+        JsonValue::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
     }
 
     /// Looks a key up in an object (`None` for other kinds or missing keys).
@@ -269,7 +278,10 @@ impl JsonValue {
     /// Returns a [`JsonError`] with the byte offset of the first offending
     /// character.
     pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
-        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         parser.skip_whitespace();
         let value = parser.parse_value(0)?;
         parser.skip_whitespace();
@@ -327,7 +339,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> JsonError {
-        JsonError { offset: self.pos, message: message.into() }
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -441,9 +456,10 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // The input is valid UTF-8 (it is a &str) and the run ends on
                 // an ASCII boundary byte, so the slice is valid UTF-8.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
-                    self.error("invalid UTF-8 inside string")
-                })?);
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 inside string"))?,
+                );
             }
             match self.peek() {
                 Some(b'"') => {
@@ -508,8 +524,7 @@ impl<'a> Parser<'a> {
         }
         let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.error("invalid \\u escape"))?;
-        let unit =
-            u16::from_str_radix(digits, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        let unit = u16::from_str_radix(digits, 16).map_err(|_| self.error("invalid \\u escape"))?;
         self.pos += 4;
         Ok(unit)
     }
@@ -549,9 +564,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number characters are ASCII");
-        let value: f64 = text.parse().map_err(|_| self.error("number out of range"))?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number characters are ASCII");
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error("number out of range"))?;
         if !value.is_finite() {
             return Err(self.error("number out of range"));
         }
@@ -565,9 +582,17 @@ mod tests {
 
     fn roundtrip(value: &JsonValue) {
         let compact = value.to_string();
-        assert_eq!(&JsonValue::parse(&compact).unwrap(), value, "compact: {compact}");
+        assert_eq!(
+            &JsonValue::parse(&compact).unwrap(),
+            value,
+            "compact: {compact}"
+        );
         let pretty = value.pretty();
-        assert_eq!(&JsonValue::parse(&pretty).unwrap(), value, "pretty: {pretty}");
+        assert_eq!(
+            &JsonValue::parse(&pretty).unwrap(),
+            value,
+            "pretty: {pretty}"
+        );
     }
 
     #[test]
@@ -582,7 +607,9 @@ mod tests {
         roundtrip(&JsonValue::Number((1u64 << 53) as f64));
         roundtrip(&JsonValue::String(String::new()));
         roundtrip(&JsonValue::String("plain".to_string()));
-        roundtrip(&JsonValue::String("quo\"te \\ back\nslash\ttab \u{1F980} ünï".to_string()));
+        roundtrip(&JsonValue::String(
+            "quo\"te \\ back\nslash\ttab \u{1F980} ünï".to_string(),
+        ));
         roundtrip(&JsonValue::String("\u{01}control".to_string()));
     }
 
@@ -594,7 +621,10 @@ mod tests {
             (
                 "nested",
                 JsonValue::object([
-                    ("list", JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(true)])),
+                    (
+                        "list",
+                        JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(true)]),
+                    ),
                     ("empty_obj", JsonValue::Object(vec![])),
                     ("empty_arr", JsonValue::Array(vec![])),
                 ]),
@@ -618,7 +648,10 @@ mod tests {
         assert_eq!(value.get("n").and_then(JsonValue::as_f64), Some(42.0));
         assert_eq!(value.get("s").and_then(JsonValue::as_str), Some("hi"));
         assert_eq!(value.get("b").and_then(JsonValue::as_bool), Some(true));
-        assert_eq!(value.get("a").and_then(JsonValue::as_array).map(<[_]>::len), Some(1));
+        assert_eq!(
+            value.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(1)
+        );
         assert_eq!(value.get("missing"), None);
         assert_eq!(value.as_object().map(<[_]>::len), Some(4));
         assert_eq!(JsonValue::Number(1.5).as_u64(), None);
@@ -647,17 +680,39 @@ mod tests {
                 JsonValue::Null,
             ])
         );
-        assert_eq!(parsed.get("b").and_then(JsonValue::as_str), Some("xA\u{1F980}"));
+        assert_eq!(
+            parsed.get("b").and_then(JsonValue::as_str),
+            Some("xA\u{1F980}")
+        );
     }
 
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[", "\"", "{\"a\":}", "{\"a\":1,}", "[1,]", "[1 2]", "01", "1.", "1e",
-            "tru", "nul", "\"\\q\"", "\"\\ud800\"", "{\"a\":1} trailing", "nan", "--1",
+            "",
+            "{",
+            "[",
+            "\"",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,]",
+            "[1 2]",
+            "01",
+            "1.",
+            "1e",
+            "tru",
+            "nul",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "{\"a\":1} trailing",
+            "nan",
+            "--1",
             "\u{7}",
         ] {
-            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail to parse");
+            assert!(
+                JsonValue::parse(bad).is_err(),
+                "{bad:?} should fail to parse"
+            );
         }
     }
 
@@ -680,7 +735,10 @@ mod tests {
     fn integers_render_without_fraction() {
         assert_eq!(JsonValue::Number(3.0).to_string(), "3");
         assert_eq!(JsonValue::Number(-3.0).to_string(), "-3");
-        assert_eq!(JsonValue::from(1234567890123u64).to_string(), "1234567890123");
+        assert_eq!(
+            JsonValue::from(1234567890123u64).to_string(),
+            "1234567890123"
+        );
     }
 
     #[test]

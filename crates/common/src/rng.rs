@@ -40,7 +40,12 @@ impl DeterministicRng {
         // xoshiro authors recommend: it guarantees a non-zero state and
         // decorrelates consecutive seeds.
         let mut s = seed;
-        let state = [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
         DeterministicRng { state }
     }
 

@@ -151,7 +151,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds a sample.

@@ -31,7 +31,10 @@ impl CoreId {
     /// Panics if `index` does not fit in 16 bits (the paper's design targets
     /// up to 1024 cores; 65 536 is a comfortable margin).
     pub fn new(index: usize) -> Self {
-        assert!(index <= u16::MAX as usize, "core index {index} out of range");
+        assert!(
+            index <= u16::MAX as usize,
+            "core index {index} out of range"
+        );
         CoreId(index as u16)
     }
 
@@ -84,7 +87,10 @@ impl Address {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn line(self, line_bytes: usize) -> CacheLine {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         CacheLine(self.0 >> line_bytes.trailing_zeros())
     }
 }
@@ -125,7 +131,10 @@ impl CacheLine {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn byte_address(self, line_bytes: usize) -> u64 {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         self.0 << line_bytes.trailing_zeros()
     }
 

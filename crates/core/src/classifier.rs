@@ -95,7 +95,12 @@ struct CoreEntry {
 
 impl CoreEntry {
     fn new(core: CoreId, mode: ReplicationMode, rt: u32) -> Self {
-        CoreEntry { core, mode, home_reuse: SaturatingCounter::new(rt), active: true }
+        CoreEntry {
+            core,
+            mode,
+            home_reuse: SaturatingCounter::new(rt),
+            active: true,
+        }
     }
 }
 
@@ -121,7 +126,11 @@ impl LocalityClassifier {
         if let ClassifierKind::Limited(k) = kind {
             assert!(k > 0, "limited classifier needs at least one tracked core");
         }
-        LocalityClassifier { entries: Vec::new(), capacity: kind.capacity(), rt }
+        LocalityClassifier {
+            entries: Vec::new(),
+            capacity: kind.capacity(),
+            rt,
+        }
     }
 
     /// The replication threshold this classifier was built with.
@@ -157,7 +166,8 @@ impl LocalityClassifier {
 
     /// The home-reuse counter of `core`, if tracked.
     pub fn home_reuse(&self, core: CoreId) -> Option<u32> {
-        self.find(core).map(|idx| self.entries[idx].home_reuse.value())
+        self.find(core)
+            .map(|idx| self.entries[idx].home_reuse.value())
     }
 
     fn find(&self, core: CoreId) -> Option<usize> {
@@ -192,13 +202,15 @@ impl LocalityClassifier {
         match self.capacity {
             None => {
                 // Complete classifier: allocate lazily, initial mode.
-                self.entries.push(CoreEntry::new(core, ReplicationMode::NonReplica, self.rt));
+                self.entries
+                    .push(CoreEntry::new(core, ReplicationMode::NonReplica, self.rt));
                 Some(self.entries.len() - 1)
             }
             Some(k) => {
                 if self.entries.len() < k {
                     // Free entry: start in the initial (non-replica) mode.
-                    self.entries.push(CoreEntry::new(core, ReplicationMode::NonReplica, self.rt));
+                    self.entries
+                        .push(CoreEntry::new(core, ReplicationMode::NonReplica, self.rt));
                     return Some(self.entries.len() - 1);
                 }
                 // Replace an inactive sharer if one exists; its replacement
@@ -248,7 +260,11 @@ impl LocalityClassifier {
     /// non-replica) shared the line at the time of the write.  Returns the
     /// writer's resulting mode, which decides whether an exclusive-state
     /// replica is installed for it (the migratory-data case).
-    pub fn on_home_write(&mut self, writer: CoreId, other_sharers_present: bool) -> ReplicationMode {
+    pub fn on_home_write(
+        &mut self,
+        writer: CoreId,
+        other_sharers_present: bool,
+    ) -> ReplicationMode {
         // Non-replica sharers other than the writer have not shown enough
         // reuse to be promoted: reset their counters and mark them inactive
         // (a non-replica core becomes inactive on a write by another core).
@@ -413,7 +429,11 @@ mod tests {
         }
         c.on_replica_evicted(core(1), 5);
         assert_eq!(c.mode(core(1)), ReplicationMode::Replica);
-        assert_eq!(c.home_reuse(core(1)), Some(0), "home reuse resets for the next round");
+        assert_eq!(
+            c.home_reuse(core(1)),
+            Some(0),
+            "home reuse resets for the next round"
+        );
     }
 
     #[test]
@@ -523,14 +543,14 @@ mod tests {
     fn majority_vote_ties_are_conservative() {
         let mut c = limited(2, 1);
         c.on_home_read(core(0)); // replica (RT=1)
-        // Manually leave core 1 in non-replica mode by only giving core 0
-        // accesses; allocate core 1 with a write that does not promote.
+                                 // Manually leave core 1 in non-replica mode by only giving core 0
+                                 // accesses; allocate core 1 with a write that does not promote.
         let mut c2 = limited(2, 3);
         c2.on_home_read(core(0));
         c2.on_home_read(core(0));
         c2.on_home_read(core(0)); // promoted
         c2.on_home_read(core(1)); // non-replica
-        // 1 replica vs 1 non-replica: tie -> non-replica for untracked cores.
+                                  // 1 replica vs 1 non-replica: tie -> non-replica for untracked cores.
         assert_eq!(c2.mode(core(7)), ReplicationMode::NonReplica);
         drop(c);
     }

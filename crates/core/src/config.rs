@@ -63,17 +63,26 @@ impl ReplicationConfig {
 
     /// The Static-NUCA baseline.
     pub fn static_nuca() -> Self {
-        ReplicationConfig { scheme: SchemeKind::StaticNuca, ..Self::baseline_defaults() }
+        ReplicationConfig {
+            scheme: SchemeKind::StaticNuca,
+            ..Self::baseline_defaults()
+        }
     }
 
     /// The Reactive-NUCA baseline.
     pub fn reactive_nuca() -> Self {
-        ReplicationConfig { scheme: SchemeKind::ReactiveNuca, ..Self::baseline_defaults() }
+        ReplicationConfig {
+            scheme: SchemeKind::ReactiveNuca,
+            ..Self::baseline_defaults()
+        }
     }
 
     /// The Victim Replication baseline.
     pub fn victim_replication() -> Self {
-        ReplicationConfig { scheme: SchemeKind::VictimReplication, ..Self::baseline_defaults() }
+        ReplicationConfig {
+            scheme: SchemeKind::VictimReplication,
+            ..Self::baseline_defaults()
+        }
     }
 
     /// The Adaptive Selective Replication baseline at a given replication
@@ -195,8 +204,14 @@ mod tests {
 
     #[test]
     fn constructors_set_scheme() {
-        assert_eq!(ReplicationConfig::static_nuca().scheme, SchemeKind::StaticNuca);
-        assert_eq!(ReplicationConfig::reactive_nuca().scheme, SchemeKind::ReactiveNuca);
+        assert_eq!(
+            ReplicationConfig::static_nuca().scheme,
+            SchemeKind::StaticNuca
+        );
+        assert_eq!(
+            ReplicationConfig::reactive_nuca().scheme,
+            SchemeKind::ReactiveNuca
+        );
         assert_eq!(
             ReplicationConfig::victim_replication().scheme,
             SchemeKind::VictimReplication
@@ -205,20 +220,38 @@ mod tests {
             ReplicationConfig::asr(0.5).scheme,
             SchemeKind::AdaptiveSelectiveReplication
         );
-        assert_eq!(ReplicationConfig::locality_aware(3).scheme, SchemeKind::LocalityAware);
-        assert_eq!(ReplicationConfig::default(), ReplicationConfig::paper_default());
+        assert_eq!(
+            ReplicationConfig::locality_aware(3).scheme,
+            SchemeKind::LocalityAware
+        );
+        assert_eq!(
+            ReplicationConfig::default(),
+            ReplicationConfig::paper_default()
+        );
     }
 
     #[test]
     fn scheme_ids_carry_the_sweep_parameter() {
-        assert_eq!(ReplicationConfig::static_nuca().scheme_id(), SchemeId::StaticNuca);
-        assert_eq!(ReplicationConfig::reactive_nuca().scheme_id(), SchemeId::ReactiveNuca);
+        assert_eq!(
+            ReplicationConfig::static_nuca().scheme_id(),
+            SchemeId::StaticNuca
+        );
+        assert_eq!(
+            ReplicationConfig::reactive_nuca().scheme_id(),
+            SchemeId::ReactiveNuca
+        );
         assert_eq!(
             ReplicationConfig::victim_replication().scheme_id(),
             SchemeId::VictimReplication
         );
-        assert_eq!(ReplicationConfig::asr(0.25).scheme_id(), SchemeId::AsrAt(25));
-        assert_eq!(ReplicationConfig::locality_aware(8).scheme_id(), SchemeId::Rt(8));
+        assert_eq!(
+            ReplicationConfig::asr(0.25).scheme_id(),
+            SchemeId::AsrAt(25)
+        );
+        assert_eq!(
+            ReplicationConfig::locality_aware(8).scheme_id(),
+            SchemeId::Rt(8)
+        );
         // The id label agrees with the report label (cluster size 1).
         for config in [
             ReplicationConfig::static_nuca(),
@@ -244,7 +277,9 @@ mod tests {
         assert_eq!(ReplicationConfig::locality_aware(1).label(), "RT-1");
         assert_eq!(ReplicationConfig::locality_aware(8).label(), "RT-8");
         assert_eq!(
-            ReplicationConfig::locality_aware(3).with_cluster_size(16).label(),
+            ReplicationConfig::locality_aware(3)
+                .with_cluster_size(16)
+                .label(),
             "RT-3/C-16"
         );
     }
@@ -263,9 +298,16 @@ mod tests {
         config.validate().unwrap();
 
         // Builder floors keep the config valid.
-        assert_eq!(ReplicationConfig::paper_default().with_cluster_size(0).cluster_size, 1);
         assert_eq!(
-            ReplicationConfig::paper_default().with_replication_threshold(0).replication_threshold,
+            ReplicationConfig::paper_default()
+                .with_cluster_size(0)
+                .cluster_size,
+            1
+        );
+        assert_eq!(
+            ReplicationConfig::paper_default()
+                .with_replication_threshold(0)
+                .replication_threshold,
             1
         );
 

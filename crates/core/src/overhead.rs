@@ -15,7 +15,10 @@ use crate::classifier::ClassifierKind;
 /// Number of bits needed to name one core.
 pub fn core_id_bits(num_cores: usize) -> u32 {
     assert!(num_cores > 0, "need at least one core");
-    (num_cores as u64).next_power_of_two().trailing_zeros().max(1)
+    (num_cores as u64)
+        .next_power_of_two()
+        .trailing_zeros()
+        .max(1)
 }
 
 /// Number of bits of one saturating reuse counter for a given replication
@@ -137,7 +140,10 @@ mod tests {
             27
         );
         // Complete: 64 x 3 = 192 bits.
-        assert_eq!(classifier_bits_per_entry(ClassifierKind::Complete, CORES, RT), 192);
+        assert_eq!(
+            classifier_bits_per_entry(ClassifierKind::Complete, CORES, RT),
+            192
+        );
         assert_eq!(replica_reuse_bits_per_entry(RT), 2);
         // ACKwise4: 4 x 6 = 24 bits; full map: 64 bits.
         assert_eq!(ackwise_bits_per_entry(4, CORES), 24);
@@ -146,7 +152,8 @@ mod tests {
 
     #[test]
     fn per_slice_kilobytes_match_paper() {
-        let limited = StorageOverhead::compute(ClassifierKind::Limited(3), CORES, RT, 4, ENTRIES, 64);
+        let limited =
+            StorageOverhead::compute(ClassifierKind::Limited(3), CORES, RT, 4, ENTRIES, 64);
         assert!((limited.classifier_kb - 13.5).abs() < 1e-9);
         assert!((limited.replica_reuse_kb - 1.0).abs() < 1e-9);
         assert!((limited.ackwise_kb - 12.0).abs() < 1e-9);
@@ -155,7 +162,8 @@ mod tests {
         // 14.5 KB per slice, the number quoted in the conclusion.
         assert!((limited.protocol_overhead_kb() - 14.5).abs() < 1e-9);
 
-        let complete = StorageOverhead::compute(ClassifierKind::Complete, CORES, RT, 4, ENTRIES, 64);
+        let complete =
+            StorageOverhead::compute(ClassifierKind::Complete, CORES, RT, 4, ENTRIES, 64);
         assert!((complete.classifier_kb - 96.0).abs() < 1e-9);
         assert!((complete.protocol_overhead_kb() - 97.0).abs() < 1e-9);
     }
@@ -193,10 +201,8 @@ mod tests {
         // The complete classifier's overhead grows linearly with cores (the
         // "over 5x at 1024 cores" claim), the limited classifier's only with
         // the core-id width.
-        let complete_64 =
-            classifier_bits_per_entry(ClassifierKind::Complete, 64, RT) as f64;
-        let complete_1024 =
-            classifier_bits_per_entry(ClassifierKind::Complete, 1024, RT) as f64;
+        let complete_64 = classifier_bits_per_entry(ClassifierKind::Complete, 64, RT) as f64;
+        let complete_1024 = classifier_bits_per_entry(ClassifierKind::Complete, 1024, RT) as f64;
         assert_eq!(complete_1024 / complete_64, 16.0);
         let limited_64 = classifier_bits_per_entry(ClassifierKind::Limited(3), 64, RT);
         let limited_1024 = classifier_bits_per_entry(ClassifierKind::Limited(3), 1024, RT);

@@ -75,10 +75,22 @@ impl HomeMap {
         assert!(num_cores > 0, "need at least one core");
         assert!(line_bytes.is_power_of_two() && page_bytes.is_power_of_two());
         assert!(page_bytes >= line_bytes, "page must be at least one line");
-        if let PlacementPolicy::Rnuca { instruction_cluster } = policy {
-            assert!(instruction_cluster > 0, "instruction cluster must be non-empty");
+        if let PlacementPolicy::Rnuca {
+            instruction_cluster,
+        } = policy
+        {
+            assert!(
+                instruction_cluster > 0,
+                "instruction cluster must be non-empty"
+            );
         }
-        HomeMap { policy, num_cores, line_bytes, page_bytes, pages: HashMap::new() }
+        HomeMap {
+            policy,
+            num_cores,
+            line_bytes,
+            page_bytes,
+            pages: HashMap::new(),
+        }
     }
 
     /// The placement policy in force.
@@ -126,7 +138,9 @@ impl HomeMap {
     /// The classification of the page containing `line`, if it has been
     /// observed by the profiling pass.
     pub fn page_kind(&self, line: CacheLine) -> Option<PageKind> {
-        self.pages.get(&line.page(self.line_bytes, self.page_bytes)).copied()
+        self.pages
+            .get(&line.page(self.line_bytes, self.page_bytes))
+            .copied()
     }
 
     fn interleaved_home(&self, line: CacheLine) -> CoreId {
@@ -148,7 +162,9 @@ impl HomeMap {
     pub fn home_for(&self, line: CacheLine, requester: CoreId) -> CoreId {
         match self.policy {
             PlacementPolicy::AddressInterleaved => self.interleaved_home(line),
-            PlacementPolicy::Rnuca { instruction_cluster } => match self.page_kind(line) {
+            PlacementPolicy::Rnuca {
+                instruction_cluster,
+            } => match self.page_kind(line) {
                 Some(PageKind::PrivateTo(owner)) => owner,
                 Some(PageKind::Instruction) => {
                     self.cluster_home(line, requester, instruction_cluster)
@@ -200,8 +216,14 @@ mod tests {
 
     #[test]
     fn rnuca_private_pages_are_placed_locally() {
-        let mut map =
-            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        let mut map = HomeMap::new(
+            PlacementPolicy::Rnuca {
+                instruction_cluster: 4,
+            },
+            64,
+            LINE,
+            PAGE,
+        );
         // Page 0 (lines 0..63) touched only by core 7.
         for l in 0..4 {
             map.record_page_access(line(l), core(7), false);
@@ -215,8 +237,14 @@ mod tests {
 
     #[test]
     fn rnuca_page_touched_by_two_cores_becomes_shared() {
-        let mut map =
-            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        let mut map = HomeMap::new(
+            PlacementPolicy::Rnuca {
+                instruction_cluster: 4,
+            },
+            64,
+            LINE,
+            PAGE,
+        );
         map.record_page_access(line(0), core(3), false);
         map.record_page_access(line(1), core(4), false); // same page, other core
         assert_eq!(map.page_kind(line(0)), Some(PageKind::SharedData));
@@ -228,8 +256,14 @@ mod tests {
     fn rnuca_false_sharing_at_page_level_prevents_private_placement() {
         // BLACKSCHOLES-style false sharing: cores touch disjoint lines of the
         // same page; the page still cannot be private.
-        let mut map =
-            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        let mut map = HomeMap::new(
+            PlacementPolicy::Rnuca {
+                instruction_cluster: 4,
+            },
+            64,
+            LINE,
+            PAGE,
+        );
         map.record_page_access(line(0), core(0), false);
         map.record_page_access(line(32), core(1), false);
         assert_eq!(map.page_kind(line(0)), Some(PageKind::SharedData));
@@ -237,8 +271,14 @@ mod tests {
 
     #[test]
     fn rnuca_instructions_are_cluster_replicated() {
-        let mut map =
-            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        let mut map = HomeMap::new(
+            PlacementPolicy::Rnuca {
+                instruction_cluster: 4,
+            },
+            64,
+            LINE,
+            PAGE,
+        );
         map.record_page_access(line(100), core(0), true);
         assert_eq!(map.page_kind(line(100)), Some(PageKind::Instruction));
         assert!(map.is_requester_dependent(line(100)));
@@ -258,8 +298,14 @@ mod tests {
 
     #[test]
     fn rnuca_instruction_classification_is_sticky() {
-        let mut map =
-            HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 64, LINE, PAGE);
+        let mut map = HomeMap::new(
+            PlacementPolicy::Rnuca {
+                instruction_cluster: 4,
+            },
+            64,
+            LINE,
+            PAGE,
+        );
         map.record_page_access(line(0), core(1), false);
         map.record_page_access(line(1), core(1), true);
         assert_eq!(map.page_kind(line(0)), Some(PageKind::Instruction));
@@ -287,7 +333,14 @@ mod tests {
 
     #[test]
     fn small_core_counts_keep_homes_in_range() {
-        let mut map = HomeMap::new(PlacementPolicy::Rnuca { instruction_cluster: 4 }, 3, LINE, PAGE);
+        let mut map = HomeMap::new(
+            PlacementPolicy::Rnuca {
+                instruction_cluster: 4,
+            },
+            3,
+            LINE,
+            PAGE,
+        );
         map.record_page_access(line(100), core(2), true);
         for l in 0..16 {
             for c in 0..3 {

@@ -31,11 +31,7 @@ impl VictimReplicationPolicy {
     /// Insertion is allowed when the victim is itself a replica or is a home
     /// line with no L1 sharers; "global" (hot, shared) home lines are never
     /// displaced.
-    pub fn should_insert_victim(
-        self,
-        set_has_free_way: bool,
-        victim: Option<&LlcEntry>,
-    ) -> bool {
+    pub fn should_insert_victim(self, set_has_free_way: bool, victim: Option<&LlcEntry>) -> bool {
         if set_has_free_way {
             return true;
         }
@@ -56,7 +52,9 @@ pub struct AsrPolicy {
 impl AsrPolicy {
     /// Creates the policy at a replication level in `[0, 1]`.
     pub fn new(level: f64) -> Self {
-        AsrPolicy { level: level.clamp(0.0, 1.0) }
+        AsrPolicy {
+            level: level.clamp(0.0, 1.0),
+        }
     }
 
     /// The replication level.
@@ -139,8 +137,9 @@ mod tests {
         assert!((0..100).all(|_| !never.should_replicate(DataClass::SharedReadOnly, &mut rng)));
 
         let half = AsrPolicy::new(0.5);
-        let hits =
-            (0..10_000).filter(|_| half.should_replicate(DataClass::SharedReadOnly, &mut rng)).count();
+        let hits = (0..10_000)
+            .filter(|_| half.should_replicate(DataClass::SharedReadOnly, &mut rng))
+            .count();
         assert!((4300..5700).contains(&hits), "got {hits}");
     }
 }

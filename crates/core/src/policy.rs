@@ -251,7 +251,9 @@ pub struct AsrScheme {
 impl AsrScheme {
     /// Creates the scheme at a replication level in `[0, 1]`.
     pub fn new(level: f64) -> Self {
-        AsrScheme { policy: AsrPolicy::new(level) }
+        AsrScheme {
+            policy: AsrPolicy::new(level),
+        }
     }
 
     /// The replication level.
@@ -314,10 +316,14 @@ impl ReplicationPolicy for LocalityAwareScheme {
     }
     fn replicate_on_fill(&self, decision: FillDecision<'_>) -> bool {
         if let Some(reuse) = decision.own_replica_reuse {
-            decision.classifier.on_replica_invalidated(decision.core, reuse);
+            decision
+                .classifier
+                .on_replica_invalidated(decision.core, reuse);
         }
         let mode = if decision.is_write {
-            decision.classifier.on_home_write(decision.core, decision.other_sharers_present)
+            decision
+                .classifier
+                .on_home_write(decision.core, decision.other_sharers_present)
         } else {
             decision.classifier.on_home_read(decision.core)
         };
@@ -414,7 +420,9 @@ impl SchemeRegistry {
     ///
     /// Returns [`UnknownScheme`] when `id` was never registered.
     pub fn get(&self, id: SchemeId) -> Result<&RegisteredScheme, UnknownScheme> {
-        self.entries.get(&id).ok_or_else(|| UnknownScheme::new(id, "registry"))
+        self.entries
+            .get(&id)
+            .ok_or_else(|| UnknownScheme::new(id, "registry"))
     }
 
     /// `true` if `id` is registered.
@@ -485,7 +493,10 @@ mod tests {
         for (config, id) in [
             (ReplicationConfig::static_nuca(), SchemeId::StaticNuca),
             (ReplicationConfig::reactive_nuca(), SchemeId::ReactiveNuca),
-            (ReplicationConfig::victim_replication(), SchemeId::VictimReplication),
+            (
+                ReplicationConfig::victim_replication(),
+                SchemeId::VictimReplication,
+            ),
             (ReplicationConfig::asr(0.25), SchemeId::AsrAt(25)),
             (ReplicationConfig::locality_aware(8), SchemeId::Rt(8)),
         ] {
@@ -493,7 +504,10 @@ mod tests {
             assert_eq!(policy.id(), id);
             assert_eq!(policy.placement(), config.scheme.placement_policy());
             assert_eq!(policy.replicates(), config.scheme.replicates());
-            assert_eq!(policy.replicates_on_eviction(), config.scheme.replicates_on_eviction());
+            assert_eq!(
+                policy.replicates_on_eviction(),
+                config.scheme.replicates_on_eviction()
+            );
         }
     }
 
@@ -612,6 +626,9 @@ mod tests {
         let previous = registry.register(Arc::new(Always), ReplicationConfig::locality_aware(3));
         assert!(previous.is_some());
         assert_eq!(registry.len(), 1);
-        assert_eq!(registry.ids().collect::<Vec<_>>(), vec![SchemeId::Custom("ALWAYS")]);
+        assert_eq!(
+            registry.ids().collect::<Vec<_>>(),
+            vec![SchemeId::Custom("ALWAYS")]
+        );
     }
 }

@@ -57,7 +57,9 @@ impl SchemeKind {
             SchemeKind::StaticNuca
             | SchemeKind::VictimReplication
             | SchemeKind::AdaptiveSelectiveReplication => PlacementPolicy::AddressInterleaved,
-            SchemeKind::ReactiveNuca => PlacementPolicy::Rnuca { instruction_cluster: 4 },
+            SchemeKind::ReactiveNuca => PlacementPolicy::Rnuca {
+                instruction_cluster: 4,
+            },
             SchemeKind::LocalityAware => PlacementPolicy::RnucaDataOnly,
         }
     }
@@ -233,7 +235,10 @@ pub struct UnknownScheme {
 impl UnknownScheme {
     /// Creates the error for a lookup of `scheme` in `context`.
     pub fn new(scheme: SchemeId, context: impl Into<String>) -> Self {
-        UnknownScheme { scheme, context: context.into() }
+        UnknownScheme {
+            scheme,
+            context: context.into(),
+        }
     }
 }
 
@@ -275,7 +280,9 @@ mod tests {
         );
         assert_eq!(
             SchemeKind::ReactiveNuca.placement_policy(),
-            PlacementPolicy::Rnuca { instruction_cluster: 4 }
+            PlacementPolicy::Rnuca {
+                instruction_cluster: 4
+            }
         );
         assert_eq!(
             SchemeKind::LocalityAware.placement_policy(),
@@ -351,8 +358,14 @@ mod tests {
     #[test]
     fn scheme_id_maps_to_family() {
         assert_eq!(SchemeId::StaticNuca.kind(), Some(SchemeKind::StaticNuca));
-        assert_eq!(SchemeId::Asr.kind(), Some(SchemeKind::AdaptiveSelectiveReplication));
-        assert_eq!(SchemeId::AsrAt(25).kind(), Some(SchemeKind::AdaptiveSelectiveReplication));
+        assert_eq!(
+            SchemeId::Asr.kind(),
+            Some(SchemeKind::AdaptiveSelectiveReplication)
+        );
+        assert_eq!(
+            SchemeId::AsrAt(25).kind(),
+            Some(SchemeKind::AdaptiveSelectiveReplication)
+        );
         assert_eq!(SchemeId::Rt(8).kind(), Some(SchemeKind::LocalityAware));
         assert_eq!(SchemeId::Custom("X").kind(), None);
     }

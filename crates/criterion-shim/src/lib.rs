@@ -38,7 +38,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(iterations: u64) -> Self {
-        Bencher { iterations, total_nanos: 0 }
+        Bencher {
+            iterations,
+            total_nanos: 0,
+        }
     }
 
     /// Times `routine` over the configured number of iterations.
@@ -67,7 +70,10 @@ impl Bencher {
 
     fn report(&self, name: &str) {
         let mean = self.total_nanos / u128::from(self.iterations.max(1));
-        println!("bench {name:<45} {} iters, mean {mean} ns/iter", self.iterations);
+        println!(
+            "bench {name:<45} {} iters, mean {mean} ns/iter",
+            self.iterations
+        );
     }
 }
 
@@ -96,7 +102,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
     }
 }
 

@@ -44,7 +44,10 @@ impl DramController {
     ///
     /// Panics if the configured bandwidth is not positive.
     pub fn new(config: &DramConfig, line_bytes: usize) -> Self {
-        assert!(config.bandwidth_bytes_per_cycle > 0.0, "bandwidth must be positive");
+        assert!(
+            config.bandwidth_bytes_per_cycle > 0.0,
+            "bandwidth must be positive"
+        );
         let occupancy = (line_bytes as f64 / config.bandwidth_bytes_per_cycle).ceil() as u64;
         DramController {
             access_latency: config.access_latency,
@@ -65,7 +68,11 @@ impl DramController {
         self.busy_cycles += self.service_occupancy;
         self.accesses.increment();
         let service_latency = Cycle::new(self.access_latency as u64 + self.service_occupancy);
-        DramAccess { queue_delay, service_latency, completion: start + service_latency }
+        DramAccess {
+            queue_delay,
+            service_latency,
+            completion: start + service_latency,
+        }
     }
 
     /// Number of accesses served.
@@ -218,8 +225,9 @@ mod tests {
 
     fn system() -> DramSystem {
         let config = SystemConfig::paper_default();
-        let cores =
-            (0..config.dram.num_controllers).map(|i| config.dram_controller_core(i)).collect();
+        let cores = (0..config.dram.num_controllers)
+            .map(|i| config.dram_controller_core(i))
+            .collect();
         DramSystem::new(&config.dram, config.cache_line_bytes, cores)
     }
 

@@ -113,7 +113,16 @@ impl EnergyAccounting {
         let total = self.total();
         Component::ALL
             .iter()
-            .map(|c| (*c, if total > 0.0 { self.component(*c) / total } else { 0.0 }))
+            .map(|c| {
+                (
+                    *c,
+                    if total > 0.0 {
+                        self.component(*c) / total
+                    } else {
+                        0.0
+                    },
+                )
+            })
             .collect()
     }
 

@@ -80,7 +80,9 @@ impl EnergyModel {
         ];
         for (name, value) in all {
             if !value.is_finite() || value < 0.0 {
-                return Err(format!("{name} must be finite and non-negative, got {value}"));
+                return Err(format!(
+                    "{name} must be finite and non-negative, got {value}"
+                ));
             }
         }
         if self.dram_access_pj <= self.llc_data_read_pj * 10.0 {

@@ -137,7 +137,12 @@ impl Network {
 
         let latency = arrival.since(now);
         self.stats.record(kind, hops, flits, latency);
-        Delivery { arrival, latency, hops, flits }
+        Delivery {
+            arrival,
+            latency,
+            hops,
+            flits,
+        }
     }
 
     /// Convenience: latency of a request/response round trip
@@ -209,7 +214,12 @@ mod tests {
     #[test]
     fn send_local_message_is_instant() {
         let mut net = network();
-        let d = net.send(CoreId::new(3), CoreId::new(3), MessageKind::Data, Cycle::new(100));
+        let d = net.send(
+            CoreId::new(3),
+            CoreId::new(3),
+            MessageKind::Data,
+            Cycle::new(100),
+        );
         assert_eq!(d.latency, Cycle::ZERO);
         assert_eq!(d.arrival, Cycle::new(100));
         assert_eq!(d.hops, 0);
@@ -234,7 +244,10 @@ mod tests {
         let dst = CoreId::new(1);
         let first = net.send(src, dst, MessageKind::Data, Cycle::ZERO);
         let second = net.send(src, dst, MessageKind::Data, Cycle::ZERO);
-        assert!(second.latency > first.latency, "second message must queue behind the first");
+        assert!(
+            second.latency > first.latency,
+            "second message must queue behind the first"
+        );
         // Without contention modeling both take the base latency.
         let mut net = network();
         net.set_contention_modeling(false);
@@ -246,8 +259,18 @@ mod tests {
     #[test]
     fn disjoint_paths_do_not_interfere() {
         let mut net = network();
-        let a = net.send(CoreId::new(0), CoreId::new(1), MessageKind::Data, Cycle::ZERO);
-        let b = net.send(CoreId::new(16), CoreId::new(17), MessageKind::Data, Cycle::ZERO);
+        let a = net.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MessageKind::Data,
+            Cycle::ZERO,
+        );
+        let b = net.send(
+            CoreId::new(16),
+            CoreId::new(17),
+            MessageKind::Data,
+            Cycle::ZERO,
+        );
         assert_eq!(a.latency, b.latency);
     }
 
@@ -274,8 +297,18 @@ mod tests {
     #[test]
     fn stats_accumulate_and_reset() {
         let mut net = network();
-        net.send(CoreId::new(0), CoreId::new(2), MessageKind::Data, Cycle::ZERO);
-        net.send(CoreId::new(0), CoreId::new(2), MessageKind::Control, Cycle::ZERO);
+        net.send(
+            CoreId::new(0),
+            CoreId::new(2),
+            MessageKind::Data,
+            Cycle::ZERO,
+        );
+        net.send(
+            CoreId::new(0),
+            CoreId::new(2),
+            MessageKind::Control,
+            Cycle::ZERO,
+        );
         let stats = net.stats();
         assert_eq!(stats.messages(), 2);
         assert_eq!(stats.data_messages(), 1);

@@ -40,7 +40,12 @@ pub struct Delivery {
 impl Delivery {
     /// A delivery that took no network time (local, same-tile communication).
     pub fn local(now: Cycle) -> Self {
-        Delivery { arrival: now, latency: Cycle::ZERO, hops: 0, flits: 0 }
+        Delivery {
+            arrival: now,
+            latency: Cycle::ZERO,
+            hops: 0,
+            flits: 0,
+        }
     }
 }
 

@@ -53,7 +53,12 @@ impl Mesh {
     /// Panics if the core index is outside the mesh.
     pub fn position(&self, core: CoreId) -> (usize, usize) {
         let idx = core.index();
-        assert!(idx < self.num_routers(), "core {idx} outside {}x{} mesh", self.width, self.height);
+        assert!(
+            idx < self.num_routers(),
+            "core {idx} outside {}x{} mesh",
+            self.width,
+            self.height
+        );
         (idx % self.width, idx / self.width)
     }
 
@@ -130,7 +135,10 @@ impl Mesh {
             return (0..self.num_routers()).map(CoreId::new).collect();
         }
         let side = (cluster_size as f64).sqrt().round() as usize;
-        if side * side == cluster_size && self.width.is_multiple_of(side) && self.height.is_multiple_of(side) {
+        if side * side == cluster_size
+            && self.width.is_multiple_of(side)
+            && self.height.is_multiple_of(side)
+        {
             let (x, y) = self.position(core);
             let bx = (x / side) * side;
             let by = (y / side) * side;
@@ -144,7 +152,9 @@ impl Mesh {
         } else {
             // Fall back to index-contiguous clusters.
             let base = (core.index() / cluster_size) * cluster_size;
-            (base..(base + cluster_size).min(self.num_routers())).map(CoreId::new).collect()
+            (base..(base + cluster_size).min(self.num_routers()))
+                .map(CoreId::new)
+                .collect()
         }
     }
 
@@ -212,7 +222,7 @@ mod tests {
         assert_eq!(route.len(), 2);
         assert_eq!(route[0] % 4, 0); // east
         assert_eq!(route[1] % 4, 2); // north
-        // Reverse direction uses different unidirectional links.
+                                     // Reverse direction uses different unidirectional links.
         let back = mesh.route(CoreId::new(9), CoreId::new(0));
         assert!(route.iter().all(|l| !back.contains(l)));
     }
@@ -233,10 +243,21 @@ mod tests {
     fn cluster_members_square_clusters() {
         let mesh = Mesh::new(8, 8);
         // Cluster of 1.
-        assert_eq!(mesh.cluster_members(CoreId::new(5), 1), vec![CoreId::new(5)]);
+        assert_eq!(
+            mesh.cluster_members(CoreId::new(5), 1),
+            vec![CoreId::new(5)]
+        );
         // Cluster of 4: core 9 is at (1,1) -> block (0,0)-(1,1): cores 0,1,8,9.
         let members = mesh.cluster_members(CoreId::new(9), 4);
-        assert_eq!(members, vec![CoreId::new(0), CoreId::new(1), CoreId::new(8), CoreId::new(9)]);
+        assert_eq!(
+            members,
+            vec![
+                CoreId::new(0),
+                CoreId::new(1),
+                CoreId::new(8),
+                CoreId::new(9)
+            ]
+        );
         // All members of the same cluster agree on the member list.
         for m in &members {
             assert_eq!(mesh.cluster_members(*m, 4), members);
@@ -270,8 +291,9 @@ mod tests {
             }
         }
         // Lines spread across all cluster members.
-        let distinct: std::collections::HashSet<_> =
-            (0..16u64).map(|l| mesh.cluster_slice_for_line(CoreId::new(20), 4, l)).collect();
+        let distinct: std::collections::HashSet<_> = (0..16u64)
+            .map(|l| mesh.cluster_slice_for_line(CoreId::new(20), 4, l))
+            .collect();
         assert_eq!(distinct.len(), 4);
     }
 }

@@ -82,7 +82,10 @@ pub struct Union<V> {
 impl<V> Union<V> {
     /// Builds a union over `variants`; must be non-empty.
     pub fn new(variants: Vec<BoxedStrategy<V>>) -> Self {
-        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
         Union { variants }
     }
 }

@@ -58,7 +58,11 @@ impl TestRunner {
             seed ^= u64::from(byte);
             seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRunner { cases: config.cases, next: 0, seed }
+        TestRunner {
+            cases: config.cases,
+            next: 0,
+            seed,
+        }
     }
 
     /// Returns the next `(case_index, rng)` pair, or `None` when done.
@@ -68,7 +72,10 @@ impl TestRunner {
         }
         let case = self.next;
         self.next += 1;
-        Some((case, TestRng::new(self.seed ^ (u64::from(case) << 32 | u64::from(case)))))
+        Some((
+            case,
+            TestRng::new(self.seed ^ (u64::from(case) << 32 | u64::from(case))),
+        ))
     }
 }
 

@@ -26,6 +26,8 @@ use lad_replication::placement::HomeMap;
 use lad_replication::policy::{builtin_policy, EvictDecision, FillDecision, ReplicationPolicy};
 use lad_replication::scheme::SchemeId;
 use lad_trace::generator::WorkloadTrace;
+use lad_traceio::error::TraceError;
+use lad_traceio::source::{MemorySource, TraceSource};
 
 use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
 use crate::tile::Tile;
@@ -154,7 +156,12 @@ impl Simulator {
         replication: ReplicationConfig,
         policy: Arc<dyn ReplicationPolicy>,
     ) -> Self {
-        Self::with_policy_and_energy_model(system, replication, policy, EnergyModel::paper_default())
+        Self::with_policy_and_energy_model(
+            system,
+            replication,
+            policy,
+            EnergyModel::paper_default(),
+        )
     }
 
     /// [`Simulator::with_policy`] with an explicit energy model.
@@ -179,15 +186,20 @@ impl Simulator {
         label: String,
         energy_model: EnergyModel,
     ) -> Self {
-        system.validate().expect("system configuration must be valid");
-        replication.validate().expect("replication configuration must be valid");
+        system
+            .validate()
+            .expect("system configuration must be valid");
+        replication
+            .validate()
+            .expect("replication configuration must be valid");
         energy_model.validate().expect("energy model must be valid");
         let tiles = (0..system.num_cores)
             .map(|i| Tile::new(CoreId::new(i), &system, &replication))
             .collect();
         let network = Network::new(&system.network, system.cache_line_bytes);
-        let controller_cores =
-            (0..system.dram.num_controllers).map(|i| system.dram_controller_core(i)).collect();
+        let controller_cores = (0..system.dram.num_controllers)
+            .map(|i| system.dram_controller_core(i))
+            .collect();
         let dram = DramSystem::new(&system.dram, system.cache_line_bytes, controller_cores);
         let home_map = HomeMap::new(
             policy.placement(),
@@ -264,8 +276,11 @@ impl Simulator {
         let controller_cores = (0..self.system.dram.num_controllers)
             .map(|i| self.system.dram_controller_core(i))
             .collect();
-        self.dram =
-            DramSystem::new(&self.system.dram, self.system.cache_line_bytes, controller_cores);
+        self.dram = DramSystem::new(
+            &self.system.dram,
+            self.system.cache_line_bytes,
+            controller_cores,
+        );
         self.home_map = HomeMap::new(
             self.policy.placement(),
             self.system.num_cores,
@@ -313,7 +328,8 @@ impl Simulator {
     /// and ASR classification.
     pub fn profile_access(&mut self, access: &MemoryAccess) {
         let line = access.address.line(self.system.cache_line_bytes);
-        self.home_map.record_page_access(line, access.core, access.op.is_instruction());
+        self.home_map
+            .record_page_access(line, access.core, access.op.is_instruction());
         self.line_class.entry(line).or_insert(access.class);
     }
 
@@ -386,31 +402,87 @@ impl Simulator {
     /// over [`Simulator::step`] that always advances the core furthest
     /// behind, then a [`Simulator::report`] snapshot.
     ///
+    /// This is [`Simulator::run_source`] over an in-memory
+    /// [`MemorySource`]; recorded traces replayed through `run_source`
+    /// therefore produce byte-identical reports to this method.
+    ///
     /// # Panics
     ///
     /// Panics if the trace was generated for more cores than the simulated
     /// system has.
     pub fn run(&mut self, trace: &WorkloadTrace) -> SimulationReport {
-        self.begin(trace.name(), trace.num_cores());
+        assert!(
+            trace.num_cores() <= self.system.num_cores,
+            "trace has {} cores but the system only has {}",
+            trace.num_cores(),
+            self.system.num_cores
+        );
+        let mut source = MemorySource::new(trace);
+        self.run_source(&mut source)
+            .expect("in-memory traces cannot fail to stream")
+    }
 
-        for access in trace.iter() {
-            self.profile_access(access);
+    /// Runs any [`TraceSource`] to completion — the streaming counterpart
+    /// of [`Simulator::run`], consuming file-backed traces in O(chunk)
+    /// memory instead of O(trace).
+    ///
+    /// The schedule produces reports byte-identical to `run`: a whole-trace
+    /// profiling pass (page classification and ground-truth data classes —
+    /// whose final state is the same in any complete order, so each source
+    /// serves its cheapest order via [`TraceSource::next_access`]), a
+    /// rewind, then a stepping loop that always advances the core whose
+    /// local clock is furthest behind (ties to the lowest core index).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::CoreCountExceeded`] when the source spans more cores
+    /// than the simulated system has (before any state is touched), and
+    /// any [`TraceError`] from the source (decode failures, I/O) — the
+    /// simulator's accumulated state is then that of the prefix executed so
+    /// far.
+    pub fn run_source(
+        &mut self,
+        source: &mut dyn TraceSource,
+    ) -> Result<SimulationReport, TraceError> {
+        let name = source.name().to_string();
+        let num_cores = source.num_cores();
+        if num_cores > self.system.num_cores {
+            return Err(TraceError::CoreCountExceeded {
+                trace_cores: num_cores,
+                limit: self.system.num_cores,
+            });
+        }
+        self.begin(&name, num_cores);
+
+        // Profiling pass.  Page classification and the per-line class map
+        // converge to the same final state in any complete order
+        // (instruction marking is sticky, the private→shared upgrade is
+        // commutative, and a line's class is consistent within a trace), so
+        // the source streams in its own order — file order for LADT
+        // readers, which keeps replay memory O(chunk).
+        source.rewind()?;
+        while let Some(access) = source.next_access()? {
+            self.profile_access(&access);
         }
 
-        // Interleave cores by local time: always advance the core that is
-        // furthest behind.
-        let mut cursors = vec![0usize; trace.num_cores()];
+        // Execution pass: interleave cores by local time, always advancing
+        // the core that is furthest behind.
+        source.rewind()?;
+        let mut pending: Vec<Option<MemoryAccess>> = Vec::with_capacity(num_cores);
+        for core in 0..num_cores {
+            pending.push(source.next_for_core(CoreId::new(core))?);
+        }
         loop {
-            let next = (0..trace.num_cores())
-                .filter(|&c| cursors[c] < trace.core_stream(CoreId::new(c)).len())
+            let next = (0..num_cores)
+                .filter(|&c| pending[c].is_some())
                 .min_by_key(|&c| self.tiles[c].clock);
             let Some(core) = next else { break };
-            let access = trace.core_stream(CoreId::new(core))[cursors[core]];
-            cursors[core] += 1;
+            let access = pending[core].take().expect("filtered on is_some");
             self.step(&access);
+            pending[core] = source.next_for_core(CoreId::new(core))?;
         }
 
-        self.report()
+        Ok(self.report())
     }
 
     // ----- per-access processing ------------------------------------------
@@ -477,8 +549,16 @@ impl Simulator {
         }
 
         // Step 2: go to the home location.
-        let (finish, grant_state, served_offchip) =
-            self.access_home(core, home, replica_slice, line, is_write, class, now, upgrade_from_shared);
+        let (finish, grant_state, served_offchip) = self.access_home(
+            core,
+            home,
+            replica_slice,
+            line,
+            is_write,
+            class,
+            now,
+            upgrade_from_shared,
+        );
         now = finish;
         if served_offchip {
             self.misses.offchip_misses += 1;
@@ -487,7 +567,11 @@ impl Simulator {
         }
 
         // Step 3: fill the L1.
-        let l1_state = if is_write { MesiState::Modified } else { grant_state };
+        let l1_state = if is_write {
+            MesiState::Modified
+        } else {
+            grant_state
+        };
         self.fill_l1(core, is_instruction, line, l1_state, now);
         self.tiles[core.index()].clock = now;
         if served_offchip {
@@ -508,7 +592,11 @@ impl Simulator {
         if cluster == 1 {
             Some(core)
         } else {
-            Some(self.network.mesh().cluster_slice_for_line(core, cluster, line.index()))
+            Some(
+                self.network
+                    .mesh()
+                    .cluster_slice_for_line(core, cluster, line.index()),
+            )
         }
     }
 
@@ -527,10 +615,13 @@ impl Simulator {
         // Travel to the replica slice if it is not the local one.
         let mut t = now;
         if replica_core != core {
-            let delivery = self.network.send(core, replica_core, MessageKind::Control, t);
+            let delivery = self
+                .network
+                .send(core, replica_core, MessageKind::Control, t);
             t = delivery.arrival;
         }
-        self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
+        self.energy
+            .record(Component::L2Cache, self.energy_model.llc_tag_pj);
 
         let slice = &mut self.tiles[replica_core.index()].llc;
         let entry = slice.access(line);
@@ -558,7 +649,8 @@ impl Simulator {
         }
 
         // Account the LLC data access and, for VR, the invalidate-on-hit.
-        self.energy.record(Component::L2Cache, self.energy_model.llc_data_read_pj);
+        self.energy
+            .record(Component::L2Cache, self.energy_model.llc_data_read_pj);
         let slice_latency = self.tiles[replica_core.index()].llc.access_latency() as u64;
         let replica_state = self.tiles[replica_core.index()]
             .llc
@@ -572,12 +664,15 @@ impl Simulator {
             // invalidated (and must be written back again on the next L1
             // eviction) — the write-energy overhead the paper describes.
             self.tiles[replica_core.index()].llc.invalidate(line);
-            self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+            self.energy
+                .record(Component::L2Cache, self.energy_model.llc_data_write_pj);
         }
 
         let mut finish = t + slice_latency;
         if replica_core != core {
-            let delivery = self.network.send(replica_core, core, MessageKind::Data, finish);
+            let delivery = self
+                .network
+                .send(replica_core, core, MessageKind::Data, finish);
             finish = delivery.arrival;
         }
         self.latency.l1_to_llc_replica += finish.since(now).value();
@@ -640,16 +735,23 @@ impl Simulator {
         }
 
         // Serialization at the home (memory-consistency ordering).
-        let busy = self.line_busy_until.get(&line).copied().unwrap_or(Cycle::ZERO);
+        let busy = self
+            .line_busy_until
+            .get(&line)
+            .copied()
+            .unwrap_or(Cycle::ZERO);
         let start = t.max(busy);
         self.latency.llc_home_waiting += start.since(t).value();
         let mut t_home = start;
 
         // Home LLC lookup (tag + directory).
-        self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
-        self.energy.record(Component::Directory, self.energy_model.directory_access_pj);
+        self.energy
+            .record(Component::L2Cache, self.energy_model.llc_tag_pj);
+        self.energy
+            .record(Component::Directory, self.energy_model.directory_access_pj);
         if self.policy.uses_classifier() {
-            self.energy.record(Component::Directory, self.energy_model.classifier_access_pj);
+            self.energy
+                .record(Component::Directory, self.energy_model.classifier_access_pj);
         }
         let llc_latency = self.tiles[home.index()].llc.access_latency() as u64;
 
@@ -672,14 +774,17 @@ impl Simulator {
 
         let mut served_offchip = false;
         if home_has_line {
-            self.energy.record(Component::L2Cache, self.energy_model.llc_data_read_pj);
+            self.energy
+                .record(Component::L2Cache, self.energy_model.llc_data_read_pj);
         } else {
             // Fetch from DRAM: home -> memory controller -> home.
             served_offchip = true;
             let ctrl_core = self.dram.controller_core_for(line.index());
             let mut t_mem = t_home;
             if ctrl_core != home {
-                let delivery = self.network.send(home, ctrl_core, MessageKind::Control, t_mem);
+                let delivery = self
+                    .network
+                    .send(home, ctrl_core, MessageKind::Control, t_mem);
                 t_mem = delivery.arrival;
             }
             let access = self.dram.access(line.index(), t_mem);
@@ -692,7 +797,8 @@ impl Simulator {
             t_home = t_mem;
 
             // Install the home entry, evicting a victim if needed.
-            self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+            self.energy
+                .record(Component::L2Cache, self.energy_model.llc_data_write_pj);
             let new_entry = LlcEntry::Home(HomeEntry::new(
                 self.system.ackwise_pointers,
                 self.replication.classifier,
@@ -782,7 +888,11 @@ impl Simulator {
             if let Some(rc) = replica_slice {
                 if rc != home {
                     create_replica = true;
-                    replica_state = if is_write { MesiState::Modified } else { MesiState::Shared };
+                    replica_state = if is_write {
+                        MesiState::Modified
+                    } else {
+                        MesiState::Shared
+                    };
                 }
             }
         }
@@ -846,9 +956,12 @@ impl Simulator {
                 arrival = delivery.arrival;
             }
             // Probe both L1 caches and the LLC slice of the target.
-            self.energy.record(Component::L1D, self.energy_model.l1d_read_pj);
-            self.energy.record(Component::L1I, self.energy_model.l1i_access_pj);
-            self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
+            self.energy
+                .record(Component::L1D, self.energy_model.l1d_read_pj);
+            self.energy
+                .record(Component::L1I, self.energy_model.l1i_access_pj);
+            self.energy
+                .record(Component::L2Cache, self.energy_model.llc_tag_pj);
 
             let tile = &mut self.tiles[target.index()];
             let l1d_state = tile.l1d.invalidate(line);
@@ -856,7 +969,11 @@ impl Simulator {
             let mut dirty = matches!(l1d_state, Some(MesiState::Modified));
             let mut had_copy = l1d_state.is_some() || l1i_state.is_some();
             let mut replica_reuse = None;
-            let is_replica = tile.llc.probe(line).map(|e| e.is_replica()).unwrap_or(false);
+            let is_replica = tile
+                .llc
+                .probe(line)
+                .map(|e| e.is_replica())
+                .unwrap_or(false);
             if is_replica {
                 if let Some(LlcEntry::Replica(rep)) = tile.llc.invalidate(line) {
                     replica_reuse = Some(rep.reuse.value());
@@ -864,14 +981,23 @@ impl Simulator {
                     had_copy = true;
                 }
             }
-            let ack_kind = if dirty { MessageKind::Data } else { MessageKind::Control };
+            let ack_kind = if dirty {
+                MessageKind::Data
+            } else {
+                MessageKind::Control
+            };
             let back = if target != home {
                 self.network.send(target, home, ack_kind, arrival).arrival
             } else {
                 arrival
             };
             max_latency = max_latency.max(back.since(now));
-            probes.push(SharerProbe { target, replica_reuse, had_copy, dirty });
+            probes.push(SharerProbe {
+                target,
+                replica_reuse,
+                had_copy,
+                dirty,
+            });
         }
         (probes, max_latency)
     }
@@ -886,10 +1012,15 @@ impl Simulator {
     ) -> (SharerProbe, Cycle) {
         let mut arrival = now;
         if owner != home {
-            arrival = self.network.send(home, owner, MessageKind::Control, now).arrival;
+            arrival = self
+                .network
+                .send(home, owner, MessageKind::Control, now)
+                .arrival;
         }
-        self.energy.record(Component::L1D, self.energy_model.l1d_read_pj);
-        self.energy.record(Component::L2Cache, self.energy_model.llc_tag_pj);
+        self.energy
+            .record(Component::L1D, self.energy_model.l1d_read_pj);
+        self.energy
+            .record(Component::L2Cache, self.energy_model.llc_tag_pj);
 
         let tile = &mut self.tiles[owner.index()];
         let mut dirty = false;
@@ -903,20 +1034,37 @@ impl Simulator {
             rep.dirty = false;
         }
         let back = if owner != home {
-            self.network.send(owner, home, MessageKind::Data, arrival).arrival
+            self.network
+                .send(owner, home, MessageKind::Data, arrival)
+                .arrival
         } else {
             arrival
         };
         (
-            SharerProbe { target: owner, replica_reuse: None, had_copy: true, dirty },
+            SharerProbe {
+                target: owner,
+                replica_reuse: None,
+                had_copy: true,
+                dirty,
+            },
             back.since(now),
         )
     }
 
     /// Installs a replica in `slice_core`'s LLC slice.
-    fn install_replica(&mut self, slice_core: CoreId, line: CacheLine, state: MesiState, now: Cycle) {
-        self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
-        let entry = LlcEntry::Replica(ReplicaEntry::new(state, self.replication.replication_threshold));
+    fn install_replica(
+        &mut self,
+        slice_core: CoreId,
+        line: CacheLine,
+        state: MesiState,
+        now: Cycle,
+    ) {
+        self.energy
+            .record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+        let entry = LlcEntry::Replica(ReplicaEntry::new(
+            state,
+            self.replication.replication_threshold,
+        ));
         let evicted = self.tiles[slice_core.index()].llc.fill(line, entry);
         self.replicas_created += 1;
         if let Some((victim_line, victim_entry)) = evicted {
@@ -925,9 +1073,18 @@ impl Simulator {
     }
 
     /// Fills the requesting L1 and handles the evicted victim.
-    fn fill_l1(&mut self, core: CoreId, instruction: bool, line: CacheLine, state: MesiState, now: Cycle) {
+    fn fill_l1(
+        &mut self,
+        core: CoreId,
+        instruction: bool,
+        line: CacheLine,
+        state: MesiState,
+        now: Cycle,
+    ) {
         self.record_l1_energy(instruction, true);
-        let victim = self.tiles[core.index()].l1_for(instruction).fill(line, state);
+        let victim = self.tiles[core.index()]
+            .l1_for(instruction)
+            .fill(line, state);
         if let Some((victim_line, victim_state)) = victim {
             self.handle_l1_victim(core, victim_line, victim_state, now);
         }
@@ -953,7 +1110,8 @@ impl Simulator {
                     if dirty {
                         rep.state = MesiState::Modified;
                     }
-                    self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+                    self.energy
+                        .record(Component::L2Cache, self.energy_model.llc_data_write_pj);
                     return;
                 }
                 Some(LlcEntry::Home(entry)) if rc == home => {
@@ -968,7 +1126,8 @@ impl Simulator {
                     if policy.uses_classifier() {
                         entry.classifier.on_sharer_evicted(core);
                     }
-                    self.energy.record(Component::Directory, self.energy_model.directory_access_pj);
+                    self.energy
+                        .record(Component::Directory, self.energy_model.directory_access_pj);
                     return;
                 }
                 _ => {}
@@ -992,11 +1151,14 @@ impl Simulator {
                 rng: &mut self.rng,
             });
             if install && home != replica_core {
-                self.energy.record(Component::L2Cache, self.energy_model.llc_data_write_pj);
+                self.energy
+                    .record(Component::L2Cache, self.energy_model.llc_data_write_pj);
                 let mut rep = ReplicaEntry::new(state, self.replication.replication_threshold);
                 rep.l1_copy = false;
                 rep.dirty = dirty;
-                let evicted = self.tiles[replica_core.index()].llc.fill(line, LlcEntry::Replica(rep));
+                let evicted = self.tiles[replica_core.index()]
+                    .llc
+                    .fill(line, LlcEntry::Replica(rep));
                 self.replicas_created += 1;
                 if let Some((victim_line, victim_entry)) = evicted {
                     self.handle_llc_victim(replica_core, victim_line, victim_entry, now);
@@ -1011,7 +1173,13 @@ impl Simulator {
 
     /// Handles the eviction of an LLC entry (replica or home line) from
     /// `slice_core`'s slice.
-    fn handle_llc_victim(&mut self, slice_core: CoreId, line: CacheLine, entry: LlcEntry, now: Cycle) {
+    fn handle_llc_victim(
+        &mut self,
+        slice_core: CoreId,
+        line: CacheLine,
+        entry: LlcEntry,
+        now: Cycle,
+    ) {
         match entry {
             LlcEntry::Replica(rep) => {
                 // Back-invalidate the local L1 copies (the LLC slice is
@@ -1035,7 +1203,9 @@ impl Simulator {
             }
             LlcEntry::Home(home_entry) => {
                 // Inclusive LLC: every sharer's copy must be invalidated.
-                let targets = home_entry.directory.back_invalidation_targets(self.system.num_cores);
+                let targets = home_entry
+                    .directory
+                    .back_invalidation_targets(self.system.num_cores);
                 for target in targets {
                     let tile = &mut self.tiles[target.index()];
                     let had_l1 =
@@ -1051,8 +1221,10 @@ impl Simulator {
                     if had_l1 || had_replica {
                         self.back_invalidations += 1;
                         if target != slice_core {
-                            self.network.send(slice_core, target, MessageKind::Control, now);
-                            self.network.send(target, slice_core, MessageKind::Control, now);
+                            self.network
+                                .send(slice_core, target, MessageKind::Control, now);
+                            self.network
+                                .send(target, slice_core, MessageKind::Control, now);
                         }
                     }
                 }
@@ -1060,7 +1232,8 @@ impl Simulator {
                     // Write the line back to DRAM.
                     let ctrl_core = self.dram.controller_core_for(line.index());
                     if ctrl_core != slice_core {
-                        self.network.send(slice_core, ctrl_core, MessageKind::Data, now);
+                        self.network
+                            .send(slice_core, ctrl_core, MessageKind::Data, now);
                     }
                     self.dram.access(line.index(), now);
                 }
@@ -1085,10 +1258,15 @@ impl Simulator {
         now: Cycle,
     ) {
         if home != core {
-            let kind = if dirty { MessageKind::Data } else { MessageKind::Control };
+            let kind = if dirty {
+                MessageKind::Data
+            } else {
+                MessageKind::Control
+            };
             self.network.send(core, home, kind, now);
         }
-        self.energy.record(Component::Directory, self.energy_model.directory_access_pj);
+        self.energy
+            .record(Component::Directory, self.energy_model.directory_access_pj);
         if let Some(LlcEntry::Home(entry)) = self.tiles[home.index()].llc.probe_mut(line) {
             entry.directory.handle_eviction(core);
             if dirty {
@@ -1105,11 +1283,14 @@ impl Simulator {
 
     fn record_l1_energy(&mut self, instruction: bool, write: bool) {
         if instruction {
-            self.energy.record(Component::L1I, self.energy_model.l1i_access_pj);
+            self.energy
+                .record(Component::L1I, self.energy_model.l1i_access_pj);
         } else if write {
-            self.energy.record(Component::L1D, self.energy_model.l1d_write_pj);
+            self.energy
+                .record(Component::L1D, self.energy_model.l1d_write_pj);
         } else {
-            self.energy.record(Component::L1D, self.energy_model.l1d_read_pj);
+            self.energy
+                .record(Component::L1D, self.energy_model.l1d_read_pj);
         }
     }
 }
@@ -1131,11 +1312,51 @@ mod tests {
 
     #[test]
     fn simulation_completes_and_accounts_every_access() {
-        let report = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 1600);
-        assert_eq!(report.total_accesses, report.misses.l1_hits + report.misses.l1_misses());
+        let report = run(
+            ReplicationConfig::locality_aware(3),
+            Benchmark::Barnes,
+            1600,
+        );
+        assert_eq!(
+            report.total_accesses,
+            report.misses.l1_hits + report.misses.l1_misses()
+        );
         assert!(report.completion_time.value() > 0);
         assert!(report.energy.total() > 0.0);
         assert!(report.latency.total() > 0);
+    }
+
+    #[test]
+    fn run_source_over_a_recorded_stream_matches_run() {
+        use lad_traceio::source::ReaderSource;
+        use lad_traceio::writer::encode_workload;
+
+        let trace = small_trace(Benchmark::Barnes, 300, 42);
+        let bytes = encode_workload(&trace, 42).unwrap();
+
+        let mut sim = Simulator::new(
+            SystemConfig::small_test(),
+            ReplicationConfig::locality_aware(3),
+        );
+        let in_memory = sim.run(&trace);
+        let mut source = ReaderSource::new(std::io::Cursor::new(bytes)).unwrap();
+        let replayed = sim.run_source(&mut source).unwrap();
+        assert_eq!(format!("{in_memory:?}"), format!("{replayed:?}"));
+    }
+
+    #[test]
+    fn run_source_propagates_decode_errors() {
+        use lad_traceio::source::ReaderSource;
+        use lad_traceio::writer::encode_workload;
+
+        let trace = small_trace(Benchmark::Dedup, 100, 1);
+        let mut bytes = encode_workload(&trace, 1).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        let mut sim = Simulator::new(SystemConfig::small_test(), ReplicationConfig::static_nuca());
+        match ReaderSource::new(std::io::Cursor::new(bytes)) {
+            Ok(mut source) => assert!(sim.run_source(&mut source).is_err()),
+            Err(_) => panic!("truncating half the stream should leave the header intact"),
+        }
     }
 
     #[test]
@@ -1149,8 +1370,10 @@ mod tests {
 
     #[test]
     fn rerunning_the_same_simulator_resets_state() {
-        let mut sim =
-            Simulator::new(SystemConfig::small_test(), ReplicationConfig::locality_aware(3));
+        let mut sim = Simulator::new(
+            SystemConfig::small_test(),
+            ReplicationConfig::locality_aware(3),
+        );
         let trace = small_trace(Benchmark::Barnes, 200, 42);
         let a = sim.run(&trace);
         let b = sim.run(&trace);
@@ -1167,15 +1390,30 @@ mod tests {
 
     #[test]
     fn locality_aware_creates_replicas_for_high_reuse_benchmarks() {
-        let report = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 1600);
-        assert!(report.replicas_created > 0, "BARNES has high reuse and must replicate");
+        let report = run(
+            ReplicationConfig::locality_aware(3),
+            Benchmark::Barnes,
+            1600,
+        );
+        assert!(
+            report.replicas_created > 0,
+            "BARNES has high reuse and must replicate"
+        );
         assert!(report.misses.llc_replica_hits > 0);
     }
 
     #[test]
     fn locality_aware_replicates_less_for_low_reuse_benchmarks() {
-        let high = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 1600);
-        let low = run(ReplicationConfig::locality_aware(3), Benchmark::Fluidanimate, 1600);
+        let high = run(
+            ReplicationConfig::locality_aware(3),
+            Benchmark::Barnes,
+            1600,
+        );
+        let low = run(
+            ReplicationConfig::locality_aware(3),
+            Benchmark::Fluidanimate,
+            1600,
+        );
         let high_rate = high.misses.replica_hit_fraction();
         let low_rate = low.misses.replica_hit_fraction();
         assert!(
@@ -1186,14 +1424,26 @@ mod tests {
 
     #[test]
     fn rt1_replicates_more_aggressively_than_rt8() {
-        let rt1 = run(ReplicationConfig::locality_aware(1), Benchmark::Barnes, 1600);
-        let rt8 = run(ReplicationConfig::locality_aware(8), Benchmark::Barnes, 1600);
+        let rt1 = run(
+            ReplicationConfig::locality_aware(1),
+            Benchmark::Barnes,
+            1600,
+        );
+        let rt8 = run(
+            ReplicationConfig::locality_aware(8),
+            Benchmark::Barnes,
+            1600,
+        );
         assert!(rt1.replicas_created >= rt8.replicas_created);
     }
 
     #[test]
     fn victim_replication_creates_replicas_on_evictions() {
-        let report = run(ReplicationConfig::victim_replication(), Benchmark::Barnes, 1600);
+        let report = run(
+            ReplicationConfig::victim_replication(),
+            Benchmark::Barnes,
+            1600,
+        );
         assert!(report.replicas_created > 0);
     }
 
@@ -1202,13 +1452,24 @@ mod tests {
         let report = run(ReplicationConfig::asr(0.0), Benchmark::Streamcluster, 1200);
         assert_eq!(report.replicas_created, 0);
         let report = run(ReplicationConfig::asr(1.0), Benchmark::Streamcluster, 1200);
-        assert!(report.replicas_created > 0, "ASR at level 1 must replicate shared read-only data");
+        assert!(
+            report.replicas_created > 0,
+            "ASR at level 1 must replicate shared read-only data"
+        );
     }
 
     #[test]
     fn offchip_misses_dominate_for_llc_exceeding_working_sets() {
-        let big = run(ReplicationConfig::static_nuca(), Benchmark::Fluidanimate, 1600);
-        let small = run(ReplicationConfig::static_nuca(), Benchmark::WaterNsquared, 1600);
+        let big = run(
+            ReplicationConfig::static_nuca(),
+            Benchmark::Fluidanimate,
+            1600,
+        );
+        let small = run(
+            ReplicationConfig::static_nuca(),
+            Benchmark::WaterNsquared,
+            1600,
+        );
         assert!(
             big.misses.offchip_fraction() > small.misses.offchip_fraction(),
             "FLUIDANIMATE {:.3} vs WATER-NSQ {:.3}",
@@ -1220,13 +1481,19 @@ mod tests {
     #[test]
     fn run_length_profile_reflects_benchmark_reuse() {
         let barnes = run(ReplicationConfig::static_nuca(), Benchmark::Barnes, 1600);
-        let fluid = run(ReplicationConfig::static_nuca(), Benchmark::Fluidanimate, 1600);
+        let fluid = run(
+            ReplicationConfig::static_nuca(),
+            Benchmark::Fluidanimate,
+            1600,
+        );
         let barnes_mean = barnes
             .run_lengths
             .mean_run_length(DataClass::SharedReadWrite)
             .unwrap_or(0.0);
-        let fluid_mean =
-            fluid.run_lengths.mean_run_length(DataClass::SharedReadWrite).unwrap_or(0.0);
+        let fluid_mean = fluid
+            .run_lengths
+            .mean_run_length(DataClass::SharedReadWrite)
+            .unwrap_or(0.0);
         assert!(
             barnes_mean > fluid_mean,
             "BARNES mean run {barnes_mean:.2} vs FLUIDANIMATE {fluid_mean:.2}"
@@ -1235,7 +1502,11 @@ mod tests {
 
     #[test]
     fn latency_breakdown_components_are_populated() {
-        let report = run(ReplicationConfig::locality_aware(3), Benchmark::Barnes, 1600);
+        let report = run(
+            ReplicationConfig::locality_aware(3),
+            Benchmark::Barnes,
+            1600,
+        );
         assert!(report.latency.compute > 0);
         assert!(report.latency.l1_to_llc_home > 0);
         assert!(report.latency.l1_to_llc_replica > 0);
@@ -1245,7 +1516,11 @@ mod tests {
 
     #[test]
     fn dram_energy_appears_only_with_offchip_misses() {
-        let report = run(ReplicationConfig::static_nuca(), Benchmark::Fluidanimate, 1200);
+        let report = run(
+            ReplicationConfig::static_nuca(),
+            Benchmark::Fluidanimate,
+            1200,
+        );
         assert!(report.energy.component(Component::Dram) > 0.0);
         assert!(report.misses.offchip_misses > 0);
     }
@@ -1253,8 +1528,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "trace has")]
     fn trace_with_too_many_cores_is_rejected() {
-        let mut sim =
-            Simulator::new(SystemConfig::small_test(), ReplicationConfig::static_nuca());
+        let mut sim = Simulator::new(SystemConfig::small_test(), ReplicationConfig::static_nuca());
         let trace = TraceGenerator::new(Benchmark::Dedup.profile()).generate(64, 10, 1);
         sim.run(&trace);
     }

@@ -16,6 +16,8 @@
 //! of a silent `NaN`.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use lad_common::config::SystemConfig;
@@ -28,9 +30,64 @@ use lad_replication::policy::{RegisteredScheme, ReplicationPolicy, SchemeRegistr
 use lad_replication::scheme::{SchemeId, UnknownScheme};
 use lad_trace::benchmarks::Benchmark;
 use lad_trace::suite::BenchmarkSuite;
+use lad_traceio::error::TraceError;
+use lad_traceio::source::{FileSource, TraceSource};
 
 use crate::engine::Simulator;
 use crate::metrics::SimulationReport;
+
+/// Why a file-backed replay failed: the scheme was never registered, the
+/// trace could not be streamed, or two trace files claimed the same
+/// benchmark name in a matrix replay.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The requested scheme is not in the runner's registry.
+    UnknownScheme(UnknownScheme),
+    /// The trace file could not be opened or decoded.
+    Trace(TraceError),
+    /// Two trace files in one matrix replay carry the same benchmark name
+    /// in their headers, so their reports would overwrite each other.
+    DuplicateBenchmark {
+        /// The benchmark name both headers claim.
+        benchmark: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnknownScheme(err) => write!(f, "{err}"),
+            ReplayError::Trace(err) => write!(f, "{err}"),
+            ReplayError::DuplicateBenchmark { benchmark } => write!(
+                f,
+                "two trace files both claim benchmark {benchmark}; matrix results are keyed by \
+                 benchmark name, so their reports would collide"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::UnknownScheme(err) => Some(err),
+            ReplayError::Trace(err) => Some(err),
+            ReplayError::DuplicateBenchmark { .. } => None,
+        }
+    }
+}
+
+impl From<UnknownScheme> for ReplayError {
+    fn from(err: UnknownScheme) -> Self {
+        ReplayError::UnknownScheme(err)
+    }
+}
+
+impl From<TraceError> for ReplayError {
+    fn from(err: TraceError) -> Self {
+        ReplayError::Trace(err)
+    }
+}
 
 /// Runs simulations for a benchmark suite, optionally in parallel.
 ///
@@ -55,7 +112,9 @@ impl ExperimentRunner {
             system,
             suite,
             energy_model: EnergyModel::paper_default(),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             registry: SchemeRegistry::builtin(),
         }
     }
@@ -134,6 +193,115 @@ impl ExperimentRunner {
             self.energy_model.clone(),
         );
         sim.run(&trace)
+    }
+
+    /// Replays any [`TraceSource`] (a recorded `.ladt` file, an external
+    /// imported trace, ...) under one registered scheme.  The suite's
+    /// generation parameters are bypassed entirely: the trace *is* the
+    /// workload.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::UnknownScheme`] when `scheme` is not registered, or
+    /// [`ReplayError::Trace`] when the source fails to stream.
+    pub fn replay_source(
+        &self,
+        source: &mut dyn TraceSource,
+        scheme: SchemeId,
+    ) -> Result<SimulationReport, ReplayError> {
+        let entry = self.registry.get(scheme)?;
+        let mut sim = Simulator::with_policy_and_energy_model(
+            self.system.clone(),
+            entry.config.clone(),
+            Arc::clone(&entry.policy),
+            self.energy_model.clone(),
+        );
+        Ok(sim.run_source(source)?)
+    }
+
+    /// Replays one recorded `.ladt` trace file under one registered scheme.
+    ///
+    /// # Errors
+    ///
+    /// Like [`ExperimentRunner::replay_source`], plus file-open failures.
+    pub fn replay_file(
+        &self,
+        path: impl AsRef<Path>,
+        scheme: SchemeId,
+    ) -> Result<SimulationReport, ReplayError> {
+        // Resolve the scheme before touching the file so an unregistered
+        // scheme fails fast with the right error even for a missing path.
+        self.registry.get(scheme)?;
+        let mut source = FileSource::open(path)?;
+        self.replay_source(&mut source, scheme)
+    }
+
+    /// Replays every `.ladt` file under every requested scheme, in parallel
+    /// across worker threads — the file-backed counterpart of
+    /// [`ExperimentRunner::run_matrix`].  Results are keyed by
+    /// `(benchmark name from the trace header, scheme id)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast (before replaying anything) if any scheme is
+    /// unregistered; trace errors surface per cell as the whole matrix's
+    /// error, and two files whose headers claim the same benchmark name
+    /// are [`ReplayError::DuplicateBenchmark`] rather than a silent
+    /// overwrite.
+    pub fn replay_file_matrix(
+        &self,
+        files: &[PathBuf],
+        schemes: &[SchemeId],
+    ) -> Result<BTreeMap<(String, SchemeId), SimulationReport>, ReplayError> {
+        for &scheme in schemes {
+            self.registry.get(scheme)?;
+        }
+        let jobs: Vec<(&PathBuf, SchemeId)> = files
+            .iter()
+            .flat_map(|path| schemes.iter().map(move |&scheme| (path, scheme)))
+            .collect();
+
+        let mut results = BTreeMap::new();
+        let mut first_error = None;
+        std::thread::scope(|scope| {
+            let chunk_size = jobs.len().div_ceil(self.threads).max(1);
+            let handles: Vec<_> = jobs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let runner = self;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(path, scheme)| {
+                                let report = runner.replay_file(path, *scheme)?;
+                                Ok(((report.benchmark.clone(), *scheme), report))
+                            })
+                            .collect::<Result<Vec<_>, ReplayError>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join().expect("worker thread panicked") {
+                    Ok(cells) => {
+                        for (key, report) in cells {
+                            let benchmark = key.0.clone();
+                            if results.insert(key, report).is_some() && first_error.is_none() {
+                                first_error = Some(ReplayError::DuplicateBenchmark { benchmark });
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        if first_error.is_none() {
+                            first_error = Some(err);
+                        }
+                    }
+                }
+            }
+        });
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(results),
+        }
     }
 
     /// Runs every benchmark of the suite under every requested scheme, in
@@ -268,7 +436,10 @@ impl SchemeComparison {
                 reports.insert((benchmark, id), report);
             }
         }
-        SchemeComparison { benchmarks, reports }
+        SchemeComparison {
+            benchmarks,
+            reports,
+        }
     }
 
     /// The benchmarks included.
@@ -332,7 +503,10 @@ impl SchemeComparison {
     ) -> Result<f64, UnknownScheme> {
         let s = self.report(benchmark, scheme)?;
         let b = self.report(benchmark, baseline)?;
-        Ok(normalized(s.completion_time.value() as f64, b.completion_time.value() as f64))
+        Ok(normalized(
+            s.completion_time.value() as f64,
+            b.completion_time.value() as f64,
+        ))
     }
 
     fn normalized_over_benchmarks(
@@ -341,7 +515,10 @@ impl SchemeComparison {
         baseline: SchemeId,
         metric: impl Fn(&Self, Benchmark, SchemeId, SchemeId) -> Result<f64, UnknownScheme>,
     ) -> Result<Vec<f64>, UnknownScheme> {
-        self.benchmarks.iter().map(|b| metric(self, *b, scheme, baseline)).collect()
+        self.benchmarks
+            .iter()
+            .map(|b| metric(self, *b, scheme, baseline))
+            .collect()
     }
 
     /// Arithmetic mean (over benchmarks) of the normalized energy of a
@@ -356,8 +533,7 @@ impl SchemeComparison {
         scheme: SchemeId,
         baseline: SchemeId,
     ) -> Result<f64, UnknownScheme> {
-        let values =
-            self.normalized_over_benchmarks(scheme, baseline, Self::normalized_energy)?;
+        let values = self.normalized_over_benchmarks(scheme, baseline, Self::normalized_energy)?;
         Ok(mean(&values).unwrap_or(1.0))
     }
 
@@ -389,8 +565,7 @@ impl SchemeComparison {
         scheme: SchemeId,
         baseline: SchemeId,
     ) -> Result<f64, UnknownScheme> {
-        let values =
-            self.normalized_over_benchmarks(scheme, baseline, Self::normalized_energy)?;
+        let values = self.normalized_over_benchmarks(scheme, baseline, Self::normalized_energy)?;
         Ok(geometric_mean(&values).unwrap_or(1.0))
     }
 
@@ -431,8 +606,11 @@ impl SchemeComparison {
     /// The whole comparison as a JSON object (benchmarks plus one entry per
     /// matrix cell).  Round-trips through [`SchemeComparison::from_json`].
     pub fn to_json(&self) -> JsonValue {
-        let benchmarks: Vec<JsonValue> =
-            self.benchmarks.iter().map(|b| JsonValue::from(b.label())).collect();
+        let benchmarks: Vec<JsonValue> = self
+            .benchmarks
+            .iter()
+            .map(|b| JsonValue::from(b.label()))
+            .collect();
         let entries: Vec<JsonValue> = self
             .reports
             .iter()
@@ -494,11 +672,16 @@ impl SchemeComparison {
                     .ok_or("comparison entry is missing its scheme")?,
             );
             let report = SimulationReport::from_json(
-                entry.get("report").ok_or("comparison entry is missing its report")?,
+                entry
+                    .get("report")
+                    .ok_or("comparison entry is missing its report")?,
             )?;
             reports.insert((benchmark, scheme), report);
         }
-        Ok(SchemeComparison { benchmarks, reports })
+        Ok(SchemeComparison {
+            benchmarks,
+            reports,
+        })
     }
 }
 
@@ -536,22 +719,25 @@ mod tests {
                 (*b, SchemeId::StaticNuca),
                 fake_report(b.label(), SchemeId::StaticNuca, 100.0, 1000),
             );
-            results.insert((*b, SchemeId::Rt(3)), fake_report(b.label(), SchemeId::Rt(3), 80.0, 900));
+            results.insert(
+                (*b, SchemeId::Rt(3)),
+                fake_report(b.label(), SchemeId::Rt(3), 80.0, 900),
+            );
         }
         let cmp = SchemeComparison::from_results(benchmarks, results);
         let rt3 = SchemeId::Rt(3);
         let snuca = SchemeId::StaticNuca;
         assert!(
-            (cmp.normalized_energy(Benchmark::Barnes, rt3, snuca).unwrap() - 0.8).abs() < 1e-12
+            (cmp.normalized_energy(Benchmark::Barnes, rt3, snuca)
+                .unwrap()
+                - 0.8)
+                .abs()
+                < 1e-12
         );
         assert!((cmp.average_normalized_energy(rt3, snuca).unwrap() - 0.8).abs() < 1e-12);
-        assert!(
-            (cmp.average_normalized_completion_time(rt3, snuca).unwrap() - 0.9).abs() < 1e-12
-        );
+        assert!((cmp.average_normalized_completion_time(rt3, snuca).unwrap() - 0.9).abs() < 1e-12);
         assert!((cmp.geomean_normalized_energy(rt3, snuca).unwrap() - 0.8).abs() < 1e-9);
-        assert!(
-            (cmp.geomean_normalized_completion_time(rt3, snuca).unwrap() - 0.9).abs() < 1e-9
-        );
+        assert!((cmp.geomean_normalized_completion_time(rt3, snuca).unwrap() - 0.9).abs() < 1e-9);
         let (e_red, t_red) = cmp.reduction_vs(rt3, snuca).unwrap();
         assert!((e_red - 20.0).abs() < 1e-9);
         assert!((t_red - 10.0).abs() < 1e-9);
@@ -571,7 +757,11 @@ mod tests {
 
         // Missing scheme.
         let err = cmp
-            .normalized_energy(Benchmark::Barnes, SchemeId::VictimReplication, SchemeId::StaticNuca)
+            .normalized_energy(
+                Benchmark::Barnes,
+                SchemeId::VictimReplication,
+                SchemeId::StaticNuca,
+            )
             .unwrap_err();
         assert_eq!(err.scheme, SchemeId::VictimReplication);
         assert_eq!(err.context, "BARNES");
@@ -583,9 +773,15 @@ mod tests {
         assert_eq!(err.scheme, SchemeId::Rt(3));
 
         // Aggregates propagate the error.
-        assert!(cmp.average_normalized_energy(SchemeId::Rt(3), SchemeId::StaticNuca).is_err());
-        assert!(cmp.geomean_normalized_energy(SchemeId::Rt(3), SchemeId::StaticNuca).is_err());
-        assert!(cmp.reduction_vs(SchemeId::Rt(3), SchemeId::StaticNuca).is_err());
+        assert!(cmp
+            .average_normalized_energy(SchemeId::Rt(3), SchemeId::StaticNuca)
+            .is_err());
+        assert!(cmp
+            .geomean_normalized_energy(SchemeId::Rt(3), SchemeId::StaticNuca)
+            .is_err());
+        assert!(cmp
+            .reduction_vs(SchemeId::Rt(3), SchemeId::StaticNuca)
+            .is_err());
         assert!(cmp.report(Benchmark::Barnes, SchemeId::Asr).is_err());
         // The error is displayable for operators.
         let err = cmp.report(Benchmark::Barnes, SchemeId::Asr).unwrap_err();
@@ -609,7 +805,9 @@ mod tests {
             fake_report("BARNES", SchemeId::AsrAt(100), 120.0, 800),
         );
         let cmp = SchemeComparison::from_results(benchmarks, results);
-        let chosen = cmp.report(Benchmark::Barnes, SchemeId::Asr).expect("ASR entry exists");
+        let chosen = cmp
+            .report(Benchmark::Barnes, SchemeId::Asr)
+            .expect("ASR entry exists");
         assert_eq!(chosen.scheme, "ASR-0.50");
         assert_eq!(chosen.scheme_id, SchemeId::AsrAt(50));
         assert_eq!(SchemeComparison::SCHEME_ORDER.len(), 7);
@@ -628,11 +826,60 @@ mod tests {
         }
         // A single run agrees with the matrix entry (determinism), whether
         // it goes through the registry or an ad-hoc config.
-        let single = runner.run_scheme(Benchmark::Dedup, SchemeId::StaticNuca).unwrap();
+        let single = runner
+            .run_scheme(Benchmark::Dedup, SchemeId::StaticNuca)
+            .unwrap();
         let from_matrix = &results[&(Benchmark::Dedup, SchemeId::StaticNuca)];
         assert_eq!(single.completion_time, from_matrix.completion_time);
         let adhoc = runner.run_one(Benchmark::Dedup, &ReplicationConfig::static_nuca());
         assert_eq!(adhoc.completion_time, from_matrix.completion_time);
+    }
+
+    #[test]
+    fn file_backed_replay_matches_the_in_memory_matrix() {
+        let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup, Benchmark::Barnes], 120, 5);
+        let runner =
+            ExperimentRunner::new(SystemConfig::small_test(), suite.clone()).with_threads(2);
+        let schemes = [SchemeId::StaticNuca, SchemeId::Rt(3)];
+        let in_memory = runner.run_matrix(&schemes).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("ladt-replay-test-{}", std::process::id()));
+        let recorded =
+            lad_traceio::suite::record_suite(&suite, SystemConfig::small_test().num_cores, &dir)
+                .unwrap();
+        let files: Vec<std::path::PathBuf> = recorded.iter().map(|r| r.path.clone()).collect();
+        let replayed = runner.replay_file_matrix(&files, &schemes).unwrap();
+        assert_eq!(replayed.len(), in_memory.len());
+        for ((benchmark, scheme), report) in &in_memory {
+            let from_file = &replayed[&(benchmark.label().to_string(), *scheme)];
+            assert_eq!(format!("{report:?}"), format!("{from_file:?}"));
+        }
+
+        // Single-file replay agrees too, and unknown schemes fail fast even
+        // for nonexistent paths.
+        let single = runner.replay_file(&files[0], SchemeId::StaticNuca).unwrap();
+        let key = (recorded[0].benchmark.clone(), SchemeId::StaticNuca);
+        assert_eq!(format!("{single:?}"), format!("{:?}", replayed[&key]));
+        assert!(matches!(
+            runner.replay_file("/nonexistent.ladt", SchemeId::Custom("NOPE")),
+            Err(ReplayError::UnknownScheme(_))
+        ));
+        assert!(matches!(
+            runner.replay_file(dir.join("missing.ladt"), SchemeId::StaticNuca),
+            Err(ReplayError::Trace(_))
+        ));
+
+        // Two files whose headers claim the same benchmark name must be an
+        // error, not a silent overwrite of one file's reports.
+        let duplicate = dir.join("dedup-copy.ladt");
+        std::fs::copy(&files[0], &duplicate).unwrap();
+        let mut with_dup = files.clone();
+        with_dup.push(duplicate);
+        assert!(matches!(
+            runner.replay_file_matrix(&with_dup, &schemes),
+            Err(ReplayError::DuplicateBenchmark { benchmark }) if benchmark == recorded[0].benchmark
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -643,7 +890,9 @@ mod tests {
             .run_matrix(&[SchemeId::StaticNuca, SchemeId::Custom("NOPE")])
             .unwrap_err();
         assert_eq!(err.scheme, SchemeId::Custom("NOPE"));
-        assert!(runner.run_scheme(Benchmark::Dedup, SchemeId::Custom("NOPE")).is_err());
+        assert!(runner
+            .run_scheme(Benchmark::Dedup, SchemeId::Custom("NOPE"))
+            .is_err());
     }
 
     #[test]
@@ -652,7 +901,10 @@ mod tests {
         assert_eq!(sweep.len(), 11);
         let registry = SchemeRegistry::builtin();
         for id in &sweep {
-            assert!(registry.contains(*id), "{id} missing from the built-in registry");
+            assert!(
+                registry.contains(*id),
+                "{id} missing from the built-in registry"
+            );
         }
     }
 
@@ -679,7 +931,8 @@ mod tests {
         assert_eq!(decoded.benchmarks(), cmp.benchmarks());
         assert_eq!(decoded.to_json(), json);
         assert!(
-            (decoded.normalized_energy(Benchmark::Barnes, SchemeId::Rt(3), SchemeId::StaticNuca)
+            (decoded
+                .normalized_energy(Benchmark::Barnes, SchemeId::Rt(3), SchemeId::StaticNuca)
                 .unwrap()
                 - 0.8)
                 .abs()
@@ -687,7 +940,10 @@ mod tests {
         );
         // The collapsed ASR column survived the round trip.
         assert_eq!(
-            decoded.report(Benchmark::Dedup, SchemeId::Asr).unwrap().scheme_id,
+            decoded
+                .report(Benchmark::Dedup, SchemeId::Asr)
+                .unwrap()
+                .scheme_id,
             SchemeId::AsrAt(75)
         );
     }

@@ -349,7 +349,9 @@ impl RunLengthProfile {
     ///
     /// Returns a description of the first unknown class or malformed sample.
     pub fn from_json(value: &JsonValue) -> Result<Self, String> {
-        let pairs = value.as_object().ok_or("run-length profile must be an object")?;
+        let pairs = value
+            .as_object()
+            .ok_or("run-length profile must be an object")?;
         let mut profile = RunLengthProfile::new();
         for (label, samples) in pairs {
             let class = DataClass::ALL
@@ -417,7 +419,8 @@ impl SimulationReport {
         if self.total_accesses == 0 {
             return 0.0;
         }
-        let memory_cycles = self.latency.total() - self.latency.compute - self.latency.synchronization;
+        let memory_cycles =
+            self.latency.total() - self.latency.compute - self.latency.synchronization;
         memory_cycles as f64 / self.total_accesses as f64
     }
 
@@ -435,10 +438,16 @@ impl SimulationReport {
             ("benchmark", JsonValue::from(self.benchmark.as_str())),
             ("scheme", JsonValue::from(self.scheme.as_str())),
             ("scheme_id", JsonValue::from(self.scheme_id.label())),
-            ("completion_time", JsonValue::from(self.completion_time.value())),
+            (
+                "completion_time",
+                JsonValue::from(self.completion_time.value()),
+            ),
             ("total_accesses", JsonValue::from(self.total_accesses)),
             ("replicas_created", JsonValue::from(self.replicas_created)),
-            ("back_invalidations", JsonValue::from(self.back_invalidations)),
+            (
+                "back_invalidations",
+                JsonValue::from(self.back_invalidations),
+            ),
             ("latency", self.latency.to_json()),
             ("misses", self.misses.to_json()),
             ("energy", energy),
@@ -476,7 +485,9 @@ impl SimulationReport {
                 .copied()
                 .find(|c| c.label() == label)
                 .ok_or_else(|| format!("unknown energy component {label:?}"))?;
-            let pj = pj.as_f64().ok_or_else(|| format!("energy of {label:?} must be a number"))?;
+            let pj = pj
+                .as_f64()
+                .ok_or_else(|| format!("energy of {label:?} must be a number"))?;
             if pj < 0.0 {
                 return Err(format!("energy of {label:?} must be non-negative"));
             }
@@ -488,14 +499,20 @@ impl SimulationReport {
             scheme_id: SchemeId::parse(&str_field("scheme_id")?),
             completion_time: Cycle::new(u64_field("completion_time")?),
             latency: LatencyBreakdown::from_json(
-                value.get("latency").ok_or("report is missing the latency breakdown")?,
+                value
+                    .get("latency")
+                    .ok_or("report is missing the latency breakdown")?,
             )?,
             misses: MissBreakdown::from_json(
-                value.get("misses").ok_or("report is missing the miss breakdown")?,
+                value
+                    .get("misses")
+                    .ok_or("report is missing the miss breakdown")?,
             )?,
             energy,
             run_lengths: RunLengthProfile::from_json(
-                value.get("run_lengths").ok_or("report is missing the run-length profile")?,
+                value
+                    .get("run_lengths")
+                    .ok_or("report is missing the run-length profile")?,
             )?,
             total_accesses: u64_field("total_accesses")?,
             replicas_created: u64_field("replicas_created")?,
@@ -522,8 +539,16 @@ mod tests {
 
     #[test]
     fn latency_breakdown_totals_and_merge() {
-        let mut a = LatencyBreakdown { compute: 10, l1_to_llc_home: 5, ..Default::default() };
-        let b = LatencyBreakdown { llc_home_waiting: 3, synchronization: 2, ..Default::default() };
+        let mut a = LatencyBreakdown {
+            compute: 10,
+            l1_to_llc_home: 5,
+            ..Default::default()
+        };
+        let b = LatencyBreakdown {
+            llc_home_waiting: 3,
+            synchronization: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.total(), 20);
         assert_eq!(a.values().len(), LatencyBreakdown::LABELS.len());
@@ -535,7 +560,12 @@ mod tests {
 
     #[test]
     fn miss_breakdown_fractions() {
-        let m = MissBreakdown { l1_hits: 100, llc_replica_hits: 30, llc_home_hits: 50, offchip_misses: 20 };
+        let m = MissBreakdown {
+            l1_hits: 100,
+            llc_replica_hits: 30,
+            llc_home_hits: 50,
+            offchip_misses: 20,
+        };
         assert_eq!(m.l1_misses(), 100);
         assert!((m.replica_hit_fraction() - 0.3).abs() < 1e-12);
         assert!((m.offchip_fraction() - 0.2).abs() < 1e-12);
@@ -588,16 +618,30 @@ mod tests {
     #[test]
     fn distribution_fractions_sum_to_one() {
         let mut p = RunLengthProfile::new();
-        p.record_access(CacheLine::from_index(1), CoreId::new(0), DataClass::Private, false);
+        p.record_access(
+            CacheLine::from_index(1),
+            CoreId::new(0),
+            DataClass::Private,
+            false,
+        );
         for _ in 0..9 {
-            p.record_access(CacheLine::from_index(2), CoreId::new(1), DataClass::Instruction, false);
+            p.record_access(
+                CacheLine::from_index(2),
+                CoreId::new(1),
+                DataClass::Instruction,
+                false,
+            );
         }
         p.finalize();
         let total: f64 = p.distribution().iter().flat_map(|(_, b)| b.iter()).sum();
         assert!((total - 1.0).abs() < 1e-9);
         // Empty profile: all zero.
         let empty = RunLengthProfile::new();
-        let total: f64 = empty.distribution().iter().flat_map(|(_, b)| b.iter()).sum();
+        let total: f64 = empty
+            .distribution()
+            .iter()
+            .flat_map(|(_, b)| b.iter())
+            .sum();
         assert_eq!(total, 0.0);
     }
 
@@ -644,7 +688,12 @@ mod tests {
                 false,
             );
         }
-        run_lengths.record_access(CacheLine::from_index(2), CoreId::new(1), DataClass::Private, true);
+        run_lengths.record_access(
+            CacheLine::from_index(2),
+            CoreId::new(1),
+            DataClass::Private,
+            true,
+        );
         run_lengths.finalize();
         let report = SimulationReport {
             benchmark: "BARNES".to_string(),

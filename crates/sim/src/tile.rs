@@ -81,9 +81,12 @@ mod tests {
     fn llc_replacement_policy_is_configurable() {
         use lad_cache::llc_slice::LlcReplacementPolicy;
         let system = SystemConfig::small_test();
-        let plain = ReplicationConfig::paper_default()
-            .with_llc_replacement(LlcReplacementPolicy::PlainLru);
+        let plain =
+            ReplicationConfig::paper_default().with_llc_replacement(LlcReplacementPolicy::PlainLru);
         let tile = Tile::new(CoreId::new(0), &system, &plain);
-        assert_eq!(tile.llc.replacement_policy(), LlcReplacementPolicy::PlainLru);
+        assert_eq!(
+            tile.llc.replacement_policy(),
+            LlcReplacementPolicy::PlainLru
+        );
     }
 }

@@ -489,7 +489,9 @@ mod tests {
     #[test]
     fn every_profile_validates() {
         for b in Benchmark::ALL {
-            b.profile().validate().unwrap_or_else(|e| panic!("{b}: {e}"));
+            b.profile()
+                .validate()
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
         }
     }
 
@@ -499,8 +501,14 @@ mod tests {
         assert_eq!(Benchmark::Facesim.suite_name(), "PARSEC");
         assert_eq!(Benchmark::Patricia.suite_name(), "Parallel MiBench");
         assert_eq!(Benchmark::ConnectedComponents.suite_name(), "UHPC");
-        let splash = Benchmark::ALL.iter().filter(|b| b.suite_name() == "SPLASH-2").count();
-        let parsec = Benchmark::ALL.iter().filter(|b| b.suite_name() == "PARSEC").count();
+        let splash = Benchmark::ALL
+            .iter()
+            .filter(|b| b.suite_name() == "SPLASH-2")
+            .count();
+        let parsec = Benchmark::ALL
+            .iter()
+            .filter(|b| b.suite_name() == "PARSEC")
+            .count();
         assert_eq!(splash, 11);
         assert_eq!(parsec, 8);
     }
@@ -508,7 +516,10 @@ mod tests {
     #[test]
     fn problem_sizes_are_recorded() {
         assert_eq!(Benchmark::Barnes.profile().problem_size, "64K particles");
-        assert_eq!(Benchmark::Radix.profile().problem_size, "4M integers, radix 1024");
+        assert_eq!(
+            Benchmark::Radix.profile().problem_size,
+            "4M integers, radix 1024"
+        );
         for b in Benchmark::ALL {
             assert!(!b.profile().problem_size.is_empty());
         }
@@ -527,15 +538,31 @@ mod tests {
 
     #[test]
     fn facesim_and_bodytrack_are_instruction_heavy() {
-        for b in [Benchmark::Facesim, Benchmark::Bodytrack, Benchmark::Raytrace] {
+        for b in [
+            Benchmark::Facesim,
+            Benchmark::Bodytrack,
+            Benchmark::Raytrace,
+        ] {
             let p = b.profile();
-            assert!(p.class_mix.instruction >= 0.25, "{b} must have a large I-fetch share");
-            assert!(p.instruction_lines >= 3072, "{b} instruction footprint exceeds the L1-I");
+            assert!(
+                p.class_mix.instruction >= 0.25,
+                "{b} must have a large I-fetch share"
+            );
+            assert!(
+                p.instruction_lines >= 3072,
+                "{b} instruction footprint exceeds the L1-I"
+            );
         }
         // Everyone else has a small instruction share (< 0.2), matching the
         // paper's claim that only three benchmarks have notable L1-I misses.
         for b in Benchmark::ALL {
-            if ![Benchmark::Facesim, Benchmark::Bodytrack, Benchmark::Raytrace].contains(&b) {
+            if ![
+                Benchmark::Facesim,
+                Benchmark::Bodytrack,
+                Benchmark::Raytrace,
+            ]
+            .contains(&b)
+            {
                 assert!(b.profile().class_mix.instruction < 0.2, "{b}");
             }
         }
@@ -550,8 +577,14 @@ mod tests {
         ] {
             let p = b.profile();
             // Expected run length of the dominant data classes stays below ~2.
-            assert!(p.reuse[1].expected_run_length() < 2.0, "{b} private reuse too high");
-            assert!(p.reuse[3].expected_run_length() < 2.0, "{b} shared-RW reuse too high");
+            assert!(
+                p.reuse[1].expected_run_length() < 2.0,
+                "{b} private reuse too high"
+            );
+            assert!(
+                p.reuse[3].expected_run_length() < 2.0,
+                "{b} shared-RW reuse too high"
+            );
         }
     }
 
@@ -559,7 +592,11 @@ mod tests {
     fn working_set_classification() {
         // Aggregate LLC of the 64-core target: 16 MB = 262144 lines.
         let llc_lines = 64 * 4096;
-        for b in [Benchmark::Barnes, Benchmark::WaterNsquared, Benchmark::Streamcluster] {
+        for b in [
+            Benchmark::Barnes,
+            Benchmark::WaterNsquared,
+            Benchmark::Streamcluster,
+        ] {
             assert!(
                 b.profile().footprint_lines(64) < llc_lines / 2,
                 "{b} must fit comfortably in the LLC"

@@ -1,0 +1,90 @@
+//! Typed errors for the trace layer.
+//!
+//! [`ProfileError`] replaces the stringly `Result<(), String>` the profile
+//! validators used to return, so callers can match on the exact violation.
+//! The trace-I/O layer (`lad-traceio`) embeds it in its own `TraceError`, so
+//! every trace-layer failure — generation *and* serialization — is matchable
+//! through one error tree.
+
+use std::error::Error;
+use std::fmt;
+
+/// A validation failure in a [`BenchmarkProfile`](crate::BenchmarkProfile)
+/// or one of its components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A class-mix weight is negative, NaN or infinite.
+    NonFiniteClassWeight,
+    /// Every class-mix weight is zero: no class can ever be drawn.
+    NoPositiveClassWeight,
+    /// A reuse model has a continue probability outside `[0, 1]` or a zero
+    /// maximum run length.  The index follows the profile's `reuse` array
+    /// order (instruction / private / shared-RO / shared-RW).
+    InvalidReuseModel {
+        /// Index into `BenchmarkProfile::reuse`.
+        index: usize,
+    },
+    /// A fraction field lies outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// `sharing_degree` is zero; every shared line needs at least one user.
+    ZeroSharingDegree,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::NonFiniteClassWeight => {
+                f.write_str("class weights must be finite and non-negative")
+            }
+            ProfileError::NoPositiveClassWeight => {
+                f.write_str("at least one class weight must be positive")
+            }
+            ProfileError::InvalidReuseModel { index } => {
+                write!(f, "reuse model {index} is invalid")
+            }
+            ProfileError::FractionOutOfRange { field } => {
+                write!(f, "{field} must lie in [0, 1]")
+            }
+            ProfileError::ZeroSharingDegree => f.write_str("sharing degree must be at least 1"),
+        }
+    }
+}
+
+impl Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_violation() {
+        assert_eq!(
+            ProfileError::FractionOutOfRange {
+                field: "rw_write_fraction"
+            }
+            .to_string(),
+            "rw_write_fraction must lie in [0, 1]"
+        );
+        assert_eq!(
+            ProfileError::InvalidReuseModel { index: 2 }.to_string(),
+            "reuse model 2 is invalid"
+        );
+        assert_eq!(
+            ProfileError::ZeroSharingDegree.to_string(),
+            "sharing degree must be at least 1"
+        );
+    }
+
+    #[test]
+    fn variants_are_matchable_and_comparable() {
+        let err = ProfileError::InvalidReuseModel { index: 1 };
+        assert_eq!(err, ProfileError::InvalidReuseModel { index: 1 });
+        assert_ne!(err, ProfileError::InvalidReuseModel { index: 2 });
+        // It is a std error, so it can ride in error trees.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.source().is_none());
+    }
+}

@@ -3,6 +3,7 @@
 use lad_common::rng::DeterministicRng;
 use lad_common::types::{CoreId, DataClass, MemOp, MemoryAccess};
 
+use crate::error::ProfileError;
 use crate::pattern::{AddressSpace, ClassMix, ReuseModel};
 
 /// Everything that characterizes one benchmark's memory behaviour.
@@ -47,12 +48,12 @@ impl BenchmarkProfile {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first invalid field as a typed [`ProfileError`].
+    pub fn validate(&self) -> Result<(), ProfileError> {
         self.class_mix.validate()?;
         for (i, r) in self.reuse.iter().enumerate() {
             if !(0.0..=1.0).contains(&r.continue_probability) || r.max_run == 0 {
-                return Err(format!("reuse model {i} is invalid"));
+                return Err(ProfileError::InvalidReuseModel { index: i });
             }
         }
         for (name, f) in [
@@ -60,11 +61,11 @@ impl BenchmarkProfile {
             ("private_write_fraction", self.private_write_fraction),
         ] {
             if !(0.0..=1.0).contains(&f) {
-                return Err(format!("{name} must lie in [0, 1]"));
+                return Err(ProfileError::FractionOutOfRange { field: name });
             }
         }
         if self.sharing_degree == 0 {
-            return Err("sharing degree must be at least 1".to_string());
+            return Err(ProfileError::ZeroSharingDegree);
         }
         Ok(())
     }
@@ -110,7 +111,10 @@ pub struct WorkloadTrace {
 impl WorkloadTrace {
     /// Builds a trace from per-core access streams.
     pub fn new(name: impl Into<String>, per_core: Vec<Vec<MemoryAccess>>) -> Self {
-        WorkloadTrace { name: name.into(), per_core }
+        WorkloadTrace {
+            name: name.into(),
+            per_core,
+        }
     }
 
     /// Benchmark name.
@@ -178,7 +182,13 @@ impl TraceGenerator {
         let per_core: Vec<Vec<MemoryAccess>> = (0..num_cores)
             .map(|core| {
                 let mut rng = root.derive(core as u64);
-                self.generate_core(CoreId::new(core), num_cores, accesses_per_core, &space, &mut rng)
+                self.generate_core(
+                    CoreId::new(core),
+                    num_cores,
+                    accesses_per_core,
+                    &space,
+                    &mut rng,
+                )
             })
             .collect();
         WorkloadTrace::new(self.profile.name, per_core)
@@ -238,7 +248,13 @@ impl TraceGenerator {
             let op = self.pick_op(class, is_last, rng);
             let compute = self.pick_compute(rng);
             let address = space.address_for(class, core, index);
-            stream.push(MemoryAccess { core, address, op, compute_cycles: compute, class });
+            stream.push(MemoryAccess {
+                core,
+                address,
+                op,
+                compute_cycles: compute,
+                class,
+            });
             if is_last {
                 pool.swap_remove(slot);
             } else {
@@ -345,7 +361,10 @@ mod tests {
         for core in 0..4 {
             let stream = trace.core_stream(CoreId::new(core));
             assert!(stream.len() >= 250);
-            assert!(stream.len() < 250 + 64, "streams should not wildly overshoot");
+            assert!(
+                stream.len() < 250 + 64,
+                "streams should not wildly overshoot"
+            );
             assert!(stream.iter().all(|a| a.core.index() == core));
         }
         assert_eq!(trace.total_accesses(), trace.iter().count());
@@ -357,7 +376,10 @@ mod tests {
         let generator = TraceGenerator::new(profile());
         let trace = generator.generate(8, 2000, 3);
         let total = trace.total_accesses() as f64;
-        let rw = trace.iter().filter(|a| a.class == DataClass::SharedReadWrite).count() as f64;
+        let rw = trace
+            .iter()
+            .filter(|a| a.class == DataClass::SharedReadWrite)
+            .count() as f64;
         // BARNES is dominated by shared read-write accesses.
         assert!(rw / total > 0.6, "shared-RW fraction was {}", rw / total);
     }
@@ -439,18 +461,49 @@ mod tests {
     }
 
     #[test]
-    fn invalid_profiles_are_rejected() {
+    fn invalid_profiles_are_rejected_with_typed_errors() {
+        use crate::error::ProfileError;
+
         let mut p = profile();
         p.rw_write_fraction = 2.0;
-        assert!(p.validate().is_err());
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::FractionOutOfRange {
+                field: "rw_write_fraction"
+            })
+        );
+        let mut p = profile();
+        p.private_write_fraction = -0.1;
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::FractionOutOfRange {
+                field: "private_write_fraction"
+            })
+        );
         let mut p = profile();
         p.sharing_degree = 0;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ProfileError::ZeroSharingDegree));
         let mut p = profile();
-        p.reuse[0] = ReuseModel { continue_probability: 1.5, max_run: 8 };
-        assert!(p.validate().is_err());
+        p.reuse[0] = ReuseModel {
+            continue_probability: 1.5,
+            max_run: 8,
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::InvalidReuseModel { index: 0 })
+        );
         let mut p = profile();
-        p.reuse[2] = ReuseModel { continue_probability: 0.5, max_run: 0 };
-        assert!(p.validate().is_err());
+        p.reuse[2] = ReuseModel {
+            continue_probability: 0.5,
+            max_run: 0,
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::InvalidReuseModel { index: 2 })
+        );
+        // Class-mix violations propagate through the profile validator.
+        let mut p = profile();
+        p.class_mix.instruction = f64::NAN;
+        assert_eq!(p.validate(), Err(ProfileError::NonFiniteClassWeight));
     }
 }

@@ -35,10 +35,12 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+pub mod error;
 pub mod generator;
 pub mod pattern;
 pub mod suite;
 
 pub use benchmarks::Benchmark;
+pub use error::ProfileError;
 pub use generator::{BenchmarkProfile, TraceGenerator, WorkloadTrace};
 pub use suite::BenchmarkSuite;

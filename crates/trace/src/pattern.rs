@@ -3,6 +3,8 @@
 
 use lad_common::types::{Address, CoreId, DataClass};
 
+use crate::error::ProfileError;
+
 /// Byte granularity of one cache line in the generated address space.
 pub const LINE_BYTES: u64 = 64;
 
@@ -180,7 +182,12 @@ pub struct ClassMix {
 impl ClassMix {
     /// The weights as an array ordered like [`ClassMix::classes`].
     pub fn weights(&self) -> [f64; 4] {
-        [self.instruction, self.private, self.shared_read_only, self.shared_read_write]
+        [
+            self.instruction,
+            self.private,
+            self.shared_read_only,
+            self.shared_read_write,
+        ]
     }
 
     /// The classes in the same order as [`ClassMix::weights`].
@@ -197,14 +204,14 @@ impl ClassMix {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violation.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the violation as a typed [`ProfileError`].
+    pub fn validate(&self) -> Result<(), ProfileError> {
         let weights = self.weights();
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
-            return Err("class weights must be finite and non-negative".to_string());
+            return Err(ProfileError::NonFiniteClassWeight);
         }
         if weights.iter().sum::<f64>() <= 0.0 {
-            return Err("at least one class weight must be positive".to_string());
+            return Err(ProfileError::NoPositiveClassWeight);
         }
         Ok(())
     }
@@ -227,7 +234,10 @@ pub struct ReuseModel {
 impl ReuseModel {
     /// A reuse model with the given continue probability and a cap of 32.
     pub fn with_probability(continue_probability: f64) -> Self {
-        ReuseModel { continue_probability: continue_probability.clamp(0.0, 1.0), max_run: 32 }
+        ReuseModel {
+            continue_probability: continue_probability.clamp(0.0, 1.0),
+            max_run: 32,
+        }
     }
 
     /// Expected run length of the geometric model (ignoring the cap).
@@ -299,7 +309,8 @@ mod tests {
     #[test]
     fn false_sharing_interleaves_private_lines_within_pages() {
         let s = AddressSpace::new(4, 64, 128, 256, 100, true);
-        let page_of = |core: usize, i: u64| s.private_address(CoreId::new(core), i).value() / PAGE_BYTES;
+        let page_of =
+            |core: usize, i: u64| s.private_address(CoreId::new(core), i).value() / PAGE_BYTES;
         // Line 0 of all four cores lands in the same page.
         let first_pages: std::collections::HashSet<u64> = (0..4).map(|c| page_of(c, 0)).collect();
         assert_eq!(first_pages.len(), 1);
@@ -313,7 +324,10 @@ mod tests {
     #[test]
     fn address_for_dispatches_by_class() {
         let s = space();
-        assert_eq!(s.address_for(DataClass::Instruction, CoreId::new(0), 3), s.instruction_address(3));
+        assert_eq!(
+            s.address_for(DataClass::Instruction, CoreId::new(0), 3),
+            s.instruction_address(3)
+        );
         assert_eq!(
             s.address_for(DataClass::SharedReadOnly, CoreId::new(0), 3),
             s.shared_ro_address(3)
@@ -332,14 +346,27 @@ mod tests {
 
     #[test]
     fn class_mix_validation() {
-        let good = ClassMix { instruction: 0.1, private: 0.4, shared_read_only: 0.2, shared_read_write: 0.3 };
+        let good = ClassMix {
+            instruction: 0.1,
+            private: 0.4,
+            shared_read_only: 0.2,
+            shared_read_write: 0.3,
+        };
         good.validate().unwrap();
         assert_eq!(ClassMix::classes().len(), 4);
         assert_eq!(good.weights().len(), 4);
 
-        let bad = ClassMix { instruction: -0.1, ..good };
+        let bad = ClassMix {
+            instruction: -0.1,
+            ..good
+        };
         assert!(bad.validate().is_err());
-        let zero = ClassMix { instruction: 0.0, private: 0.0, shared_read_only: 0.0, shared_read_write: 0.0 };
+        let zero = ClassMix {
+            instruction: 0.0,
+            private: 0.0,
+            shared_read_only: 0.0,
+            shared_read_write: 0.0,
+        };
         assert!(zero.validate().is_err());
     }
 

@@ -16,7 +16,11 @@ impl BenchmarkSuite {
     /// The full 21-benchmark suite with a default trace length suitable for
     /// regenerating the paper's figures on a laptop.
     pub fn full() -> Self {
-        BenchmarkSuite { benchmarks: Benchmark::ALL.to_vec(), accesses_per_core: 3000, seed: 0x1ad }
+        BenchmarkSuite {
+            benchmarks: Benchmark::ALL.to_vec(),
+            accesses_per_core: 3000,
+            seed: 0x1ad,
+        }
     }
 
     /// A small, fast subset used by integration tests and examples: one
@@ -24,10 +28,10 @@ impl BenchmarkSuite {
     pub fn quick() -> Self {
         BenchmarkSuite {
             benchmarks: vec![
-                Benchmark::Barnes,        // shared read-write, high reuse
-                Benchmark::Facesim,       // instruction heavy
-                Benchmark::Blackscholes,  // private with false sharing
-                Benchmark::Fluidanimate,  // low reuse, large working set
+                Benchmark::Barnes,          // shared read-write, high reuse
+                Benchmark::Facesim,         // instruction heavy
+                Benchmark::Blackscholes,    // private with false sharing
+                Benchmark::Fluidanimate,    // low reuse, large working set
                 Benchmark::LuNonContiguous, // migratory
             ],
             accesses_per_core: 1200,
@@ -85,7 +89,11 @@ impl BenchmarkSuite {
 
     /// A custom suite.
     pub fn custom(benchmarks: Vec<Benchmark>, accesses_per_core: usize, seed: u64) -> Self {
-        BenchmarkSuite { benchmarks, accesses_per_core, seed }
+        BenchmarkSuite {
+            benchmarks,
+            accesses_per_core,
+            seed,
+        }
     }
 
     /// Overrides the per-core trace length (builder style).
@@ -152,10 +160,17 @@ mod tests {
 
     #[test]
     fn builders_adjust_parameters() {
-        let suite = BenchmarkSuite::quick().with_accesses_per_core(100).with_seed(9);
+        let suite = BenchmarkSuite::quick()
+            .with_accesses_per_core(100)
+            .with_seed(9);
         assert_eq!(suite.accesses_per_core(), 100);
         assert_eq!(suite.seed(), 9);
-        assert_eq!(BenchmarkSuite::quick().with_accesses_per_core(0).accesses_per_core(), 1);
+        assert_eq!(
+            BenchmarkSuite::quick()
+                .with_accesses_per_core(0)
+                .accesses_per_core(),
+            1
+        );
         let custom = BenchmarkSuite::custom(vec![Benchmark::Dedup], 10, 3);
         assert_eq!(custom.benchmarks(), &[Benchmark::Dedup]);
     }

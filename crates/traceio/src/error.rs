@@ -1,0 +1,177 @@
+//! The error tree of the trace-I/O layer.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use lad_trace::error::ProfileError;
+
+/// Everything that can go wrong while capturing, serializing or replaying a
+/// trace.
+///
+/// Decode failures distinguish *truncation* (the stream ended inside a
+/// structure — often a partial download or an interrupted recording) from
+/// *corruption* (the bytes are there but violate the format), because the
+/// operator response differs: re-transfer versus re-record.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `LADT` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The stream's format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// The version found in the header.
+        version: u64,
+    },
+    /// The stream ended in the middle of a structure.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// The bytes are present but violate the format.
+    Corrupt {
+        /// What was being decoded when the violation was found.
+        context: &'static str,
+    },
+    /// An access names a core outside the header's `0..num_cores` range.
+    InvalidCore {
+        /// The offending core index.
+        core: usize,
+        /// The number of cores declared in the header.
+        num_cores: usize,
+    },
+    /// The trace spans more cores than the consumer can accommodate (e.g. a
+    /// 64-core recording replayed on a 16-core simulated system).
+    CoreCountExceeded {
+        /// Cores the trace spans.
+        trace_cores: usize,
+        /// Cores the consumer supports.
+        limit: usize,
+    },
+    /// A streaming source was used again after a failed rewind destroyed
+    /// its reader (the stream position is unknown, so continuing would
+    /// decode garbage).  Reopen the source to recover.
+    SourcePoisoned,
+    /// A benchmark profile failed validation (shared with the trace layer,
+    /// so generation and I/O failures are matchable through one tree).
+    Profile(ProfileError),
+    /// A plain-text trace line could not be parsed.
+    Text {
+        /// 1-based line number in the text input.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(err) => write!(f, "trace I/O failed: {err}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "not a LADT trace (magic {found:02x?})")
+            }
+            TraceError::UnsupportedVersion { version } => {
+                write!(f, "unsupported LADT version {version}")
+            }
+            TraceError::Truncated { context } => {
+                write!(f, "trace truncated while reading {context}")
+            }
+            TraceError::Corrupt { context } => write!(f, "trace corrupt in {context}"),
+            TraceError::InvalidCore { core, num_cores } => {
+                write!(
+                    f,
+                    "access names core {core} but the trace spans {num_cores} cores"
+                )
+            }
+            TraceError::CoreCountExceeded { trace_cores, limit } => {
+                write!(
+                    f,
+                    "trace spans {trace_cores} cores but the consumer only supports {limit}"
+                )
+            }
+            TraceError::SourcePoisoned => {
+                write!(f, "trace source unusable after a failed rewind; reopen it")
+            }
+            TraceError::Profile(err) => write!(f, "invalid benchmark profile: {err}"),
+            TraceError::Text { line, message } => {
+                write!(f, "text trace line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(err) => Some(err),
+            TraceError::Profile(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(err: io::Error) -> Self {
+        TraceError::Io(err)
+    }
+}
+
+impl From<ProfileError> for TraceError {
+    fn from(err: ProfileError) -> Self {
+        TraceError::Profile(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_operator_readable() {
+        assert_eq!(
+            TraceError::BadMagic { found: *b"ELF\x7f" }.to_string(),
+            "not a LADT trace (magic [45, 4c, 46, 7f])"
+        );
+        assert_eq!(
+            TraceError::Truncated {
+                context: "frame payload"
+            }
+            .to_string(),
+            "trace truncated while reading frame payload"
+        );
+        assert_eq!(
+            TraceError::InvalidCore {
+                core: 9,
+                num_cores: 4
+            }
+            .to_string(),
+            "access names core 9 but the trace spans 4 cores"
+        );
+        assert_eq!(
+            TraceError::Text {
+                line: 3,
+                message: "missing is_write".into()
+            }
+            .to_string(),
+            "text trace line 3: missing is_write"
+        );
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let err = TraceError::from(io::Error::other("disk on fire"));
+        assert!(err.source().is_some());
+        let err = TraceError::from(ProfileError::ZeroSharingDegree);
+        assert!(matches!(
+            err,
+            TraceError::Profile(ProfileError::ZeroSharingDegree)
+        ));
+        assert!(err.source().is_some());
+        assert!(TraceError::Corrupt { context: "flags" }.source().is_none());
+    }
+}

@@ -1,0 +1,378 @@
+//! The LADT container format.
+//!
+//! ```text
+//! stream  := header frame* end
+//! header  := magic "LADT" (4 bytes)
+//!            version   varint   (currently 1)
+//!            num_cores varint
+//!            name_len  varint, name bytes (UTF-8 benchmark label)
+//!            seed      varint   (generation seed, for provenance)
+//! frame   := core+1    varint   (0 is reserved for `end`)
+//!            count     varint   (accesses in this frame, >= 1)
+//!            byte_len  varint   (payload length in bytes)
+//!            payload   byte_len bytes
+//! end     := 0x00
+//! ```
+//!
+//! A frame's payload is `count` accesses of **one** core, each encoded as
+//!
+//! ```text
+//! access  := flags (1 byte: op in bits 0-1, class in bits 2-3)
+//!            zigzag-varint address delta   (vs. the core's previous access)
+//!            zigzag-varint compute delta   (vs. the core's previous access)
+//! ```
+//!
+//! Delta state is *per core* and persists across that core's frames, so a
+//! trace may be chunked at any granularity without resetting the
+//! compression context.  Frames of different cores may be interleaved
+//! freely; the canonical writers round-robin them chunk-by-chunk so a
+//! streaming reader never has to buffer more than one chunk per core.
+//!
+//! # Versioning rules
+//!
+//! The version is bumped only for changes a version-1 reader cannot skip
+//! (new access fields, different delta discipline).  Readers reject newer
+//! versions with [`TraceError::UnsupportedVersion`] rather than guessing;
+//! additive metadata must ride in new frame kinds under a future version,
+//! never in silent header extensions.
+
+use lad_common::types::{Address, CoreId, DataClass, MemOp, MemoryAccess};
+
+use crate::error::TraceError;
+use crate::varint;
+
+/// The four magic bytes every LADT stream starts with.
+pub const MAGIC: [u8; 4] = *b"LADT";
+
+/// The format version this crate reads and writes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Default number of accesses per frame used by the writers.  At roughly
+/// 3-5 bytes per encoded access this keeps frames in the tens of kilobytes —
+/// large enough to amortize framing, small enough that a streaming reader's
+/// working set stays trivially bounded.
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// Hard cap on the accesses a single frame may carry, enforced by both the
+/// writer (maximum chunk size) and the reader (frames claiming more are
+/// [`TraceError::Corrupt`]).  Bounds a reader's working set — payload and
+/// decoded buffer stay in the tens of megabytes — no matter what a
+/// malicious or damaged stream claims.
+pub const MAX_FRAME_ACCESSES: usize = 1 << 20;
+
+/// Everything the header records about a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Number of cores the trace spans (streams are `0..num_cores`).
+    pub num_cores: usize,
+    /// Benchmark label (e.g. `"BARNES"`), for report naming.
+    pub benchmark: String,
+    /// The seed the trace was generated from (provenance; replay does not
+    /// re-derive anything from it).
+    pub seed: u64,
+}
+
+impl TraceHeader {
+    /// Creates a header.
+    pub fn new(num_cores: usize, benchmark: impl Into<String>, seed: u64) -> Self {
+        TraceHeader {
+            num_cores,
+            benchmark: benchmark.into(),
+            seed,
+        }
+    }
+
+    /// Serializes the header (including magic and version) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&MAGIC);
+        varint::encode_u64(buf, FORMAT_VERSION);
+        varint::encode_u64(buf, self.num_cores as u64);
+        varint::encode_u64(buf, self.benchmark.len() as u64);
+        buf.extend_from_slice(self.benchmark.as_bytes());
+        varint::encode_u64(buf, self.seed);
+    }
+
+    /// Reads and validates a header from the start of a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`], [`TraceError::UnsupportedVersion`], or a
+    /// truncation/corruption error for malformed fields.
+    pub fn decode(reader: &mut impl std::io::Read) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 4];
+        read_exact(reader, &mut magic, "magic")?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic { found: magic });
+        }
+        let version = require(varint::read_u64(reader, "version")?, "version")?;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion { version });
+        }
+        let num_cores = require(varint::read_u64(reader, "core count")?, "core count")?;
+        if num_cores == 0 || num_cores > u16::MAX as u64 {
+            return Err(TraceError::Corrupt {
+                context: "core count",
+            });
+        }
+        let name_len = require(varint::read_u64(reader, "name length")?, "name length")?;
+        if name_len > 4096 {
+            return Err(TraceError::Corrupt {
+                context: "name length",
+            });
+        }
+        let mut name = vec![0u8; name_len as usize];
+        read_exact(reader, &mut name, "benchmark name")?;
+        let benchmark = String::from_utf8(name).map_err(|_| TraceError::Corrupt {
+            context: "benchmark name",
+        })?;
+        let seed = require(varint::read_u64(reader, "seed")?, "seed")?;
+        Ok(TraceHeader {
+            num_cores: num_cores as usize,
+            benchmark,
+            seed,
+        })
+    }
+}
+
+fn require(value: Option<u64>, context: &'static str) -> Result<u64, TraceError> {
+    value.ok_or(TraceError::Truncated { context })
+}
+
+/// `read_exact` with EOF mapped to [`TraceError::Truncated`].
+pub(crate) fn read_exact(
+    reader: &mut impl std::io::Read,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), TraceError> {
+    reader.read_exact(buf).map_err(|err| {
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { context }
+        } else {
+            TraceError::Io(err)
+        }
+    })
+}
+
+/// Per-core codec state: the previous address and compute-cycle values the
+/// deltas of the next access are taken against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaState {
+    address: u64,
+    compute: u64,
+}
+
+fn op_bits(op: MemOp) -> u8 {
+    match op {
+        MemOp::Read => 0,
+        MemOp::Write => 1,
+        MemOp::InstructionFetch => 2,
+    }
+}
+
+fn op_from_bits(bits: u8) -> Option<MemOp> {
+    match bits {
+        0 => Some(MemOp::Read),
+        1 => Some(MemOp::Write),
+        2 => Some(MemOp::InstructionFetch),
+        _ => None,
+    }
+}
+
+fn class_bits(class: DataClass) -> u8 {
+    match class {
+        DataClass::Private => 0,
+        DataClass::Instruction => 1,
+        DataClass::SharedReadOnly => 2,
+        DataClass::SharedReadWrite => 3,
+    }
+}
+
+fn class_from_bits(bits: u8) -> DataClass {
+    match bits & 0x3 {
+        0 => DataClass::Private,
+        1 => DataClass::Instruction,
+        2 => DataClass::SharedReadOnly,
+        _ => DataClass::SharedReadWrite,
+    }
+}
+
+/// Encodes one access against `state`, advancing the state.
+pub fn encode_access(buf: &mut Vec<u8>, state: &mut DeltaState, access: &MemoryAccess) {
+    let flags = op_bits(access.op) | (class_bits(access.class) << 2);
+    buf.push(flags);
+    let address = access.address.value();
+    varint::encode_u64(buf, varint::zigzag(varint::delta(state.address, address)));
+    state.address = address;
+    let compute = u64::from(access.compute_cycles);
+    varint::encode_u64(buf, varint::zigzag(varint::delta(state.compute, compute)));
+    state.compute = compute;
+}
+
+/// Decodes one access of `core` from `payload` at `*pos`, advancing the
+/// position and `state`.
+///
+/// # Errors
+///
+/// Truncation/corruption errors for malformed payload bytes, and
+/// [`TraceError::Corrupt`] when the decoded compute delta leaves the `u32`
+/// range or the flags byte uses reserved bits.
+pub fn decode_access(
+    payload: &[u8],
+    pos: &mut usize,
+    state: &mut DeltaState,
+    core: CoreId,
+) -> Result<MemoryAccess, TraceError> {
+    let Some(&flags) = payload.get(*pos) else {
+        return Err(TraceError::Truncated {
+            context: "access flags",
+        });
+    };
+    *pos += 1;
+    if flags & !0x0f != 0 {
+        return Err(TraceError::Corrupt {
+            context: "access flags",
+        });
+    }
+    let Some(op) = op_from_bits(flags & 0x3) else {
+        return Err(TraceError::Corrupt {
+            context: "access op",
+        });
+    };
+    let class = class_from_bits(flags >> 2);
+    let address_delta = varint::unzigzag(varint::decode_u64(payload, pos, "address delta")?);
+    state.address = varint::apply_delta(state.address, address_delta);
+    let compute_delta = varint::unzigzag(varint::decode_u64(payload, pos, "compute delta")?);
+    state.compute = varint::apply_delta(state.compute, compute_delta);
+    let compute = u32::try_from(state.compute).map_err(|_| TraceError::Corrupt {
+        context: "compute delta",
+    })?;
+    Ok(MemoryAccess {
+        core,
+        address: Address::new(state.address),
+        op,
+        compute_cycles: compute,
+        class,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrips() {
+        let header = TraceHeader::new(64, "OCEAN-C", 0x1ad);
+        let mut buf = Vec::new();
+        header.encode(&mut buf);
+        let decoded = TraceHeader::decode(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, header);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_future_versions() {
+        let mut buf = Vec::new();
+        TraceHeader::new(4, "X", 1).encode(&mut buf);
+        let mut wrong = buf.clone();
+        wrong[0] = b'E';
+        assert!(matches!(
+            TraceHeader::decode(&mut wrong.as_slice()),
+            Err(TraceError::BadMagic { .. })
+        ));
+        let mut future = buf.clone();
+        future[4] = 9; // version varint is a single byte for small versions
+        assert!(matches!(
+            TraceHeader::decode(&mut future.as_slice()),
+            Err(TraceError::UnsupportedVersion { version: 9 })
+        ));
+        // Truncating anywhere inside the header is an error, never a panic.
+        for len in 0..buf.len() {
+            assert!(TraceHeader::decode(&mut buf[..len].to_vec().as_slice()).is_err());
+        }
+    }
+
+    #[test]
+    fn header_rejects_zero_cores() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        varint::encode_u64(&mut buf, FORMAT_VERSION);
+        varint::encode_u64(&mut buf, 0); // zero cores
+        assert!(matches!(
+            TraceHeader::decode(&mut buf.as_slice()),
+            Err(TraceError::Corrupt {
+                context: "core count"
+            })
+        ));
+    }
+
+    #[test]
+    fn access_codec_roundtrips_and_shrinks_strided_streams() {
+        let core = CoreId::new(3);
+        let accesses: Vec<MemoryAccess> = (0..64u64)
+            .map(|i| MemoryAccess {
+                core,
+                address: Address::new(0x4000_0000 + i * 64),
+                op: if i % 3 == 0 {
+                    MemOp::Write
+                } else {
+                    MemOp::Read
+                },
+                compute_cycles: 20 + (i % 5) as u32,
+                class: DataClass::SharedReadWrite,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        let mut enc = DeltaState::default();
+        for access in &accesses {
+            encode_access(&mut buf, &mut enc, access);
+        }
+        // A strided stream costs a few bytes per access, far below the
+        // 24-byte in-memory representation.
+        assert!(
+            buf.len() <= accesses.len() * 5,
+            "{} bytes for {} accesses",
+            buf.len(),
+            accesses.len()
+        );
+        let mut pos = 0;
+        let mut dec = DeltaState::default();
+        for access in &accesses {
+            assert_eq!(
+                &decode_access(&buf, &mut pos, &mut dec, core).unwrap(),
+                access
+            );
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn reserved_flag_bits_and_oversized_compute_are_corrupt() {
+        let mut pos = 0;
+        let mut state = DeltaState::default();
+        assert!(matches!(
+            decode_access(&[0xf0, 0, 0], &mut pos, &mut state, CoreId::new(0)),
+            Err(TraceError::Corrupt {
+                context: "access flags"
+            })
+        ));
+        // op bits 3 is reserved.
+        let mut pos = 0;
+        assert!(matches!(
+            decode_access(&[0x03, 0, 0], &mut pos, &mut state, CoreId::new(0)),
+            Err(TraceError::Corrupt {
+                context: "access op"
+            })
+        ));
+        // A compute value beyond u32::MAX cannot come from a valid writer.
+        let mut buf = vec![0u8];
+        varint::encode_u64(&mut buf, varint::zigzag(0));
+        varint::encode_u64(&mut buf, varint::zigzag(1i64 << 40));
+        let mut pos = 0;
+        let mut state = DeltaState::default();
+        assert!(matches!(
+            decode_access(&buf, &mut pos, &mut state, CoreId::new(0)),
+            Err(TraceError::Corrupt {
+                context: "compute delta"
+            })
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! Streaming LADT deserialization.
+
+use std::collections::VecDeque;
+use std::io::Read;
+
+use lad_common::types::{CoreId, MemoryAccess};
+
+use crate::error::TraceError;
+use crate::format::{self, DeltaState, TraceHeader};
+use crate::varint;
+
+/// Reads a LADT stream incrementally over any [`std::io::Read`].
+///
+/// The reader holds exactly one decoded frame at a time (plus O(`num_cores`)
+/// delta state), so a trace is replayed in O(chunk) memory no matter how
+/// large the file is — [`TraceReader::buffered_accesses`] and
+/// [`TraceReader::max_buffered_accesses`] expose the buffer occupancy so
+/// tests can assert the bound on reader state directly.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    header: TraceHeader,
+    states: Vec<DeltaState>,
+    /// Decoded accesses of the current frame, drained front-to-back.
+    buffer: VecDeque<MemoryAccess>,
+    max_buffered: usize,
+    accesses_read: u64,
+    finished: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a stream by reading and validating its header.
+    ///
+    /// # Errors
+    ///
+    /// Header decode errors ([`TraceError::BadMagic`],
+    /// [`TraceError::UnsupportedVersion`], truncation, I/O).
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let header = TraceHeader::decode(&mut input)?;
+        Ok(TraceReader {
+            states: vec![DeltaState::default(); header.num_cores],
+            input,
+            header,
+            buffer: VecDeque::new(),
+            max_buffered: 0,
+            accesses_read: 0,
+            finished: false,
+        })
+    }
+
+    /// The stream's header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Accesses currently buffered from the frame being drained.
+    pub fn buffered_accesses(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// High-water mark of [`TraceReader::buffered_accesses`] over the whole
+    /// stream so far — never exceeds the largest frame's access count.
+    pub fn max_buffered_accesses(&self) -> usize {
+        self.max_buffered
+    }
+
+    /// Total accesses returned so far.
+    pub fn accesses_read(&self) -> u64 {
+        self.accesses_read
+    }
+
+    /// Returns the next access in stream order, or `None` after the end
+    /// marker.
+    ///
+    /// # Errors
+    ///
+    /// Truncation/corruption errors for malformed frames; a missing end
+    /// marker (EOF where a frame should start) is reported as truncation so
+    /// interrupted recordings cannot masquerade as complete traces.
+    pub fn next_access(&mut self) -> Result<Option<MemoryAccess>, TraceError> {
+        loop {
+            if let Some(access) = self.buffer.pop_front() {
+                self.accesses_read += 1;
+                return Ok(Some(access));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            self.read_frame()?;
+        }
+    }
+
+    /// Consumes the reader and returns the underlying stream (positioned
+    /// wherever reading stopped).
+    pub fn into_inner(self) -> R {
+        self.input
+    }
+
+    fn read_frame(&mut self) -> Result<(), TraceError> {
+        let Some(tag) = varint::read_u64(&mut self.input, "frame core")? else {
+            // EOF where a frame (or the end marker) should start.
+            return Err(TraceError::Truncated {
+                context: "frame core",
+            });
+        };
+        if tag == 0 {
+            self.finished = true;
+            return Ok(());
+        }
+        let core_index = (tag - 1) as usize;
+        if core_index >= self.header.num_cores {
+            return Err(TraceError::InvalidCore {
+                core: core_index,
+                num_cores: self.header.num_cores,
+            });
+        }
+        let count =
+            varint::read_u64(&mut self.input, "frame count")?.ok_or(TraceError::Truncated {
+                context: "frame count",
+            })?;
+        // Zero-access frames are never written, and no writer emits frames
+        // beyond MAX_FRAME_ACCESSES — reject implausible counts before they
+        // size anything.
+        if count == 0 || count > format::MAX_FRAME_ACCESSES as u64 {
+            return Err(TraceError::Corrupt {
+                context: "frame count",
+            });
+        }
+        let byte_len =
+            varint::read_u64(&mut self.input, "frame length")?.ok_or(TraceError::Truncated {
+                context: "frame length",
+            })?;
+        // A valid access takes at least 3 bytes (flags + two 1-byte deltas)
+        // and at most 21 (flags + two 10-byte varints); anything outside
+        // that envelope is structurally impossible.
+        if byte_len < count.saturating_mul(3) || byte_len > count.saturating_mul(21) {
+            return Err(TraceError::Corrupt {
+                context: "frame length",
+            });
+        }
+        // Read via `take` + `read_to_end` so the allocation grows with the
+        // bytes actually present: a tiny file claiming a huge frame costs
+        // only what it ships, not what it claims.
+        let mut payload = Vec::new();
+        let got = (&mut self.input).take(byte_len).read_to_end(&mut payload)?;
+        if (got as u64) < byte_len {
+            return Err(TraceError::Truncated {
+                context: "frame payload",
+            });
+        }
+
+        let core = CoreId::new(core_index);
+        let state = &mut self.states[core_index];
+        let mut pos = 0usize;
+        for _ in 0..count {
+            self.buffer
+                .push_back(format::decode_access(&payload, &mut pos, state, core)?);
+        }
+        if pos != payload.len() {
+            return Err(TraceError::Corrupt {
+                context: "frame payload",
+            });
+        }
+        self.max_buffered = self.max_buffered.max(self.buffer.len());
+        Ok(())
+    }
+}
+
+/// Decodes a whole LADT byte stream into per-core access vectors (the
+/// in-memory convenience used by tests and `convert`).
+///
+/// # Errors
+///
+/// Any reader error.
+pub fn decode_all<R: Read>(input: R) -> Result<(TraceHeader, Vec<Vec<MemoryAccess>>), TraceError> {
+    let mut reader = TraceReader::new(input)?;
+    let mut per_core: Vec<Vec<MemoryAccess>> = vec![Vec::new(); reader.header().num_cores];
+    while let Some(access) = reader.next_access()? {
+        per_core[access.core.index()].push(access);
+    }
+    let header = reader.header().clone();
+    Ok((header, per_core))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceHeader;
+    use crate::writer::TraceWriter;
+    use lad_common::types::{Address, CoreId};
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut writer =
+            TraceWriter::with_chunk_size(Vec::new(), TraceHeader::new(2, "T", 7), 4).unwrap();
+        for i in 0..10u64 {
+            for core in 0..2 {
+                writer
+                    .write_access(&MemoryAccess::read(CoreId::new(core), Address::new(i * 64)))
+                    .unwrap();
+            }
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn reader_streams_every_access_then_reports_eof() {
+        let bytes = sample_bytes();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.header().benchmark, "T");
+        let mut count = 0;
+        while let Some(access) = reader.next_access().unwrap() {
+            assert!(access.core.index() < 2);
+            count += 1;
+        }
+        assert_eq!(count, 20);
+        assert_eq!(reader.accesses_read(), 20);
+        assert!(reader.max_buffered_accesses() <= 4);
+        // Subsequent calls keep returning None.
+        assert!(reader.next_access().unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_end_marker_is_truncation() {
+        let mut bytes = sample_bytes();
+        bytes.pop(); // drop the end marker
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let result =
+            std::iter::from_fn(|| reader.next_access().transpose()).collect::<Result<Vec<_>, _>>();
+        assert!(matches!(
+            result,
+            Err(TraceError::Truncated {
+                context: "frame core"
+            })
+        ));
+    }
+
+    #[test]
+    fn frame_naming_an_unknown_core_is_rejected() {
+        let mut bytes = Vec::new();
+        TraceHeader::new(1, "T", 0).encode(&mut bytes);
+        bytes.push(9); // frame for core 8 of a 1-core trace
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(
+            reader.next_access(),
+            Err(TraceError::InvalidCore {
+                core: 8,
+                num_cores: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn huge_claimed_frames_cost_only_the_bytes_shipped() {
+        use crate::varint;
+        // A ~20-byte file claiming a maximal frame with no payload behind
+        // it: the reader must report truncation without allocating the
+        // claimed megabytes up front.
+        let mut bytes = Vec::new();
+        TraceHeader::new(1, "T", 0).encode(&mut bytes);
+        varint::encode_u64(&mut bytes, 1); // core 0
+        varint::encode_u64(&mut bytes, crate::format::MAX_FRAME_ACCESSES as u64);
+        varint::encode_u64(&mut bytes, crate::format::MAX_FRAME_ACCESSES as u64 * 4);
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(
+            reader.next_access(),
+            Err(TraceError::Truncated {
+                context: "frame payload"
+            })
+        ));
+        // A count beyond the per-frame cap is rejected before any sizing.
+        let mut bytes = Vec::new();
+        TraceHeader::new(1, "T", 0).encode(&mut bytes);
+        varint::encode_u64(&mut bytes, 1);
+        varint::encode_u64(&mut bytes, crate::format::MAX_FRAME_ACCESSES as u64 + 1);
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(
+            reader.next_access(),
+            Err(TraceError::Corrupt {
+                context: "frame count"
+            })
+        ));
+    }
+
+    #[test]
+    fn implausible_frame_lengths_are_corrupt() {
+        let mut bytes = Vec::new();
+        TraceHeader::new(1, "T", 0).encode(&mut bytes);
+        bytes.push(1); // core 0
+        bytes.push(1); // one access...
+        bytes.push(100); // ...in 100 bytes: outside the 32-byte-per-access envelope
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(
+            reader.next_access(),
+            Err(TraceError::Corrupt {
+                context: "frame length"
+            })
+        ));
+    }
+}

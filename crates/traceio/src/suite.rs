@@ -1,0 +1,136 @@
+//! Recording whole benchmark suites to `.ladt` files — the file-backed
+//! counterpart of [`BenchmarkSuite`]'s in-memory trace generation.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+use lad_trace::benchmarks::Benchmark;
+use lad_trace::suite::BenchmarkSuite;
+
+use crate::error::TraceError;
+use crate::format::TraceHeader;
+use crate::writer::TraceWriter;
+
+/// One benchmark of a recorded suite: its label and where its `.ladt` file
+/// landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedTrace {
+    /// The benchmark's paper label (e.g. `"BARNES"`).
+    pub benchmark: String,
+    /// Path of the recorded `.ladt` file.
+    pub path: PathBuf,
+}
+
+/// The file name a benchmark records to: its label, lowercased, with every
+/// non-alphanumeric run collapsed to `-`, plus the `.ladt` extension
+/// (`"OCEAN-C"` → `ocean-c.ladt`).
+pub fn trace_file_name(label: &str) -> String {
+    let mut name = String::with_capacity(label.len() + 5);
+    let mut last_dash = true; // suppress a leading dash
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            name.push(c.to_ascii_lowercase());
+            last_dash = false;
+        } else if !last_dash {
+            name.push('-');
+            last_dash = true;
+        }
+    }
+    if name.ends_with('-') {
+        name.pop();
+    }
+    name.push_str(".ladt");
+    name
+}
+
+/// Records one benchmark of a suite to `<dir>/<label>.ladt` for a machine
+/// of `num_cores` cores.
+///
+/// # Errors
+///
+/// File-creation or write failures.
+pub fn record_benchmark(
+    suite: &BenchmarkSuite,
+    benchmark: Benchmark,
+    num_cores: usize,
+    dir: &Path,
+) -> Result<RecordedTrace, TraceError> {
+    let trace = suite.trace_for(benchmark, num_cores);
+    let seed = suite.seed() ^ benchmark as u64;
+    let path = dir.join(trace_file_name(benchmark.label()));
+    let file = BufWriter::new(File::create(&path)?);
+    let header = TraceHeader::new(trace.num_cores(), trace.name(), seed);
+    let mut writer = TraceWriter::new(file, header)?;
+    writer.write_workload(&trace)?;
+    writer.finish()?;
+    Ok(RecordedTrace {
+        benchmark: benchmark.label().to_string(),
+        path,
+    })
+}
+
+/// Records every benchmark of a suite into `dir` (created if absent).
+/// Returns one [`RecordedTrace`] per benchmark, in suite order.
+///
+/// # Errors
+///
+/// Directory-creation, file-creation or write failures.
+pub fn record_suite(
+    suite: &BenchmarkSuite,
+    num_cores: usize,
+    dir: &Path,
+) -> Result<Vec<RecordedTrace>, TraceError> {
+    std::fs::create_dir_all(dir)?;
+    suite
+        .benchmarks()
+        .iter()
+        .map(|&benchmark| record_benchmark(suite, benchmark, num_cores, dir))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileSource, TraceSource};
+    use lad_common::types::CoreId;
+
+    #[test]
+    fn file_names_are_filesystem_safe() {
+        assert_eq!(trace_file_name("BARNES"), "barnes.ladt");
+        assert_eq!(trace_file_name("OCEAN-C"), "ocean-c.ladt");
+        assert_eq!(trace_file_name("WATER-NSQ"), "water-nsq.ladt");
+        assert_eq!(trace_file_name("a b/c"), "a-b-c.ladt");
+        assert_eq!(trace_file_name("--X--"), "x.ladt");
+    }
+
+    #[test]
+    fn recorded_suite_files_replay_the_generated_streams() {
+        let dir = std::env::temp_dir().join(format!("ladt-suite-test-{}", std::process::id()));
+        let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup, Benchmark::Barnes], 40, 9);
+        let recorded = record_suite(&suite, 4, &dir).unwrap();
+        assert_eq!(recorded.len(), 2);
+        assert_eq!(recorded[0].benchmark, "DEDUP");
+        assert!(recorded[0].path.ends_with("dedup.ladt"));
+        for entry in &recorded {
+            let benchmark = suite
+                .benchmarks()
+                .iter()
+                .copied()
+                .find(|b| b.label() == entry.benchmark)
+                .unwrap();
+            let expected = suite.trace_for(benchmark, 4);
+            let mut source = FileSource::open(&entry.path).unwrap();
+            assert_eq!(source.name(), entry.benchmark);
+            assert_eq!(source.num_cores(), 4);
+            for core in 0..4 {
+                let mut stream = Vec::new();
+                while let Some(access) = source.next_for_core(CoreId::new(core)).unwrap() {
+                    stream.push(access);
+                }
+                assert_eq!(stream.as_slice(), expected.core_stream(CoreId::new(core)));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,241 @@
+//! Plain-text trace interchange.
+//!
+//! External simulators and tracers commonly dump one access per line; this
+//! module converts that interchange form to and from LADT.  The line format
+//! is
+//!
+//! ```text
+//! core address is_write
+//! ```
+//!
+//! where `core` is a decimal core index, `address` is a decimal or
+//! `0x`-prefixed hexadecimal byte address, and `is_write` is `0`/`1` (or
+//! `r`/`w`, case-insensitive).  Blank lines and lines starting with `#` are
+//! skipped.  Imported accesses carry no compute gap and are classed as
+//! [`DataClass::Private`] (external traces carry no sharing ground truth;
+//! the classification only feeds characterization plots, never the
+//! replication protocol).  The export direction is lossy the same way:
+//! instruction fetches flatten to reads and compute gaps are dropped.
+
+use std::io::{BufRead, Write};
+
+use lad_common::types::{Address, CoreId, DataClass, MemOp, MemoryAccess};
+
+use crate::error::TraceError;
+use crate::format::TraceHeader;
+use crate::reader::TraceReader;
+use crate::writer::TraceWriter;
+
+/// Parses one text line into `(core, address, is_write)`.
+fn parse_line(line: &str, number: usize) -> Result<Option<(usize, u64, bool)>, TraceError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let err = |message: String| TraceError::Text {
+        line: number,
+        message,
+    };
+    let mut fields = line.split_whitespace();
+    let core = fields
+        .next()
+        .ok_or_else(|| err("missing core field".into()))?
+        .parse::<usize>()
+        .map_err(|_| err("core must be a decimal integer".into()))?;
+    let address_text = fields
+        .next()
+        .ok_or_else(|| err("missing address field".into()))?;
+    let address = match address_text
+        .strip_prefix("0x")
+        .or_else(|| address_text.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => address_text.parse::<u64>(),
+    }
+    .map_err(|_| err(format!("bad address {address_text:?}")))?;
+    let is_write = match fields
+        .next()
+        .ok_or_else(|| err("missing is_write field".into()))?
+    {
+        "0" | "r" | "R" => false,
+        "1" | "w" | "W" => true,
+        other => return Err(err(format!("bad is_write {other:?} (expected 0/1/r/w)"))),
+    };
+    if let Some(extra) = fields.next() {
+        return Err(err(format!("unexpected trailing field {extra:?}")));
+    }
+    Ok(Some((core, address, is_write)))
+}
+
+/// Scans a text trace and returns `1 + max core index` (the core count a
+/// conversion needs for its header).
+///
+/// # Errors
+///
+/// Parse errors, or [`TraceError::Corrupt`] for an empty trace.
+pub fn scan_text_cores(input: impl BufRead) -> Result<usize, TraceError> {
+    let mut max_core: Option<usize> = None;
+    for (i, line) in input.lines().enumerate() {
+        if let Some((core, _, _)) = parse_line(&line?, i + 1)? {
+            max_core = Some(max_core.map_or(core, |m| m.max(core)));
+        }
+    }
+    match max_core {
+        Some(max) => Ok(max + 1),
+        None => Err(TraceError::Corrupt {
+            context: "empty text trace",
+        }),
+    }
+}
+
+/// Converts a text trace to LADT, streaming line-by-line.
+///
+/// `num_cores` must cover every core index in the input (use
+/// [`scan_text_cores`] when it is not known up front).  Returns the number
+/// of accesses converted.
+///
+/// # Errors
+///
+/// Parse errors, [`TraceError::InvalidCore`] for an access outside
+/// `num_cores`, or sink I/O errors.
+pub fn text_to_ladt(
+    input: impl BufRead,
+    output: impl Write,
+    header: TraceHeader,
+) -> Result<u64, TraceError> {
+    let mut writer = TraceWriter::new(output, header)?;
+    for (i, line) in input.lines().enumerate() {
+        let Some((core, address, is_write)) = parse_line(&line?, i + 1)? else {
+            continue;
+        };
+        if core >= writer.header().num_cores {
+            return Err(TraceError::InvalidCore {
+                core,
+                num_cores: writer.header().num_cores,
+            });
+        }
+        let access = MemoryAccess {
+            core: CoreId::new(core),
+            address: Address::new(address),
+            op: if is_write { MemOp::Write } else { MemOp::Read },
+            compute_cycles: 0,
+            class: DataClass::Private,
+        };
+        writer.write_access(&access)?;
+    }
+    let written = writer.accesses_written();
+    writer.finish()?;
+    Ok(written)
+}
+
+/// Converts a LADT stream to the text form, streaming access-by-access.
+/// Returns the number of accesses written.
+///
+/// # Errors
+///
+/// Reader decode errors or sink I/O errors.
+pub fn ladt_to_text(input: impl std::io::Read, mut output: impl Write) -> Result<u64, TraceError> {
+    let mut reader = TraceReader::new(input)?;
+    let header = reader.header().clone();
+    writeln!(
+        output,
+        "# LADT export: benchmark {} ({} cores, seed {})",
+        header.benchmark, header.num_cores, header.seed
+    )?;
+    writeln!(output, "# core address is_write")?;
+    let mut written = 0u64;
+    while let Some(access) = reader.next_access()? {
+        writeln!(
+            output,
+            "{} 0x{:x} {}",
+            access.core.index(),
+            access.address.value(),
+            u8::from(access.op.is_write())
+        )?;
+        written += 1;
+    }
+    output.flush()?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# a comment\n\n0 0x40 0\n1 128 w\n0 0x80 R\n";
+
+    #[test]
+    fn text_imports_parse_hex_decimal_and_rw_flags() {
+        assert_eq!(scan_text_cores(SAMPLE.as_bytes()).unwrap(), 2);
+        let mut ladt = Vec::new();
+        let converted =
+            text_to_ladt(SAMPLE.as_bytes(), &mut ladt, TraceHeader::new(2, "EXT", 0)).unwrap();
+        assert_eq!(converted, 3);
+        let (header, per_core) = crate::reader::decode_all(ladt.as_slice()).unwrap();
+        assert_eq!(header.benchmark, "EXT");
+        assert_eq!(per_core[0].len(), 2);
+        assert_eq!(per_core[1].len(), 1);
+        assert_eq!(per_core[0][0].address.value(), 0x40);
+        assert!(!per_core[0][0].op.is_write());
+        assert_eq!(per_core[1][0].address.value(), 128);
+        assert!(per_core[1][0].op.is_write());
+    }
+
+    #[test]
+    fn text_roundtrips_through_ladt() {
+        let mut ladt = Vec::new();
+        text_to_ladt(SAMPLE.as_bytes(), &mut ladt, TraceHeader::new(2, "EXT", 0)).unwrap();
+        let mut text = Vec::new();
+        let written = ladt_to_text(ladt.as_slice(), &mut text).unwrap();
+        assert_eq!(written, 3);
+        let text = String::from_utf8(text).unwrap();
+        // Re-import the export: same accesses.
+        let mut ladt2 = Vec::new();
+        text_to_ladt(text.as_bytes(), &mut ladt2, TraceHeader::new(2, "EXT", 0)).unwrap();
+        let a = crate::reader::decode_all(ladt.as_slice()).unwrap().1;
+        let b = crate::reader::decode_all(ladt2.as_slice()).unwrap().1;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_with_line_numbers() {
+        for (text, needle) in [
+            ("x 0 0\n", "core"),
+            ("0\n", "missing address"),
+            ("0 zz 0\n", "bad address"),
+            ("0 0x40\n", "missing is_write"),
+            ("0 0x40 2\n", "bad is_write"),
+            ("0 0x40 0 9\n", "trailing"),
+        ] {
+            let err =
+                text_to_ladt(text.as_bytes(), Vec::new(), TraceHeader::new(2, "X", 0)).unwrap_err();
+            match err {
+                TraceError::Text { line, message } => {
+                    assert_eq!(line, 1);
+                    assert!(
+                        message.contains(needle),
+                        "{message:?} should mention {needle:?}"
+                    );
+                }
+                other => panic!("expected a Text error, got {other:?}"),
+            }
+        }
+        // A core beyond the header's range is an InvalidCore error.
+        assert!(matches!(
+            text_to_ladt(
+                "7 0 0\n".as_bytes(),
+                Vec::new(),
+                TraceHeader::new(2, "X", 0)
+            ),
+            Err(TraceError::InvalidCore {
+                core: 7,
+                num_cores: 2
+            })
+        ));
+        // An empty trace cannot determine a core count.
+        assert!(matches!(
+            scan_text_cores("# nothing\n".as_bytes()),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,226 @@
+//! LEB128 varints, zigzag signed mapping, and the wrapping delta transform —
+//! the three codecs every LADT frame is built from.
+//!
+//! * **varint** — base-128 little-endian with a continuation bit; small
+//!   magnitudes (the common case after delta transformation) take one byte.
+//! * **zigzag** — maps signed deltas to unsigned so that small *negative*
+//!   deltas also stay short (`0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`).
+//! * **delta** — each value is encoded as its wrapping difference from the
+//!   previous value of the same stream, which turns the strided address
+//!   sequences of real workloads into streams of tiny integers.
+//!
+//! Decoders never panic on malformed input: truncation and overlong
+//! encodings surface as [`TraceError`]s.
+
+use std::io::Read;
+
+use crate::error::TraceError;
+
+/// Maximum number of bytes a `u64` varint may occupy (⌈64 / 7⌉).
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Appends `value` to `buf` as a LEB128 varint.
+pub fn encode_u64(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 varint from `input` starting at `*pos`, advancing `*pos`
+/// past it.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when the slice ends mid-varint, and
+/// [`TraceError::Corrupt`] for encodings longer than [`MAX_VARINT_BYTES`] or
+/// whose tenth byte overflows 64 bits.
+pub fn decode_u64(input: &[u8], pos: &mut usize, context: &'static str) -> Result<u64, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = input.get(*pos) else {
+            return Err(TraceError::Truncated { context });
+        };
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        // The tenth byte may only contribute the single remaining bit.
+        if shift == 63 && payload > 1 {
+            return Err(TraceError::Corrupt { context });
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(TraceError::Corrupt { context });
+        }
+    }
+}
+
+/// Decodes a LEB128 varint directly from a reader (used for the structures
+/// that precede a length-delimited payload: header fields and frame
+/// headers).
+///
+/// Returns `Ok(None)` if the reader is already at EOF — callers use this to
+/// distinguish a clean end-of-stream from truncation inside a varint.
+pub fn read_u64(reader: &mut impl Read, context: &'static str) -> Result<Option<u64>, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if first {
+                    Ok(None)
+                } else {
+                    Err(TraceError::Truncated { context })
+                };
+            }
+            Ok(_) => {}
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(TraceError::Io(err)),
+        }
+        first = false;
+        let payload = u64::from(byte[0] & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(TraceError::Corrupt { context });
+        }
+        value |= payload << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(value));
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(TraceError::Corrupt { context });
+        }
+    }
+}
+
+/// Maps a signed value to unsigned with the zigzag transform.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// The wrapping delta from `previous` to `current`, as a zigzag-friendly
+/// signed value.  Total for all `u64` pairs: [`apply_delta`] inverts it.
+pub fn delta(previous: u64, current: u64) -> i64 {
+    current.wrapping_sub(previous) as i64
+}
+
+/// Applies a delta produced by [`delta`] to `previous`.
+pub fn apply_delta(previous: u64, delta: i64) -> u64 {
+    previous.wrapping_add(delta as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_boundary_values() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode_u64(&mut buf, value);
+            assert!(buf.len() <= MAX_VARINT_BYTES);
+            let mut pos = 0;
+            assert_eq!(decode_u64(&buf, &mut pos, "test").unwrap(), value);
+            assert_eq!(pos, buf.len());
+            // The reader-based decoder agrees.
+            let mut cursor = std::io::Cursor::new(buf);
+            assert_eq!(read_u64(&mut cursor, "test").unwrap(), Some(value));
+        }
+    }
+
+    #[test]
+    fn truncated_varints_are_errors_not_panics() {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, u64::MAX);
+        for len in 0..buf.len() {
+            let mut pos = 0;
+            match decode_u64(&buf[..len], &mut pos, "test") {
+                Err(TraceError::Truncated { .. }) => {}
+                other => panic!("prefix of length {len} decoded to {other:?}"),
+            }
+        }
+        // EOF at a varint boundary is a clean None for the reader variant.
+        let mut empty = std::io::Cursor::new(Vec::new());
+        assert!(read_u64(&mut empty, "test").unwrap().is_none());
+        // ...but EOF *inside* a varint is truncation.
+        let mut partial = std::io::Cursor::new(vec![0x80u8]);
+        assert!(matches!(
+            read_u64(&mut partial, "test"),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varints_are_corrupt() {
+        // Eleven continuation bytes can never be a valid u64.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            decode_u64(&buf, &mut pos, "test"),
+            Err(TraceError::Corrupt { .. })
+        ));
+        // A tenth byte carrying more than the final bit overflows.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_u64(&buf, &mut pos, "test"),
+            Err(TraceError::Corrupt { .. })
+        ));
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_u64(&mut cursor, "test"),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_interleaves_signs() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for value in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(value)), value);
+        }
+    }
+
+    #[test]
+    fn delta_is_total_over_u64() {
+        for (a, b) in [
+            (0u64, u64::MAX),
+            (u64::MAX, 0),
+            (5, 3),
+            (3, 5),
+            (1 << 63, 0),
+        ] {
+            assert_eq!(apply_delta(a, delta(a, b)), b);
+        }
+    }
+}

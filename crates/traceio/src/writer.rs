@@ -1,0 +1,234 @@
+//! Streaming LADT serialization.
+
+use std::io::Write;
+
+use lad_common::types::MemoryAccess;
+use lad_trace::generator::WorkloadTrace;
+
+use crate::error::TraceError;
+use crate::format::{self, DeltaState, TraceHeader, DEFAULT_CHUNK_SIZE, MAX_FRAME_ACCESSES};
+use crate::varint;
+
+/// Writes a LADT stream incrementally over any [`std::io::Write`].
+///
+/// Accesses are buffered per core and flushed as a frame whenever a core
+/// accumulates a full chunk, so memory stays O(`num_cores` × chunk size)
+/// regardless of trace length.  [`TraceWriter::finish`] flushes the
+/// remainders and writes the end marker; dropping a writer without calling
+/// it produces a truncated stream (which readers report as such).
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    header: TraceHeader,
+    chunk_size: usize,
+    pending: Vec<Vec<MemoryAccess>>,
+    states: Vec<DeltaState>,
+    accesses_written: u64,
+    /// Reused payload encode buffer (no per-frame payload allocation).
+    scratch: Vec<u8>,
+    /// Reused buffer for the three frame-header varints, so a frame is two
+    /// `write_all` calls and the payload bytes are never copied.
+    frame_head: Vec<u8>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a stream by writing the header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Corrupt`] for a header spanning zero cores, or an I/O
+    /// error from the sink.
+    pub fn new(out: W, header: TraceHeader) -> Result<Self, TraceError> {
+        Self::with_chunk_size(out, header, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// [`TraceWriter::new`] with an explicit frame chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Like [`TraceWriter::new`]; additionally rejects a zero chunk size
+    /// and one beyond [`MAX_FRAME_ACCESSES`] (readers refuse such frames).
+    pub fn with_chunk_size(
+        mut out: W,
+        header: TraceHeader,
+        chunk_size: usize,
+    ) -> Result<Self, TraceError> {
+        if header.num_cores == 0 || header.num_cores > u16::MAX as usize {
+            return Err(TraceError::Corrupt {
+                context: "core count",
+            });
+        }
+        if chunk_size == 0 || chunk_size > MAX_FRAME_ACCESSES {
+            return Err(TraceError::Corrupt {
+                context: "chunk size",
+            });
+        }
+        let mut buf = Vec::with_capacity(32 + header.benchmark.len());
+        header.encode(&mut buf);
+        out.write_all(&buf)?;
+        Ok(TraceWriter {
+            pending: vec![Vec::new(); header.num_cores],
+            states: vec![DeltaState::default(); header.num_cores],
+            out,
+            header,
+            chunk_size,
+            accesses_written: 0,
+            scratch: Vec::new(),
+            frame_head: Vec::with_capacity(3 * varint::MAX_VARINT_BYTES),
+        })
+    }
+
+    /// The header this stream was started with.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Total accesses accepted so far (buffered or flushed).
+    pub fn accesses_written(&self) -> u64 {
+        self.accesses_written
+    }
+
+    /// Appends one access to its core's stream, flushing a frame when the
+    /// core's buffer reaches the chunk size.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidCore`] when the access names a core outside the
+    /// header's range, or an I/O error from the sink.
+    pub fn write_access(&mut self, access: &MemoryAccess) -> Result<(), TraceError> {
+        let core = access.core.index();
+        if core >= self.header.num_cores {
+            return Err(TraceError::InvalidCore {
+                core,
+                num_cores: self.header.num_cores,
+            });
+        }
+        self.pending[core].push(*access);
+        self.accesses_written += 1;
+        if self.pending[core].len() >= self.chunk_size {
+            self.flush_core(core)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every access of a [`WorkloadTrace`], round-robining the cores
+    /// chunk-by-chunk so that frames of different cores interleave and a
+    /// streaming reader never buffers more than one chunk per core.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidCore`] when the trace spans more cores than the
+    /// header declares, or an I/O error from the sink.
+    pub fn write_workload(&mut self, trace: &WorkloadTrace) -> Result<(), TraceError> {
+        let mut cursors = vec![0usize; trace.num_cores()];
+        loop {
+            let mut wrote_any = false;
+            for core in 0..trace.num_cores() {
+                let stream = trace.core_stream(lad_common::types::CoreId::new(core));
+                let end = (cursors[core] + self.chunk_size).min(stream.len());
+                for access in &stream[cursors[core]..end] {
+                    self.write_access(access)?;
+                }
+                wrote_any |= end > cursors[core];
+                cursors[core] = end;
+            }
+            if !wrote_any {
+                return Ok(());
+            }
+        }
+    }
+
+    fn flush_core(&mut self, core: usize) -> Result<(), TraceError> {
+        if self.pending[core].is_empty() {
+            return Ok(());
+        }
+        let mut payload = std::mem::take(&mut self.scratch);
+        payload.clear();
+        let state = &mut self.states[core];
+        for access in &self.pending[core] {
+            format::encode_access(&mut payload, state, access);
+        }
+        self.frame_head.clear();
+        varint::encode_u64(&mut self.frame_head, core as u64 + 1);
+        varint::encode_u64(&mut self.frame_head, self.pending[core].len() as u64);
+        varint::encode_u64(&mut self.frame_head, payload.len() as u64);
+        self.out.write_all(&self.frame_head)?;
+        self.out.write_all(&payload)?;
+        self.pending[core].clear();
+        self.scratch = payload;
+        Ok(())
+    }
+
+    /// Flushes every core's remaining accesses, writes the end marker and
+    /// returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// An I/O error from the sink.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        for core in 0..self.header.num_cores {
+            self.flush_core(core)?;
+        }
+        self.out.write_all(&[0u8])?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Serializes a whole [`WorkloadTrace`] into a LADT byte vector (the
+/// convenience entry point tests and the determinism suite use).
+///
+/// # Errors
+///
+/// Propagates writer errors; an in-memory sink can only fail on an invalid
+/// header.
+pub fn encode_workload(trace: &WorkloadTrace, seed: u64) -> Result<Vec<u8>, TraceError> {
+    let header = TraceHeader::new(trace.num_cores(), trace.name(), seed);
+    let mut writer = TraceWriter::new(Vec::new(), header)?;
+    writer.write_workload(trace)?;
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_common::types::{Address, CoreId};
+
+    #[test]
+    fn writer_rejects_out_of_range_cores_and_bad_parameters() {
+        let header = TraceHeader::new(2, "T", 0);
+        let mut writer = TraceWriter::new(Vec::new(), header.clone()).unwrap();
+        let access = MemoryAccess::read(CoreId::new(5), Address::new(0));
+        assert!(matches!(
+            writer.write_access(&access),
+            Err(TraceError::InvalidCore {
+                core: 5,
+                num_cores: 2
+            })
+        ));
+        assert!(TraceWriter::new(Vec::new(), TraceHeader::new(0, "T", 0)).is_err());
+        assert!(TraceWriter::with_chunk_size(Vec::new(), header.clone(), 0).is_err());
+        // Chunks beyond the per-frame cap would produce unreadable files.
+        assert!(TraceWriter::with_chunk_size(Vec::new(), header, MAX_FRAME_ACCESSES + 1).is_err());
+    }
+
+    #[test]
+    fn small_chunks_emit_interleaved_frames() {
+        let header = TraceHeader::new(2, "T", 0);
+        let mut writer = TraceWriter::with_chunk_size(Vec::new(), header, 2).unwrap();
+        for i in 0..5u64 {
+            for core in 0..2 {
+                writer
+                    .write_access(&MemoryAccess::read(CoreId::new(core), Address::new(i * 64)))
+                    .unwrap();
+            }
+        }
+        assert_eq!(writer.accesses_written(), 10);
+        let bytes = writer.finish().unwrap();
+        assert_eq!(
+            *bytes.last().unwrap(),
+            0,
+            "stream must end with the end marker"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the LADT codecs: varint, zigzag and the delta
+//! transform round-trip identity over arbitrary sequences, and malformed
+//! byte streams always surface as typed errors — never as panics or silent
+//! misreads.
+
+use lad_traceio::error::TraceError;
+use lad_traceio::varint::{
+    apply_delta, decode_u64, delta, encode_u64, read_u64, unzigzag, zigzag, MAX_VARINT_BYTES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Varint encode→decode is the identity for arbitrary `u64` sequences,
+    /// through both the slice and the reader decoding paths.
+    #[test]
+    fn varint_roundtrips_u64_sequences(values in prop::collection::vec(any::<u64>(), 1..64)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            encode_u64(&mut buf, v);
+        }
+        prop_assert!(buf.len() <= values.len() * MAX_VARINT_BYTES);
+
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(decode_u64(&buf, &mut pos, "prop").unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+
+        let mut cursor = std::io::Cursor::new(&buf);
+        for &v in &values {
+            prop_assert_eq!(read_u64(&mut cursor, "prop").unwrap(), Some(v));
+        }
+        prop_assert_eq!(read_u64(&mut cursor, "prop").unwrap(), None);
+    }
+
+    /// Zigzag is a bijection on arbitrary `i64`s, and its image orders small
+    /// magnitudes first (the property the frame encoding relies on for
+    /// short varints).
+    #[test]
+    fn zigzag_roundtrips_i64(values in prop::collection::vec(any::<i64>(), 1..64)) {
+        for &v in &values {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+            if v.unsigned_abs() < (1 << 62) {
+                prop_assert!(zigzag(v) <= 2 * v.unsigned_abs());
+            }
+        }
+    }
+
+    /// Delta encoding walks any `u64` sequence losslessly, including
+    /// wrap-around jumps.
+    #[test]
+    fn delta_chain_roundtrips(values in prop::collection::vec(any::<u64>(), 1..64)) {
+        let mut previous = 0u64;
+        let mut deltas = Vec::new();
+        for &v in &values {
+            deltas.push(delta(previous, v));
+            previous = v;
+        }
+        let mut rebuilt = Vec::new();
+        let mut previous = 0u64;
+        for &d in &deltas {
+            previous = apply_delta(previous, d);
+            rebuilt.push(previous);
+        }
+        prop_assert_eq!(rebuilt, values);
+    }
+
+    /// The full pipeline (delta → zigzag → varint) round-trips arbitrary
+    /// sequences — the exact transform a frame applies to addresses.
+    #[test]
+    fn delta_zigzag_varint_pipeline_roundtrips(values in prop::collection::vec(any::<u64>(), 1..64)) {
+        let mut buf = Vec::new();
+        let mut previous = 0u64;
+        for &v in &values {
+            encode_u64(&mut buf, zigzag(delta(previous, v)));
+            previous = v;
+        }
+        let mut pos = 0;
+        let mut previous = 0u64;
+        for &v in &values {
+            previous = apply_delta(previous, unzigzag(decode_u64(&buf, &mut pos, "prop").unwrap()));
+            prop_assert_eq!(previous, v);
+        }
+    }
+
+    /// Every strict prefix of a valid varint stream fails with `Truncated`,
+    /// never panics and never silently decodes the wrong count.
+    #[test]
+    fn truncated_streams_error_cleanly(values in prop::collection::vec(any::<u64>(), 1..16), cut in any::<u16>()) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            encode_u64(&mut buf, v);
+        }
+        let cut = (cut as usize) % buf.len();
+        let truncated = &buf[..cut];
+        let mut pos = 0;
+        let mut decoded = 0usize;
+        let outcome = loop {
+            if pos == truncated.len() {
+                break Ok(decoded);
+            }
+            match decode_u64(truncated, &mut pos, "prop") {
+                Ok(_) => decoded += 1,
+                Err(err) => break Err(err),
+            }
+        };
+        match outcome {
+            // Cutting on a varint boundary decodes a prefix of the values.
+            Ok(count) => prop_assert!(count <= values.len()),
+            Err(err) => prop_assert!(matches!(err, TraceError::Truncated { .. })),
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder: every outcome is a
+    /// value or a typed error.
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut pos = 0;
+        while pos < bytes.len() {
+            match decode_u64(&bytes, &mut pos, "prop") {
+                Ok(_) => {}
+                Err(TraceError::Truncated { .. }) | Err(TraceError::Corrupt { .. }) => break,
+                Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            }
+        }
+    }
+}

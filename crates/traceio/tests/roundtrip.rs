@@ -1,0 +1,156 @@
+//! Stream-level LADT guarantees: encode→decode round-trips whole workloads
+//! bit-exactly, corrupted streams fail with typed errors instead of
+//! panicking, and the reader's working set stays bounded by one chunk even
+//! for traces far larger than their in-memory representation.
+
+use lad_common::types::{Address, CoreId, DataClass, MemOp, MemoryAccess};
+use lad_trace::benchmarks::Benchmark;
+use lad_trace::generator::TraceGenerator;
+use lad_traceio::error::TraceError;
+use lad_traceio::format::TraceHeader;
+use lad_traceio::reader::{decode_all, TraceReader};
+use lad_traceio::writer::{encode_workload, TraceWriter};
+use proptest::prelude::*;
+
+#[test]
+fn workload_roundtrips_bit_exactly_for_every_quick_benchmark() {
+    for benchmark in [
+        Benchmark::Barnes,
+        Benchmark::Facesim,
+        Benchmark::Blackscholes,
+        Benchmark::Fluidanimate,
+        Benchmark::LuNonContiguous,
+    ] {
+        let trace = TraceGenerator::new(benchmark.profile()).generate(8, 200, 0x1ad);
+        let bytes = encode_workload(&trace, 0x1ad).unwrap();
+        let (header, per_core) = decode_all(bytes.as_slice()).unwrap();
+        assert_eq!(header.benchmark, trace.name());
+        assert_eq!(header.num_cores, trace.num_cores());
+        assert_eq!(header.seed, 0x1ad);
+        for (core, stream) in per_core.iter().enumerate() {
+            assert_eq!(
+                stream.as_slice(),
+                trace.core_stream(CoreId::new(core)),
+                "{benchmark:?} core {core} diverged through the LADT round trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn encoding_is_compact_relative_to_the_in_memory_form() {
+    let trace = TraceGenerator::new(Benchmark::Barnes.profile()).generate(8, 500, 3);
+    let bytes = encode_workload(&trace, 3).unwrap();
+    let in_memory = trace.total_accesses() * std::mem::size_of::<MemoryAccess>();
+    assert!(
+        bytes.len() * 2 < in_memory,
+        "LADT should compress: {} bytes on disk vs {} in memory",
+        bytes.len(),
+        in_memory
+    );
+}
+
+/// The acceptance-criterion test: a trace bigger than any in-memory
+/// representation streams through the reader with only per-chunk buffering,
+/// asserted on reader state at every step.
+#[test]
+fn reader_streams_large_traces_with_per_chunk_buffering() {
+    const CHUNK: usize = 512;
+    const PER_CORE: usize = 40_000;
+    const CORES: usize = 4;
+
+    // Synthesize the stream access-by-access so the full trace never exists
+    // in memory on the writer side either.
+    let header = TraceHeader::new(CORES, "SYNTH-LARGE", 1);
+    let mut writer = TraceWriter::with_chunk_size(Vec::new(), header, CHUNK).unwrap();
+    for i in 0..PER_CORE {
+        for core in 0..CORES {
+            let access = MemoryAccess {
+                core: CoreId::new(core),
+                address: Address::new(((core as u64) << 32) | ((i as u64 % 7919) * 64)),
+                op: if i % 5 == 0 {
+                    MemOp::Write
+                } else {
+                    MemOp::Read
+                },
+                compute_cycles: (i % 30) as u32,
+                class: DataClass::Private,
+            };
+            writer.write_access(&access).unwrap();
+        }
+    }
+    let bytes = writer.finish().unwrap();
+
+    let total_accesses = CORES * PER_CORE;
+    let in_memory_bytes = total_accesses * std::mem::size_of::<MemoryAccess>();
+    assert!(
+        bytes.len() < in_memory_bytes,
+        "the encoded trace ({} bytes) must undercut the in-memory form ({in_memory_bytes} bytes)",
+        bytes.len()
+    );
+
+    let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+    let mut read = 0usize;
+    while let Some(access) = reader.next_access().unwrap() {
+        assert!(access.core.index() < CORES);
+        // The invariant under test: the reader never holds more than one
+        // chunk of decoded accesses, however long the stream runs.
+        assert!(
+            reader.buffered_accesses() < CHUNK,
+            "reader buffered {} accesses mid-stream (chunk is {CHUNK})",
+            reader.buffered_accesses()
+        );
+        read += 1;
+    }
+    assert_eq!(read, total_accesses);
+    assert!(reader.max_buffered_accesses() <= CHUNK);
+    // The bound the criterion asks for: reader working set (one chunk) is a
+    // small fraction of the trace's in-memory representation.
+    let reader_working_set = reader.max_buffered_accesses() * std::mem::size_of::<MemoryAccess>();
+    assert!(
+        reader_working_set * 100 < in_memory_bytes,
+        "reader working set {reader_working_set} bytes is not O(chunk) \
+         relative to {in_memory_bytes} bytes"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Flipping any single byte of a valid stream (or truncating it
+    /// anywhere) yields a typed error or a decode — never a panic.
+    #[test]
+    fn corrupted_streams_error_instead_of_panicking(seed in 1u64..500, site in any::<u32>(), flip in 1u8..=255) {
+        let trace = TraceGenerator::new(Benchmark::Dedup.profile()).generate(2, 40, seed);
+        let bytes = encode_workload(&trace, seed).unwrap();
+
+        // Bit-flip somewhere in the stream.
+        let mut flipped = bytes.clone();
+        let site = (site as usize) % flipped.len();
+        flipped[site] ^= flip;
+        match decode_all(flipped.as_slice()) {
+            // Some flips decode (e.g. a changed address delta, or a frame
+            // tag turned into the end marker): corruption the format cannot
+            // detect without checksums, but it must still decode to a
+            // *consistent* stream, not crash.
+            Ok((header, per_core)) => {
+                prop_assert!(header.num_cores >= 1);
+                prop_assert_eq!(per_core.len(), header.num_cores);
+            }
+            Err(
+                TraceError::Truncated { .. }
+                | TraceError::Corrupt { .. }
+                | TraceError::BadMagic { .. }
+                | TraceError::UnsupportedVersion { .. }
+                | TraceError::InvalidCore { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+
+        // Truncation at the same site is always a typed error.
+        match decode_all(&bytes[..site]) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "a strict prefix decoded as a complete stream"),
+        }
+    }
+}

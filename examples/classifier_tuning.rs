@@ -16,8 +16,14 @@ fn main() {
     let benchmark = Benchmark::Streamcluster;
     let trace = TraceGenerator::new(benchmark.profile()).generate(system.num_cores, 2500, 3);
 
-    println!("replication-threshold sweep on {} (Limited_3 classifier)", benchmark.label());
-    println!("{:<8} {:>16} {:>16} {:>14}", "RT", "energy (pJ)", "time (cycles)", "replica hits");
+    println!(
+        "replication-threshold sweep on {} (Limited_3 classifier)",
+        benchmark.label()
+    );
+    println!(
+        "{:<8} {:>16} {:>16} {:>14}",
+        "RT", "energy (pJ)", "time (cycles)", "replica hits"
+    );
     for rt in [1, 2, 3, 4, 6, 8] {
         let mut sim = Simulator::new(system.clone(), ReplicationConfig::locality_aware(rt));
         let report = sim.run(&trace);
@@ -37,9 +43,13 @@ fn main() {
         let mut sim = Simulator::new(system.clone(), config);
         sim.run(&trace)
     };
-    println!("{:<12} {:>14} {:>16}", "classifier", "norm. energy", "norm. time");
+    println!(
+        "{:<12} {:>14} {:>16}",
+        "classifier", "norm. energy", "norm. time"
+    );
     for k in [1usize, 3, 5, 7] {
-        let config = ReplicationConfig::locality_aware(3).with_classifier(ClassifierKind::Limited(k));
+        let config =
+            ReplicationConfig::locality_aware(3).with_classifier(ClassifierKind::Limited(k));
         let mut sim = Simulator::new(system.clone(), config);
         let report = sim.run(&trace);
         println!(

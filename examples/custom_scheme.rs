@@ -55,7 +55,11 @@ impl ReplicationPolicy for AlwaysReplicate {
 fn main() {
     let system = SystemConfig::paper_default();
     let suite = BenchmarkSuite::custom(
-        vec![Benchmark::Barnes, Benchmark::Fluidanimate, Benchmark::Streamcluster],
+        vec![
+            Benchmark::Barnes,
+            Benchmark::Fluidanimate,
+            Benchmark::Streamcluster,
+        ],
         2000,
         13,
     );
@@ -63,8 +67,14 @@ fn main() {
     let mut runner = ExperimentRunner::new(system, suite);
     runner.register_scheme(Arc::new(AlwaysReplicate), ReplicationConfig::static_nuca());
 
-    let schemes = [SchemeId::StaticNuca, SchemeId::Custom("ALWAYS"), SchemeId::Rt(3)];
-    let results = runner.run_matrix(&schemes).expect("every scheme is registered");
+    let schemes = [
+        SchemeId::StaticNuca,
+        SchemeId::Custom("ALWAYS"),
+        SchemeId::Rt(3),
+    ];
+    let results = runner
+        .run_matrix(&schemes)
+        .expect("every scheme is registered");
 
     println!(
         "{:<14} {:<8} {:>14} {:>12} {:>14} {:>14}",

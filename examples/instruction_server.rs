@@ -19,7 +19,11 @@ use locality_replication::prelude::*;
 fn main() {
     let system = SystemConfig::paper_default();
     let suite = BenchmarkSuite::custom(
-        vec![Benchmark::Facesim, Benchmark::Bodytrack, Benchmark::Raytrace],
+        vec![
+            Benchmark::Facesim,
+            Benchmark::Bodytrack,
+            Benchmark::Raytrace,
+        ],
         2500,
         11,
     );

@@ -29,7 +29,10 @@ fn main() {
         accesses_per_core
     );
 
-    for config in [ReplicationConfig::static_nuca(), ReplicationConfig::locality_aware(3)] {
+    for config in [
+        ReplicationConfig::static_nuca(),
+        ReplicationConfig::locality_aware(3),
+    ] {
         let mut simulator = Simulator::new(system.clone(), config);
         let report = simulator.run(&trace);
         println!();
@@ -38,7 +41,9 @@ fn main() {
         println!("total energy    : {:.1} pJ", report.energy.total());
         println!(
             "L1 misses       : {} replica hits / {} home hits / {} off-chip",
-            report.misses.llc_replica_hits, report.misses.llc_home_hits, report.misses.offchip_misses
+            report.misses.llc_replica_hits,
+            report.misses.llc_home_hits,
+            report.misses.offchip_misses
         );
         println!("replicas created: {}", report.replicas_created);
     }

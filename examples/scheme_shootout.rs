@@ -18,24 +18,31 @@ fn main() {
     let comparison = runner.run_paper_comparison();
 
     let baseline = SchemeId::StaticNuca;
-    println!("normalized to S-NUCA, averaged over {:?}",
-        comparison.benchmarks().iter().map(|b| b.label()).collect::<Vec<_>>());
+    println!(
+        "normalized to S-NUCA, averaged over {:?}",
+        comparison
+            .benchmarks()
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+    );
     println!("{:<8} {:>14} {:>18}", "scheme", "energy", "completion time");
     for scheme in SchemeComparison::SCHEME_ORDER {
         println!(
             "{:<8} {:>14.3} {:>18.3}",
             scheme.label(),
-            comparison.average_normalized_energy(scheme, baseline).expect("scheme was run"),
+            comparison
+                .average_normalized_energy(scheme, baseline)
+                .expect("scheme was run"),
             comparison
                 .average_normalized_completion_time(scheme, baseline)
                 .expect("scheme was run"),
         );
     }
 
-    let (energy_red, time_red) =
-        comparison.reduction_vs(SchemeId::Rt(3), baseline).expect("RT-3 and S-NUCA were run");
+    let (energy_red, time_red) = comparison
+        .reduction_vs(SchemeId::Rt(3), baseline)
+        .expect("RT-3 and S-NUCA were run");
     println!();
-    println!(
-        "RT-3 vs S-NUCA: {energy_red:.1}% lower energy, {time_red:.1}% lower completion time"
-    );
+    println!("RT-3 vs S-NUCA: {energy_red:.1}% lower energy, {time_red:.1}% lower completion time");
 }

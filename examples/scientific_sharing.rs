@@ -18,7 +18,11 @@ use locality_replication::prelude::*;
 fn main() {
     let system = SystemConfig::paper_default();
     let suite = BenchmarkSuite::custom(
-        vec![Benchmark::Barnes, Benchmark::WaterNsquared, Benchmark::LuNonContiguous],
+        vec![
+            Benchmark::Barnes,
+            Benchmark::WaterNsquared,
+            Benchmark::LuNonContiguous,
+        ],
         2500,
         7,
     );
@@ -32,7 +36,10 @@ fn main() {
         ReplicationConfig::locality_aware(3),
     ];
 
-    println!("{:<12} {:<10} {:>16} {:>16} {:>14}", "benchmark", "scheme", "norm. energy", "norm. time", "replica hits");
+    println!(
+        "{:<12} {:<10} {:>16} {:>16} {:>14}",
+        "benchmark", "scheme", "norm. energy", "norm. time", "replica hits"
+    );
     for benchmark in runner.suite().benchmarks().to_vec() {
         let baseline = runner.run_one(benchmark, &configs[0]);
         for config in &configs {

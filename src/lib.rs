@@ -38,12 +38,15 @@ pub use lad_noc as noc;
 pub use lad_replication as replication;
 pub use lad_sim as sim;
 pub use lad_trace as trace;
+pub use lad_traceio as traceio;
 
 /// The types most applications of the library need.
 pub mod prelude {
     pub use lad_common::config::SystemConfig;
     pub use lad_common::json::JsonValue;
-    pub use lad_common::types::{Address, CacheLine, CoreId, Cycle, DataClass, MemOp, MemoryAccess};
+    pub use lad_common::types::{
+        Address, CacheLine, CoreId, Cycle, DataClass, MemOp, MemoryAccess,
+    };
     pub use lad_energy::accounting::Component;
     pub use lad_energy::model::EnergyModel;
     pub use lad_replication::classifier::{ClassifierKind, ReplicationMode};
@@ -55,11 +58,16 @@ pub mod prelude {
     };
     pub use lad_replication::scheme::{SchemeId, SchemeKind, UnknownScheme};
     pub use lad_sim::engine::{AccessOutcome, ServedBy, Simulator};
-    pub use lad_sim::experiment::{ExperimentRunner, SchemeComparison};
+    pub use lad_sim::experiment::{ExperimentRunner, ReplayError, SchemeComparison};
     pub use lad_sim::metrics::SimulationReport;
     pub use lad_trace::benchmarks::Benchmark;
+    pub use lad_trace::error::ProfileError;
     pub use lad_trace::generator::TraceGenerator;
     pub use lad_trace::suite::BenchmarkSuite;
+    pub use lad_traceio::{
+        FileSource, GeneratorSource, MemorySource, ReaderSource, TraceError, TraceHeader,
+        TraceReader, TraceSource, TraceWriter,
+    };
 }
 
 #[cfg(test)]

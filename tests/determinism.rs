@@ -39,7 +39,10 @@ fn same_seed_gives_byte_identical_reports_for_every_scheme() {
     for scheme in SchemeComparison::SCHEME_ORDER {
         let first = report(scheme, 1234);
         let second = report(scheme, 1234);
-        assert_eq!(first, second, "{scheme} is not deterministic under a fixed seed");
+        assert_eq!(
+            first, second,
+            "{scheme} is not deterministic under a fixed seed"
+        );
     }
 }
 

@@ -50,7 +50,10 @@ fn every_scheme_runs_every_quick_benchmark() {
 
 #[test]
 fn non_replicating_schemes_never_create_replicas() {
-    for config in [ReplicationConfig::static_nuca(), ReplicationConfig::reactive_nuca()] {
+    for config in [
+        ReplicationConfig::static_nuca(),
+        ReplicationConfig::reactive_nuca(),
+    ] {
         let report = run(Benchmark::Barnes, 800, config);
         assert_eq!(report.replicas_created, 0, "{}", report.scheme);
         assert_eq!(report.misses.llc_replica_hits, 0);
@@ -60,7 +63,11 @@ fn non_replicating_schemes_never_create_replicas() {
 #[test]
 fn locality_aware_converts_home_hits_into_replica_hits() {
     let baseline = run(Benchmark::Barnes, 1600, ReplicationConfig::static_nuca());
-    let locality = run(Benchmark::Barnes, 1600, ReplicationConfig::locality_aware(3));
+    let locality = run(
+        Benchmark::Barnes,
+        1600,
+        ReplicationConfig::locality_aware(3),
+    );
     assert!(locality.misses.llc_replica_hits > 0);
     // Replica hits displace traffic that previously had to travel to the home
     // slices or off-chip.
@@ -79,25 +86,53 @@ fn locality_aware_converts_home_hits_into_replica_hits() {
 
 #[test]
 fn replication_threshold_trades_replicas_for_pressure() {
-    let rt1 = run(Benchmark::Barnes, 1600, ReplicationConfig::locality_aware(1));
-    let rt3 = run(Benchmark::Barnes, 1600, ReplicationConfig::locality_aware(3));
-    let rt8 = run(Benchmark::Barnes, 1600, ReplicationConfig::locality_aware(8));
+    let rt1 = run(
+        Benchmark::Barnes,
+        1600,
+        ReplicationConfig::locality_aware(1),
+    );
+    let rt3 = run(
+        Benchmark::Barnes,
+        1600,
+        ReplicationConfig::locality_aware(3),
+    );
+    let rt8 = run(
+        Benchmark::Barnes,
+        1600,
+        ReplicationConfig::locality_aware(8),
+    );
     assert!(rt1.replicas_created >= rt3.replicas_created);
     assert!(rt3.replicas_created >= rt8.replicas_created);
 }
 
 #[test]
 fn low_reuse_benchmark_sees_little_replication_under_rt3() {
-    let report = run(Benchmark::Fluidanimate, 1600, ReplicationConfig::locality_aware(3));
-    let rt1 = run(Benchmark::Fluidanimate, 1600, ReplicationConfig::locality_aware(1));
+    let report = run(
+        Benchmark::Fluidanimate,
+        1600,
+        ReplicationConfig::locality_aware(3),
+    );
+    let rt1 = run(
+        Benchmark::Fluidanimate,
+        1600,
+        ReplicationConfig::locality_aware(1),
+    );
     // RT-3 filters out most of the single-use lines RT-1 would replicate.
     assert!(report.replicas_created < rt1.replicas_created);
 }
 
 #[test]
 fn reports_are_deterministic_across_runs() {
-    let a = run(Benchmark::LuNonContiguous, 600, ReplicationConfig::locality_aware(3));
-    let b = run(Benchmark::LuNonContiguous, 600, ReplicationConfig::locality_aware(3));
+    let a = run(
+        Benchmark::LuNonContiguous,
+        600,
+        ReplicationConfig::locality_aware(3),
+    );
+    let b = run(
+        Benchmark::LuNonContiguous,
+        600,
+        ReplicationConfig::locality_aware(3),
+    );
     assert_eq!(a.completion_time, b.completion_time);
     assert_eq!(a.misses.llc_replica_hits, b.misses.llc_replica_hits);
     assert_eq!(a.replicas_created, b.replicas_created);
@@ -147,17 +182,27 @@ fn missing_schemes_surface_as_typed_errors_not_silent_defaults() {
     // report the lookup as an UnknownScheme error.
     let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup], 200, 5);
     let runner = ExperimentRunner::new(SystemConfig::small_test(), suite).with_threads(2);
-    let results = runner.run_matrix(&[SchemeId::StaticNuca, SchemeId::Rt(3)]).unwrap();
+    let results = runner
+        .run_matrix(&[SchemeId::StaticNuca, SchemeId::Rt(3)])
+        .unwrap();
     let comparison = SchemeComparison::from_results(vec![Benchmark::Dedup], results);
 
     let err = comparison
-        .normalized_energy(Benchmark::Dedup, SchemeId::VictimReplication, SchemeId::StaticNuca)
+        .normalized_energy(
+            Benchmark::Dedup,
+            SchemeId::VictimReplication,
+            SchemeId::StaticNuca,
+        )
         .unwrap_err();
     assert_eq!(err.scheme, SchemeId::VictimReplication);
     let err = comparison
         .normalized_completion_time(Benchmark::Dedup, SchemeId::Rt(3), SchemeId::Asr)
         .unwrap_err();
-    assert_eq!(err.scheme, SchemeId::Asr, "missing baseline must name the baseline");
+    assert_eq!(
+        err.scheme,
+        SchemeId::Asr,
+        "missing baseline must name the baseline"
+    );
     // Present cells still work.
     let ok = comparison
         .normalized_energy(Benchmark::Dedup, SchemeId::Rt(3), SchemeId::StaticNuca)
@@ -206,7 +251,10 @@ fn custom_policy_registered_in_the_registry_runs_through_run_matrix() {
 
     assert_eq!(custom.scheme, "ALWAYS");
     assert_eq!(custom.scheme_id, SchemeId::Custom("ALWAYS"));
-    assert!(custom.replicas_created > 0, "always-replicate must create replicas");
+    assert!(
+        custom.replicas_created > 0,
+        "always-replicate must create replicas"
+    );
     assert!(custom.misses.llc_replica_hits > 0);
     assert_eq!(baseline.replicas_created, 0);
     assert_eq!(custom.total_accesses, baseline.total_accesses);
@@ -214,7 +262,11 @@ fn custom_policy_registered_in_the_registry_runs_through_run_matrix() {
     // The same custom scheme also flows through the comparison machinery.
     let comparison = SchemeComparison::from_results(vec![Benchmark::Barnes], results);
     let normalized = comparison
-        .normalized_energy(Benchmark::Barnes, SchemeId::Custom("ALWAYS"), SchemeId::StaticNuca)
+        .normalized_energy(
+            Benchmark::Barnes,
+            SchemeId::Custom("ALWAYS"),
+            SchemeId::StaticNuca,
+        )
         .unwrap();
     assert!(normalized.is_finite() && normalized > 0.0);
 }
@@ -229,5 +281,8 @@ fn run_length_characterization_distinguishes_benchmarks() {
         .map(|(_, b)| b.iter().sum())
         .unwrap();
     let total: f64 = dist.iter().flat_map(|(_, b)| b.iter()).sum();
-    assert!(srw / total > 0.5, "BARNES LLC accesses must be dominated by shared read-write data");
+    assert!(
+        srw / total > 0.5,
+        "BARNES LLC accesses must be dominated by shared read-write data"
+    );
 }

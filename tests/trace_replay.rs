@@ -1,0 +1,73 @@
+//! Record→replay determinism: serializing a workload to the LADT binary
+//! format and streaming it back through `Simulator::run_source` must
+//! produce a byte-identical `SimulationReport` to the in-memory
+//! `Simulator::run`, for every benchmark of the quick suite under every
+//! scheme of the paper's comparison.  This is the guarantee that makes
+//! recorded traces a reproducibility artifact: a `.ladt` file replays to
+//! the same numbers on any machine.
+
+use std::io::Cursor;
+
+use locality_replication::prelude::*;
+
+/// One representative configuration per column of
+/// [`SchemeComparison::SCHEME_ORDER`] (mirrors `tests/determinism.rs`).
+fn config_for(scheme: SchemeId) -> ReplicationConfig {
+    match scheme {
+        SchemeId::StaticNuca => ReplicationConfig::static_nuca(),
+        SchemeId::ReactiveNuca => ReplicationConfig::reactive_nuca(),
+        SchemeId::VictimReplication => ReplicationConfig::victim_replication(),
+        SchemeId::Asr => ReplicationConfig::asr(0.75),
+        SchemeId::AsrAt(level) => ReplicationConfig::asr(f64::from(level) / 100.0),
+        SchemeId::Rt(rt) => ReplicationConfig::locality_aware(rt),
+        SchemeId::Custom(other) => panic!("no built-in configuration for {other:?}"),
+    }
+}
+
+#[test]
+fn recorded_traces_replay_byte_identically_for_every_scheme() {
+    let system = SystemConfig::small_test();
+    let suite = BenchmarkSuite::quick().with_accesses_per_core(400);
+
+    for &benchmark in suite.benchmarks() {
+        // Record: generate the benchmark's trace and serialize it to LADT
+        // bytes (exactly what `lad-trace record` writes to disk).
+        let trace = suite.trace_for(benchmark, system.num_cores);
+        let bytes =
+            locality_replication::traceio::encode_workload(&trace, suite.seed() ^ benchmark as u64)
+                .expect("in-memory recording cannot fail");
+
+        for scheme in SchemeComparison::SCHEME_ORDER {
+            let mut sim = Simulator::new(system.clone(), config_for(scheme));
+            let in_memory = sim.run(&trace);
+
+            // Replay: stream the recorded bytes back through run_source.
+            let mut source =
+                ReaderSource::new(Cursor::new(bytes.clone())).expect("recorded bytes must open");
+            let replayed = sim
+                .run_source(&mut source)
+                .expect("recorded bytes must replay");
+
+            assert_eq!(
+                format!("{in_memory:?}"),
+                format!("{replayed:?}"),
+                "{} replay of {} diverged from the in-memory run",
+                scheme,
+                benchmark.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_reports_carry_the_recorded_benchmark_name() {
+    let system = SystemConfig::small_test();
+    let trace = TraceGenerator::new(Benchmark::Barnes.profile()).generate(system.num_cores, 200, 9);
+    let bytes = locality_replication::traceio::encode_workload(&trace, 9).unwrap();
+    let mut source = ReaderSource::new(Cursor::new(bytes)).unwrap();
+    let mut sim = Simulator::new(system, ReplicationConfig::locality_aware(3));
+    let report = sim.run_source(&mut source).unwrap();
+    assert_eq!(report.benchmark, "BARNES");
+    assert_eq!(report.scheme, "RT-3");
+    assert!(report.total_accesses > 0);
+}
