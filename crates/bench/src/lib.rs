@@ -45,9 +45,11 @@ pub fn json_output_path() -> Option<PathBuf> {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
         if arg == "--json" {
-            return Some(PathBuf::from(
-                args.next().expect("--json requires a path argument"),
-            ));
+            let Some(path) = args.next() else {
+                eprintln!("--json requires a path argument");
+                std::process::exit(2);
+            };
+            return Some(PathBuf::from(path));
         }
     }
     None

@@ -1,5 +1,7 @@
 //! A generic set-associative cache array with pluggable victim selection.
 
+// The only `HashMap` here is the `to_map` diagnostics helper, whose
+// iteration order never feeds a report.  lad-lint: allow(hashmap)
 use std::collections::HashMap;
 
 use lad_common::types::CacheLine;
@@ -177,12 +179,14 @@ impl<V> SetAssocCache<V> {
         }
 
         // Victim: lowest (priority, lru_stamp).
-        let victim_idx = set
+        let victim_idx = match set
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| (policy.priority(&w.value), w.lru_stamp))
-            .map(|(i, _)| i)
-            .expect("set is full, so non-empty");
+        {
+            Some((i, _)) => i,
+            None => unreachable!("set is full, so non-empty"),
+        };
         let victim = std::mem::replace(
             &mut set[victim_idx],
             Way {

@@ -1,0 +1,248 @@
+//! Source lints for the workspace's library crates.
+//!
+//! Two heuristic, text-level rules backed by project conventions:
+//!
+//! * **`hashmap`** — library code must not use `std::collections::HashMap`.
+//!   Its iteration order is randomized per process, so a `HashMap` that
+//!   feeds a `SimulationReport`, a JSON serialization or any ordered output
+//!   makes runs byte-unstable (the repo's reports are diffed byte-for-byte
+//!   in tests and CI).  `BTreeMap` is the default; pure point-lookup state
+//!   may keep `HashMap` behind an explicit annotation.
+//! * **`panic`** — library code must not call `.unwrap()` / `.expect("…")`:
+//!   user-supplied input (configs, traces, CLI values) must flow through
+//!   the typed error trees instead.  Deliberate invariant checks are
+//!   annotated, or phrased as named protocol-invariant panics.
+//!
+//! A file opts out of a rule with a comment anywhere in it:
+//! `// lad-lint: allow(hashmap)` or `// lad-lint: allow(panic)` — the
+//! annotation is file-scoped and should sit next to the justification.
+//! Test modules (`#[cfg(test)] mod …` to end of file), `src/bin/`
+//! directories, `tests/` trees and the vendored `*-shim` crates are out of
+//! scope.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules.
+pub const RULES: [&str; 2] = ["hashmap", "panic"];
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// File the finding is in (workspace-relative when produced by
+    /// [`lint_workspace`]).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (`"hashmap"` or `"panic"`).
+    pub rule: &'static str,
+    /// The offending line, trimmed.
+    pub text: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.text
+        )
+    }
+}
+
+fn allow_marker(rule: &str) -> String {
+    format!("lad-lint: allow({rule})")
+}
+
+/// The line index (0-based) where the file's trailing `#[cfg(test)] mod`
+/// block starts, if any.  By repo convention test modules sit at the end of
+/// the file, so everything from the attribute on is out of scope.
+fn test_module_start(lines: &[&str]) -> Option<usize> {
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim() == "#[cfg(test)]" {
+            let opens_module = lines
+                .iter()
+                .skip(i + 1)
+                .map(|l| l.trim())
+                .find(|l| !l.is_empty())
+                .is_some_and(|l| l.starts_with("mod ") || l.starts_with("pub mod "));
+            if opens_module {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Lints one library source file's content.  Pure (testable without a
+/// filesystem); `file` is only used to label the findings.
+pub fn lint_source(file: &Path, content: &str) -> Vec<LintFinding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let end = test_module_start(&lines).unwrap_or(lines.len());
+    let allow_hashmap = content.contains(&allow_marker("hashmap"));
+    let allow_panic = content.contains(&allow_marker("panic"));
+
+    let mut findings = Vec::new();
+    for (i, line) in lines.iter().take(end).enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if !allow_hashmap && trimmed.contains("HashMap") {
+            findings.push(LintFinding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule: "hashmap",
+                text: trimmed.to_string(),
+            });
+        }
+        if !allow_panic && (trimmed.contains(".unwrap()") || trimmed.contains(".expect(\"")) {
+            findings.push(LintFinding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule: "panic",
+                text: trimmed.to_string(),
+            });
+        }
+    }
+    findings
+}
+
+fn is_library_source(path: &Path) -> bool {
+    if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return false;
+    }
+    let parts: Vec<&str> = path
+        .iter()
+        .filter_map(|component| component.to_str())
+        .collect();
+    parts.contains(&"src") && !parts.contains(&"bin") && !parts.contains(&"tests")
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if name.ends_with("-shim") || name == "bin" || name == "tests" || name == "target" {
+                continue;
+            }
+            collect_sources(&path, out)?;
+        } else if is_library_source(&path) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every library source under `<root>/crates`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable directories or files).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintFinding>> {
+    let crates = root.join("crates");
+    let mut sources = Vec::new();
+    collect_sources(&crates, &mut sources)?;
+    let mut findings = Vec::new();
+    for path in sources {
+        let content = fs::read_to_string(&path)?;
+        let label = path.strip_prefix(root).unwrap_or(&path);
+        findings.extend(lint_source(label, &content));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(content: &str) -> Vec<LintFinding> {
+        lint_source(Path::new("lib.rs"), content)
+    }
+
+    #[test]
+    fn hashmap_use_is_flagged() {
+        let findings = lint("use std::collections::HashMap;\nfn f() {}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "hashmap");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn allow_annotation_silences_a_rule_file_wide() {
+        let findings = lint(
+            "// iteration never ordered here\n// lad-lint: allow(hashmap)\nuse std::collections::HashMap;\n",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged_but_not_lookalikes() {
+        let content = "\
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"present\");
+    let c = x.unwrap_or(0);
+    let d = x.unwrap_or_else(|| 0);
+    self.expect(b'{');
+    a + b + c + d
+}
+";
+        let findings = lint(content);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+        assert!(findings.iter().all(|f| f.rule == "panic"));
+    }
+
+    #[test]
+    fn trailing_test_module_is_out_of_scope() {
+        let content = "\
+pub fn f() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+";
+        assert!(lint(content).is_empty());
+    }
+
+    #[test]
+    fn comment_lines_are_skipped() {
+        let findings = lint("// HashMap would be wrong here\n/// so would .unwrap()\nfn f() {}\n");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn findings_render_with_location_and_rule() {
+        let findings = lint("use std::collections::HashMap;\n");
+        assert_eq!(
+            findings[0].to_string(),
+            "lib.rs:1: [hashmap] use std::collections::HashMap;"
+        );
+    }
+
+    #[test]
+    fn bin_and_test_paths_are_not_library_sources() {
+        assert!(is_library_source(Path::new("crates/sim/src/engine.rs")));
+        assert!(!is_library_source(Path::new(
+            "crates/check/src/bin/lad_check.rs"
+        )));
+        assert!(!is_library_source(Path::new("crates/sim/tests/smoke.rs")));
+        assert!(!is_library_source(Path::new("crates/sim/src/engine.txt")));
+    }
+}

@@ -1,0 +1,174 @@
+//! The mutation harness: seeded protocol bugs the checker must catch.
+//!
+//! A checker that reports "no violations" is only trustworthy if it can be
+//! shown to report violations when they exist.  Each [`SeededMutant`] pairs
+//! a [`Mutant`] with the scheme that exposes it and the catalog invariants
+//! its exploration must flag; [`run_mutant`] explores the sabotaged model
+//! and [`MutantOutcome::verdict`] checks the expectation.
+
+use lad_replication::policy::SchemeRegistry;
+use lad_replication::scheme::SchemeId;
+
+use crate::catalog::Invariant;
+use crate::explore::{explore, Exploration, ExploreOptions};
+use crate::model::{Model, ModelConfig, Mutant};
+
+/// A seeded bug, the scheme that exposes it, and what the checker must say.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededMutant {
+    /// The protocol bug.
+    pub mutant: Mutant,
+    /// The scheme whose model is sabotaged (the bug's paths must be
+    /// reachable under this scheme).
+    pub vehicle: SchemeId,
+    /// At least one of these invariants must appear in the violations.
+    pub expected: &'static [Invariant],
+}
+
+/// The full seeded-mutant suite.
+///
+/// Vehicles are chosen so each mutant's broken path is actually exercised:
+/// invalidations and eviction notices flow under every scheme (S-NUCA is
+/// the smallest vehicle), while replica downgrades and home-eviction
+/// replica leaks need a replicating scheme (RT-1 replicates fastest).
+pub const SEEDED_MUTANTS: [SeededMutant; 5] = [
+    SeededMutant {
+        mutant: Mutant::DropInvalidation,
+        vehicle: SchemeId::StaticNuca,
+        expected: &[
+            Invariant::SingleWriterMultipleReader,
+            Invariant::DirectoryInclusion,
+        ],
+    },
+    SeededMutant {
+        mutant: Mutant::SkipReplicaDowngrade,
+        vehicle: SchemeId::Rt(1),
+        expected: &[Invariant::SingleWriterMultipleReader],
+    },
+    SeededMutant {
+        mutant: Mutant::SharerListOverflow,
+        vehicle: SchemeId::StaticNuca,
+        expected: &[Invariant::DirectoryInclusion],
+    },
+    SeededMutant {
+        mutant: Mutant::DropEvictionNotice,
+        vehicle: SchemeId::StaticNuca,
+        expected: &[Invariant::DirectoryInclusion],
+    },
+    SeededMutant {
+        mutant: Mutant::LeakReplicaOnHomeEviction,
+        vehicle: SchemeId::Rt(1),
+        expected: &[Invariant::ReplicaConsistentWithHome],
+    },
+];
+
+/// The exploration of one seeded mutant.
+#[derive(Debug)]
+pub struct MutantOutcome {
+    /// What was seeded.
+    pub seeded: SeededMutant,
+    /// The sabotaged model's exploration (stopped at the first violation).
+    pub exploration: Exploration,
+}
+
+impl MutantOutcome {
+    /// `true` if the checker flagged the mutant with one of the expected
+    /// invariants.
+    pub fn caught(&self) -> bool {
+        self.exploration.violations.iter().any(|found| {
+            found
+                .violations
+                .iter()
+                .any(|v| self.seeded.expected.contains(&v.invariant))
+        })
+    }
+
+    /// A one-line verdict plus the counterexample (when caught).
+    pub fn verdict(&self) -> String {
+        if let Some(found) = self.exploration.violations.first() {
+            let status = if self.caught() {
+                "CAUGHT"
+            } else {
+                "MISFLAGGED"
+            };
+            format!(
+                "{status} {} on {} after {} states\n{}",
+                self.seeded.mutant,
+                self.seeded.vehicle,
+                self.exploration.states,
+                found.render()
+            )
+        } else {
+            format!(
+                "MISSED {} on {} ({} states explored, no violation)",
+                self.seeded.mutant, self.seeded.vehicle, self.exploration.states
+            )
+        }
+    }
+}
+
+/// Explores `seeded`'s sabotaged model, stopping at the first violation.
+///
+/// # Errors
+///
+/// Returns the vehicle's [`SchemeId`] if it is not in `registry`.
+pub fn run_mutant(
+    registry: &SchemeRegistry,
+    seeded: SeededMutant,
+    config: ModelConfig,
+) -> Result<MutantOutcome, SchemeId> {
+    let scheme = registry.get(seeded.vehicle).map_err(|_| seeded.vehicle)?;
+    let model = Model::new(scheme, config, Some(seeded.mutant));
+    let exploration = explore(
+        &model,
+        ExploreOptions {
+            stop_on_violation: true,
+            ..ExploreOptions::default()
+        },
+    );
+    Ok(MutantOutcome {
+        seeded,
+        exploration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seeded_mutant_is_caught_with_its_expected_invariant() {
+        let registry = SchemeRegistry::builtin();
+        for seeded in SEEDED_MUTANTS {
+            let outcome = run_mutant(&registry, seeded, ModelConfig::default())
+                .unwrap_or_else(|id| panic!("vehicle {id} missing from builtin registry"));
+            assert!(
+                outcome.caught(),
+                "mutant {} escaped: {}",
+                seeded.mutant,
+                outcome.verdict()
+            );
+            assert!(
+                !outcome.exploration.violations[0].trace.is_empty(),
+                "mutant {} needs a counterexample trace",
+                seeded.mutant
+            );
+        }
+    }
+
+    #[test]
+    fn mutant_suite_covers_every_mutant_exactly_once() {
+        let mut names: Vec<&str> = SEEDED_MUTANTS.iter().map(|s| s.mutant.name()).collect();
+        names.sort_unstable();
+        let mut all: Vec<&str> = Mutant::ALL.iter().map(|m| m.name()).collect();
+        all.sort_unstable();
+        assert_eq!(names, all);
+    }
+
+    #[test]
+    fn unknown_vehicle_is_an_error() {
+        let registry = SchemeRegistry::new();
+        let result = run_mutant(&registry, SEEDED_MUTANTS[0], ModelConfig::default());
+        assert_eq!(result.err(), Some(SEEDED_MUTANTS[0].vehicle));
+    }
+}

@@ -153,6 +153,48 @@ impl AckwiseSharers {
         &self.pointers
     }
 
+    /// Checks the list's local invariants (the `ackwise-pointer-capacity`
+    /// member of the `lad-check` catalog): the pointer list never exceeds
+    /// the hardware pointer budget, `count == tracked` outside global mode
+    /// and `count > tracked` in global mode (a global entry by definition
+    /// has untracked sharers).
+    ///
+    /// Returns the catalog name and a description of the first violated
+    /// invariant, or `None` when the state is consistent.
+    pub fn local_invariant_error(&self) -> Option<(&'static str, String)> {
+        if self.pointers.len() > self.max_pointers {
+            return Some((
+                "ackwise-pointer-capacity",
+                format!(
+                    "{} pointers tracked but only {} exist",
+                    self.pointers.len(),
+                    self.max_pointers
+                ),
+            ));
+        }
+        if !self.global && self.count != self.pointers.len() {
+            return Some((
+                "ackwise-pointer-capacity",
+                format!(
+                    "exact mode but count {} != {} tracked pointers",
+                    self.count,
+                    self.pointers.len()
+                ),
+            ));
+        }
+        if self.global && self.count <= self.pointers.len() {
+            return Some((
+                "ackwise-pointer-capacity",
+                format!(
+                    "global mode but count {} fits the {} tracked pointers",
+                    self.count,
+                    self.pointers.len()
+                ),
+            ));
+        }
+        None
+    }
+
     /// Computes who must be invalidated to give `requester` exclusive
     /// ownership.  The requester itself is never included.
     pub fn invalidation_targets(&self, requester: CoreId) -> InvalidationTargets {

@@ -131,12 +131,78 @@ impl DirectoryEntry {
         self.sharers.is_tracked_sharer(core) || self.owner == Some(core)
     }
 
+    /// Checks the entry-local invariants shared with the `lad-check`
+    /// catalog: `ackwise-pointer-capacity` (delegated to
+    /// [`AckwiseSharers::local_invariant_error`]) and
+    /// `home-state-consistent` (Uncached ⇒ no sharers and no owner;
+    /// Shared ⇒ sharers but no owner; Exclusive ⇒ exactly one tracked
+    /// sharer, the owner).
+    ///
+    /// Returns the catalog name and a description of the first violated
+    /// invariant, or `None` when the entry is consistent.  Cross-entry
+    /// invariants (inclusion, SWMR) need visibility over the caches and
+    /// live in `lad-check` itself.
+    pub fn local_invariant_error(&self) -> Option<(&'static str, String)> {
+        if let Some(err) = self.sharers.local_invariant_error() {
+            return Some(err);
+        }
+        let err = match self.state {
+            HomeState::Uncached => {
+                if self.sharers.count() != 0 {
+                    Some(format!("Uncached with {} sharers", self.sharers.count()))
+                } else if self.owner.is_some() {
+                    Some(format!("Uncached with owner {:?}", self.owner))
+                } else {
+                    None
+                }
+            }
+            HomeState::Shared => {
+                if self.sharers.count() == 0 {
+                    Some("Shared with no sharers".to_string())
+                } else if self.owner.is_some() {
+                    Some(format!("Shared with owner {:?}", self.owner))
+                } else {
+                    None
+                }
+            }
+            HomeState::Exclusive => match self.owner {
+                None => Some("Exclusive with no owner".to_string()),
+                Some(owner) => {
+                    if self.sharers.count() != 1 {
+                        Some(format!("Exclusive with {} sharers", self.sharers.count()))
+                    } else if !self.sharers.is_tracked_sharer(owner) {
+                        Some(format!("Exclusive owner {owner:?} is not tracked"))
+                    } else {
+                        None
+                    }
+                }
+            },
+        };
+        err.map(|details| ("home-state-consistent", details))
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check_local_invariants(&self) {
+        if let Some((name, details)) = self.local_invariant_error() {
+            panic!("protocol invariant violated [{name}]: {details}");
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_local_invariants(&self) {}
+
     /// Handles a read (load or instruction fetch) request from `requester`.
     ///
     /// Updates the sharer list and returns the actions the engine must
     /// perform.  The serialization of conflicting requests is the caller's
     /// responsibility (the home processes one request at a time).
     pub fn handle_read(&mut self, requester: CoreId) -> ReadOutcome {
+        let outcome = self.handle_read_inner(requester);
+        self.debug_check_local_invariants();
+        outcome
+    }
+
+    fn handle_read_inner(&mut self, requester: CoreId) -> ReadOutcome {
         match self.state {
             HomeState::Uncached => {
                 self.state = HomeState::Exclusive;
@@ -149,7 +215,12 @@ impl DirectoryEntry {
                 }
             }
             HomeState::Exclusive => {
-                let owner = self.owner.expect("exclusive entries always have an owner");
+                let Some(owner) = self.owner else {
+                    panic!(
+                        "protocol invariant violated [home-state-consistent]: \
+                         Exclusive entry has no owner"
+                    );
+                };
                 if owner == requester {
                     // The requester's hierarchy already owns the line (e.g. an
                     // L1 miss that hits the local LLC replica path); re-grant.
@@ -185,6 +256,12 @@ impl DirectoryEntry {
     /// All other copies are invalidated (the single-writer multiple-reader
     /// invariant) and the requester becomes the exclusive owner.
     pub fn handle_write(&mut self, requester: CoreId) -> WriteOutcome {
+        let outcome = self.handle_write_inner(requester);
+        self.debug_check_local_invariants();
+        outcome
+    }
+
+    fn handle_write_inner(&mut self, requester: CoreId) -> WriteOutcome {
         match self.state {
             HomeState::Uncached => {
                 self.state = HomeState::Exclusive;
@@ -197,7 +274,12 @@ impl DirectoryEntry {
                 }
             }
             HomeState::Exclusive => {
-                let owner = self.owner.expect("exclusive entries always have an owner");
+                let Some(owner) = self.owner else {
+                    panic!(
+                        "protocol invariant violated [home-state-consistent]: \
+                         Exclusive entry has no owner"
+                    );
+                };
                 if owner == requester {
                     WriteOutcome {
                         needs_memory_fetch: false,
@@ -243,6 +325,7 @@ impl DirectoryEntry {
         } else if self.owner.is_none() {
             self.state = HomeState::Shared;
         }
+        self.debug_check_local_invariants();
     }
 
     /// Invalidate-all bookkeeping helper: drops every sharer (used when the
@@ -252,6 +335,7 @@ impl DirectoryEntry {
         self.sharers.clear();
         self.owner = None;
         self.state = HomeState::Uncached;
+        self.debug_check_local_invariants();
     }
 
     /// All cores that must be probed when the home line is evicted from the

@@ -564,8 +564,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number characters are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap_or_else(|_| unreachable!("number characters are ASCII"));
         let value: f64 = text
             .parse()
             .map_err(|_| self.error("number out of range"))?;

@@ -104,6 +104,21 @@ impl CoreEntry {
     }
 }
 
+/// One tracked core's classifier state, as exposed by
+/// [`LocalityClassifier::snapshot`] for checkers and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedCore {
+    /// The tracked core.
+    pub core: CoreId,
+    /// Its current replication mode.
+    pub mode: ReplicationMode,
+    /// Its home-reuse counter value.
+    pub home_reuse: u32,
+    /// `true` while the core is actively using the line; inactive entries
+    /// are the Limited_k replacement candidates.
+    pub active: bool,
+}
+
 /// The per-cache-line locality classifier.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalityClassifier {
@@ -146,6 +161,31 @@ impl LocalityClassifier {
     /// Cores currently tracked (in no particular order).
     pub fn tracked_cores(&self) -> Vec<CoreId> {
         self.entries.iter().map(|e| e.core).collect()
+    }
+
+    /// The classifier's tracked-core capacity: `None` for the Complete
+    /// organization, `Some(k)` for Limited_k.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The full per-core state, in tracking order.
+    ///
+    /// The order is significant: the Limited_k organization replaces the
+    /// *first* inactive entry, so two classifiers with the same entries in
+    /// a different order can behave differently.  Checkers that encode
+    /// classifier state (the `lad-check` model exploration) must therefore
+    /// preserve this order.
+    pub fn snapshot(&self) -> Vec<TrackedCore> {
+        self.entries
+            .iter()
+            .map(|e| TrackedCore {
+                core: e.core,
+                mode: e.mode,
+                home_reuse: e.home_reuse.value(),
+                active: e.active,
+            })
+            .collect()
     }
 
     /// The current replication mode of `core` (majority vote if untracked by

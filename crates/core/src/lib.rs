@@ -63,7 +63,7 @@ pub mod policies;
 pub mod policy;
 pub mod scheme;
 
-pub use classifier::{ClassifierKind, LocalityClassifier, ReplicationMode};
+pub use classifier::{ClassifierKind, LocalityClassifier, ReplicationMode, TrackedCore};
 pub use config::ReplicationConfig;
 pub use counter::SaturatingCounter;
 pub use entry::{HomeEntry, LlcEntry, ReplicaEntry};

@@ -18,6 +18,8 @@
 //! touching disjoint lines of the same page) prevents private placement —
 //! the effect the paper highlights for BLACKSCHOLES.
 
+// The page table is point-lookup-only state; its iteration order never
+// feeds a report.  lad-lint: allow(hashmap)
 use std::collections::HashMap;
 
 use lad_common::types::{CacheLine, CoreId};

@@ -189,13 +189,15 @@ impl SchemeId {
 /// large JSON reports) does not grow memory per call.
 fn intern_label(label: &str) -> &'static str {
     use std::collections::BTreeSet;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Mutex, OnceLock, PoisonError};
 
     static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    // A poisoned table is still structurally sound (inserts are atomic
+    // Box::leak + BTreeSet insert), so interning proceeds.
     let mut table = INTERNED
         .get_or_init(|| Mutex::new(BTreeSet::new()))
         .lock()
-        .expect("scheme-label intern table poisoned");
+        .unwrap_or_else(PoisonError::into_inner);
     match table.get(label) {
         Some(existing) => existing,
         None => {

@@ -7,9 +7,12 @@
 //! schemes and any out-of-crate policy registered through a
 //! [`SchemeRegistry`](lad_replication::policy::SchemeRegistry).
 
-use std::collections::HashMap;
+// `line_class` and `line_busy_until` are point-lookup-only state whose
+// iteration order never feeds a report.  lad-lint: allow(hashmap)
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+use lad_check::{check_view, require, violated, HomeSummary, Invariant, ProtocolView, Violation};
 use lad_coherence::ackwise::InvalidationTargets;
 use lad_coherence::mesi::MesiState;
 use lad_common::config::SystemConfig;
@@ -186,13 +189,15 @@ impl Simulator {
         label: String,
         energy_model: EnergyModel,
     ) -> Self {
-        system
-            .validate()
-            .expect("system configuration must be valid");
-        replication
-            .validate()
-            .expect("replication configuration must be valid");
-        energy_model.validate().expect("energy model must be valid");
+        if let Err(error) = system.validate() {
+            panic!("system configuration must be valid: {error}");
+        }
+        if let Err(error) = replication.validate() {
+            panic!("replication configuration must be valid: {error}");
+        }
+        if let Err(error) = energy_model.validate() {
+            panic!("energy model must be valid: {error}");
+        }
         let tiles = (0..system.num_cores)
             .map(|i| Tile::new(CoreId::new(i), &system, &replication))
             .collect();
@@ -308,11 +313,15 @@ impl Simulator {
     ///
     /// Panics if the stream spans more cores than the simulated system has.
     pub fn begin(&mut self, benchmark: &str, num_cores: usize) {
-        assert!(
+        require(
+            Invariant::TraceCoreBound,
             num_cores <= self.system.num_cores,
-            "trace has {} cores but the system only has {}",
-            num_cores,
-            self.system.num_cores
+            || {
+                format!(
+                    "trace has {} cores but the system only has {}",
+                    num_cores, self.system.num_cores
+                )
+            },
         );
         self.reset();
         self.benchmark = benchmark.to_string();
@@ -411,15 +420,20 @@ impl Simulator {
     /// Panics if the trace was generated for more cores than the simulated
     /// system has.
     pub fn run(&mut self, trace: &WorkloadTrace) -> SimulationReport {
-        assert!(
+        require(
+            Invariant::TraceCoreBound,
             trace.num_cores() <= self.system.num_cores,
-            "trace has {} cores but the system only has {}",
-            trace.num_cores(),
-            self.system.num_cores
+            || {
+                format!(
+                    "trace has {} cores but the system only has {}",
+                    trace.num_cores(),
+                    self.system.num_cores
+                )
+            },
         );
         let mut source = MemorySource::new(trace);
         self.run_source(&mut source)
-            .expect("in-memory traces cannot fail to stream")
+            .unwrap_or_else(|error| unreachable!("in-memory traces cannot fail to stream: {error}"))
     }
 
     /// Runs any [`TraceSource`] to completion — the streaming counterpart
@@ -472,17 +486,60 @@ impl Simulator {
         for core in 0..num_cores {
             pending.push(source.next_for_core(CoreId::new(core))?);
         }
+        #[cfg(debug_assertions)]
+        let mut steps_since_check: u32 = 0;
         loop {
             let next = (0..num_cores)
                 .filter(|&c| pending[c].is_some())
                 .min_by_key(|&c| self.tiles[c].clock);
             let Some(core) = next else { break };
-            let access = pending[core].take().expect("filtered on is_some");
+            let Some(access) = pending[core].take() else {
+                unreachable!("filtered on is_some");
+            };
             self.step(&access);
             pending[core] = source.next_for_core(CoreId::new(core))?;
+
+            // Debug builds sweep the live state against the shared invariant
+            // catalog every `RUNTIME_CHECK_INTERVAL` steps (and once more
+            // after the stream drains, below).
+            #[cfg(debug_assertions)]
+            {
+                steps_since_check += 1;
+                if steps_since_check >= RUNTIME_CHECK_INTERVAL {
+                    steps_since_check = 0;
+                    self.enforce_protocol_invariants();
+                }
+            }
         }
+        #[cfg(debug_assertions)]
+        self.enforce_protocol_invariants();
 
         Ok(self.report())
+    }
+
+    /// Checks the live engine state against the shared `lad-check` invariant
+    /// catalog ([`check_view`] over [`Simulator::protocol_view`]) and
+    /// returns every violation found.  An empty vector means the catalog
+    /// holds.
+    pub fn check_protocol_invariants(&self) -> Vec<Violation> {
+        check_view(&EngineView { sim: self })
+    }
+
+    /// The engine's read-only [`ProtocolView`], checked by the same
+    /// [`check_view`] function that verifies the abstract model in
+    /// `lad-check`'s exhaustive exploration.
+    pub fn protocol_view(&self) -> impl ProtocolView + '_ {
+        EngineView { sim: self }
+    }
+
+    /// Panics through the catalog if any protocol invariant is violated in
+    /// the live state (the `debug_assertions` runtime hook).
+    #[cfg(debug_assertions)]
+    fn enforce_protocol_invariants(&self) {
+        let violations = self.check_protocol_invariants();
+        if let Some(first) = violations.first() {
+            violated(first.invariant, &first.details);
+        }
     }
 
     // ----- per-access processing ------------------------------------------
@@ -933,7 +990,12 @@ impl Simulator {
             .llc
             .probe_mut(line)
             .and_then(LlcEntry::as_home_mut)
-            .expect("home entry must be resident while the home processes the line")
+            .unwrap_or_else(|| {
+                violated(
+                    Invariant::HomeResidentDuringRequest,
+                    &format!("line {line:?} has no home entry at {home:?} mid-request"),
+                )
+            })
     }
 
     /// Sends invalidations to `targets`, probing their L1 caches and LLC
@@ -1025,6 +1087,13 @@ impl Simulator {
         let tile = &mut self.tiles[owner.index()];
         let mut dirty = false;
         if let Some(state) = tile.l1d.probe_mut(line) {
+            dirty |= state.is_dirty();
+            *state = state.after_downgrade();
+        }
+        // The exclusive grant may live in the L1-I (a line whose first
+        // access was an instruction fetch): downgrade it there as well, or
+        // the owner keeps a writable copy alongside the new sharer.
+        if let Some(state) = tile.l1i.probe_mut(line) {
             dirty |= state.is_dirty();
             *state = state.after_downgrade();
         }
@@ -1292,6 +1361,68 @@ impl Simulator {
             self.energy
                 .record(Component::L1D, self.energy_model.l1d_read_pj);
         }
+    }
+}
+
+/// How many [`Simulator::step`]s `run_source` executes between runtime
+/// sweeps of the invariant catalog in debug builds.  Each sweep walks every
+/// resident line across every tile, so the interval trades checking density
+/// against replay speed; 4096 checks each engine-suite trace several times
+/// mid-run (a final sweep after the stream drains covers the end state
+/// regardless) while keeping the suite's debug runtime close to unchecked.
+#[cfg(debug_assertions)]
+const RUNTIME_CHECK_INTERVAL: u32 = 4096;
+
+/// The live engine as a [`ProtocolView`]: the runtime face of the shared
+/// invariant catalog (`lad-check` explores the abstract model through the
+/// identical trait and checks).
+struct EngineView<'a> {
+    sim: &'a Simulator,
+}
+
+impl ProtocolView for EngineView<'_> {
+    fn num_cores(&self) -> usize {
+        self.sim.system.num_cores
+    }
+
+    fn lines(&self) -> Vec<CacheLine> {
+        let mut lines = BTreeSet::new();
+        for tile in &self.sim.tiles {
+            lines.extend(tile.l1i.iter().map(|(line, _)| line));
+            lines.extend(tile.l1d.iter().map(|(line, _)| line));
+            lines.extend(tile.llc.iter().map(|(line, _)| line));
+        }
+        lines.into_iter().collect()
+    }
+
+    fn l1_states(&self, core: CoreId, line: CacheLine) -> Vec<MesiState> {
+        let tile = &self.sim.tiles[core.index()];
+        tile.l1i
+            .probe(line)
+            .into_iter()
+            .chain(tile.l1d.probe(line))
+            .copied()
+            .collect()
+    }
+
+    fn replica(&self, core: CoreId, line: CacheLine) -> Option<ReplicaEntry> {
+        self.sim.tiles[core.index()]
+            .llc
+            .probe(line)
+            .and_then(LlcEntry::as_replica)
+            .cloned()
+    }
+
+    fn home_slice(&self, line: CacheLine, core: CoreId) -> CoreId {
+        self.sim.home_map.home_for(line, core)
+    }
+
+    fn home_at(&self, line: CacheLine, slice: CoreId) -> Option<HomeSummary> {
+        self.sim.tiles[slice.index()]
+            .llc
+            .probe(line)
+            .and_then(LlcEntry::as_home)
+            .map(HomeSummary::from_entry)
     }
 }
 

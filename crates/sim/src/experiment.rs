@@ -281,7 +281,10 @@ impl ExperimentRunner {
                 })
                 .collect();
             for handle in handles {
-                match handle.join().expect("worker thread panicked") {
+                match handle
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                {
                     Ok(cells) => {
                         for (key, report) in cells {
                             let benchmark = key.0.clone();
@@ -346,7 +349,10 @@ impl ExperimentRunner {
                 })
                 .collect();
             for handle in handles {
-                for (key, report) in handle.join().expect("worker thread panicked") {
+                let cells = handle
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                for (key, report) in cells {
                     results.insert(key, report);
                 }
             }
@@ -382,9 +388,13 @@ impl ExperimentRunner {
     /// [`ExperimentRunner::with_registry`]) dropped one of the built-in
     /// schemes of the sweep.
     pub fn run_paper_comparison(&self) -> SchemeComparison {
-        let results = self
-            .run_matrix(&Self::paper_sweep())
-            .expect("the paper sweep must be registered (is a custom registry missing built-ins?)");
+        let results = match self.run_matrix(&Self::paper_sweep()) {
+            Ok(results) => results,
+            Err(error) => panic!(
+                "the paper sweep must be registered \
+                 (is a custom registry missing built-ins?): {error}"
+            ),
+        };
         SchemeComparison::from_results(self.suite.benchmarks().to_vec(), results)
     }
 }

@@ -160,7 +160,9 @@ impl TraceGenerator {
     ///
     /// Panics if the profile fails validation.
     pub fn new(profile: BenchmarkProfile) -> Self {
-        profile.validate().expect("benchmark profile must be valid");
+        if let Err(error) = profile.validate() {
+            panic!("benchmark profile must be valid: {error}");
+        }
         TraceGenerator { profile }
     }
 

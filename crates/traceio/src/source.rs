@@ -173,7 +173,10 @@ impl GeneratorSource {
                 self.seed,
             ));
         }
-        self.trace.as_ref().expect("just generated")
+        match self.trace.as_ref() {
+            Some(trace) => trace,
+            None => unreachable!("just generated"),
+        }
     }
 }
 
@@ -193,7 +196,9 @@ impl TraceSource for GeneratorSource {
 
     fn next_for_core(&mut self, core: CoreId) -> Result<Option<MemoryAccess>, TraceError> {
         self.trace();
-        let trace = self.trace.as_ref().expect("materialized above");
+        let Some(trace) = self.trace.as_ref() else {
+            unreachable!("materialized above");
+        };
         let stream = trace.core_stream(core);
         let cursor = &mut self.cursors[core.index()];
         let access = stream.get(*cursor).copied();

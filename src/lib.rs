@@ -42,6 +42,10 @@ pub use lad_traceio as traceio;
 
 /// The types most applications of the library need.
 pub mod prelude {
+    pub use lad_check::{
+        check_view, explore, run_mutant, Event, ExploreOptions, Invariant, Model, ModelConfig,
+        Mutant, ProtocolView, Violation, SEEDED_MUTANTS,
+    };
     pub use lad_common::config::SystemConfig;
     pub use lad_common::json::JsonValue;
     pub use lad_common::types::{

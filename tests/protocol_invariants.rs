@@ -1,0 +1,260 @@
+//! The `lad-check` invariant catalog, end to end.
+//!
+//! Three suites share the catalog in `crates/check`:
+//!
+//! 1. **Coverage** — every column of the paper comparison
+//!    ([`SchemeComparison::SCHEME_ORDER`]) explores exhaustively clean on a
+//!    small configuration, so a protocol regression in any scheme fails CI
+//!    with a counterexample trace.
+//! 2. **Mutation** — every seeded protocol mutant is caught by the
+//!    invariant the seeding predicts, with a non-empty counterexample
+//!    trace (the catalog has teeth).
+//! 3. **Mirror** — the live timing engine and the abstract step relation,
+//!    driven by the same random short access sequences, stay in agreement
+//!    state-for-state through the shared [`ProtocolView`], and the
+//!    engine's runtime hook reports zero violations at every step.  This
+//!    pins the engine's runtime checking and the model's static
+//!    exploration to the same transition semantics.
+
+use locality_replication::prelude::*;
+use proptest::prelude::*;
+
+/// The exploration size for the coverage suite: 2 cores keeps even RT-8's
+/// counter-heavy state space small enough to enumerate exhaustively in a
+/// test, while the mutation suite (and `lad-check check --all` in CI) covers
+/// 3-core ACKwise behavior.
+fn coverage_config() -> ModelConfig {
+    ModelConfig {
+        cores: 2,
+        lines: 1,
+        ackwise_pointers: 2,
+    }
+}
+
+/// Expands the `Asr` pseudo-column into the registered per-level ids.
+fn registered_ids(scheme: SchemeId, registry: &SchemeRegistry) -> Vec<SchemeId> {
+    match scheme {
+        SchemeId::Asr => registry
+            .ids()
+            .filter(|id| matches!(id, SchemeId::AsrAt(_)))
+            .collect(),
+        other => vec![other],
+    }
+}
+
+#[test]
+fn every_scheme_order_column_explores_clean() {
+    let registry = SchemeRegistry::builtin();
+    for column in SchemeComparison::SCHEME_ORDER {
+        for id in registered_ids(column, &registry) {
+            let scheme = registry.get(id).expect("built-in scheme");
+            let model = Model::new(scheme, coverage_config(), None);
+            let exploration = explore(&model, ExploreOptions::default());
+            assert!(
+                !exploration.truncated,
+                "{id}: exploration truncated at {} states",
+                exploration.states
+            );
+            assert!(
+                exploration.violations.is_empty(),
+                "{id}: catalog violated:\n{}",
+                exploration.violations[0].render()
+            );
+            assert!(exploration.states > 1, "{id}: exploration did not move");
+        }
+    }
+}
+
+#[test]
+fn every_seeded_mutant_is_caught_with_a_counterexample_trace() {
+    let registry = SchemeRegistry::builtin();
+    for seeded in SEEDED_MUTANTS {
+        let outcome = run_mutant(&registry, seeded, ModelConfig::default())
+            .expect("mutant vehicles are built-in schemes");
+        assert!(
+            outcome.caught(),
+            "mutant {} escaped the catalog:\n{}",
+            seeded.mutant,
+            outcome.verdict()
+        );
+        let found = outcome
+            .exploration
+            .violations
+            .first()
+            .expect("a caught mutant has a violation");
+        assert!(
+            !found.trace.is_empty(),
+            "mutant {} was flagged without a counterexample trace",
+            seeded.mutant
+        );
+    }
+}
+
+// ----- engine ↔ model mirror ------------------------------------------------
+
+const MIRROR_CORES: usize = 4;
+const MIRROR_LINES: u64 = 4;
+
+/// Schemes whose engine path is deterministic and placement-stable (no ASR
+/// coin flips, no R-NUCA page classification), so the abstract model can
+/// mirror the engine exactly.
+const MIRROR_SCHEMES: [SchemeId; 5] = [
+    SchemeId::StaticNuca,
+    SchemeId::VictimReplication,
+    SchemeId::Rt(1),
+    SchemeId::Rt(3),
+    SchemeId::Rt(8),
+];
+
+/// One core's normalized protocol state for a line, extracted through the
+/// shared [`ProtocolView`] so the engine and the model are read identically.
+#[derive(Debug, PartialEq, Eq)]
+struct CoreSnapshot {
+    l1: Vec<MesiStateRepr>,
+    replica: Option<(MesiStateRepr, u32, bool)>,
+}
+
+type MesiStateRepr = &'static str;
+
+fn mesi_repr(state: lad_coherence::mesi::MesiState) -> MesiStateRepr {
+    use lad_coherence::mesi::MesiState;
+    match state {
+        MesiState::Modified => "M",
+        MesiState::Exclusive => "E",
+        MesiState::Shared => "S",
+        MesiState::Invalid => "I",
+    }
+}
+
+fn core_snapshot(view: &dyn ProtocolView, core: CoreId, line: CacheLine) -> CoreSnapshot {
+    let mut l1: Vec<MesiStateRepr> = view
+        .l1_states(core, line)
+        .into_iter()
+        .filter(|s| s.is_valid())
+        .map(mesi_repr)
+        .collect();
+    l1.sort_unstable();
+    let replica = view
+        .replica(core, line)
+        .filter(|rep| rep.state.is_valid())
+        .map(|rep| (mesi_repr(rep.state), rep.reuse.value(), rep.dirty));
+    CoreSnapshot { l1, replica }
+}
+
+/// The home directory's normalized state for a line, order-insensitive.
+#[derive(Debug, PartialEq, Eq)]
+struct HomeSnapshot {
+    slice: CoreId,
+    exclusive: bool,
+    owner: Option<CoreId>,
+    sharer_count: usize,
+    tracked: Vec<CoreId>,
+    global: bool,
+    classifier: Vec<(CoreId, String, u32, bool)>,
+}
+
+fn home_snapshot(view: &dyn ProtocolView, line: CacheLine) -> Option<HomeSnapshot> {
+    let slice = view.home_slice(line, CoreId::new(0));
+    let summary = view.home_at(line, slice)?;
+    let mut tracked = summary.tracked.clone();
+    tracked.sort_unstable_by_key(|c| c.index());
+    let mut classifier: Vec<(CoreId, String, u32, bool)> = summary
+        .classifier
+        .iter()
+        .map(|t| (t.core, format!("{:?}", t.mode), t.home_reuse, t.active))
+        .collect();
+    classifier.sort_unstable_by_key(|(core, ..)| core.index());
+    Some(HomeSnapshot {
+        slice,
+        exclusive: summary.exclusive,
+        owner: summary.owner,
+        sharer_count: summary.sharer_count,
+        tracked,
+        global: summary.global,
+        classifier,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every access of a random short sequence, the engine (stepped
+    /// through its public API) and the abstract model (stepped through its
+    /// declarative event relation) expose identical protocol state through
+    /// the shared [`ProtocolView`], and the engine's runtime catalog check
+    /// finds nothing.
+    #[test]
+    fn engine_and_model_agree_on_random_short_sequences(
+        raw in prop::collection::vec(
+            (0..MIRROR_CORES, 0..MIRROR_LINES, any::<bool>()),
+            1..60,
+        ),
+        scheme_idx in 0usize..MIRROR_SCHEMES.len(),
+    ) {
+        let id = MIRROR_SCHEMES[scheme_idx];
+        let registry = SchemeRegistry::builtin();
+        let scheme = registry.get(id).expect("built-in scheme");
+
+        let system = SystemConfig::small_test().with_num_cores(MIRROR_CORES);
+        let ackwise_pointers = system.ackwise_pointers;
+        let mut sim = Simulator::new(system, scheme.config.clone());
+        sim.begin("MIRROR", MIRROR_CORES);
+
+        let model = Model::new(
+            scheme,
+            ModelConfig {
+                cores: MIRROR_CORES,
+                lines: MIRROR_LINES as usize,
+                ackwise_pointers,
+            },
+            None,
+        );
+        let mut state = model.initial();
+
+        for (step, &(core, line, is_write)) in raw.iter().enumerate() {
+            let core_id = CoreId::new(core);
+            let cache_line = CacheLine::from_index(line);
+            let address = Address::new(line * 64);
+            let access = if is_write {
+                MemoryAccess::write(core_id, address)
+            } else {
+                MemoryAccess::read(core_id, address)
+            };
+            sim.step(&access.with_class(DataClass::SharedReadWrite));
+            let event = if is_write {
+                Event::Write { core: core_id, line: cache_line }
+            } else {
+                Event::Read { core: core_id, line: cache_line }
+            };
+            model.apply(&mut state, event);
+
+            let engine_view = sim.protocol_view();
+            let model_view = model.view(&state);
+            for l in 0..MIRROR_LINES {
+                let cl = CacheLine::from_index(l);
+                prop_assert_eq!(
+                    home_snapshot(&engine_view, cl),
+                    home_snapshot(&model_view, cl),
+                    "{}: home state diverged for line {} after step {} ({:?})",
+                    id, l, step, raw[..=step].to_vec()
+                );
+                for c in 0..MIRROR_CORES {
+                    let cid = CoreId::new(c);
+                    prop_assert_eq!(
+                        core_snapshot(&engine_view, cid, cl),
+                        core_snapshot(&model_view, cid, cl),
+                        "{}: core {} diverged for line {} after step {} ({:?})",
+                        id, c, l, step, raw[..=step].to_vec()
+                    );
+                }
+            }
+
+            let violations = sim.check_protocol_invariants();
+            prop_assert!(
+                violations.is_empty(),
+                "{}: runtime catalog violated after step {}: {}",
+                id, step, violations[0]
+            );
+        }
+    }
+}
