@@ -110,3 +110,80 @@ fn fig7_completion_comparison_roundtrips() {
 fn headline_summary_comparison_roundtrips() {
     assert_comparison_roundtrips("headline_summary", env!("CARGO_BIN_EXE_headline_summary"));
 }
+
+/// The throughput report carries measured cells (rate > 0) plus the pre-PR
+/// reference table and derived speedups, all through the strict parser.
+#[test]
+fn bench_report_json_has_throughput_cells() {
+    let value = run_with_json("bench_report", env!("CARGO_BIN_EXE_lad-bench-report"));
+    let cells = value
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .expect("bench_report: missing cells");
+    assert!(!cells.is_empty(), "bench_report measured nothing");
+    for cell in cells {
+        let rate = cell
+            .get("accesses_per_sec")
+            .and_then(JsonValue::as_f64)
+            .expect("cell missing accesses_per_sec");
+        assert!(rate > 0.0, "non-positive throughput: {cell:?}");
+    }
+    let baseline = value
+        .get("baseline_pre_pr")
+        .and_then(|b| b.get("cells"))
+        .and_then(JsonValue::as_array)
+        .expect("bench_report: missing pre-PR baseline table");
+    assert!(!baseline.is_empty());
+    // Speedups may legitimately be empty at --quick scale (8 cores has no
+    // reference row), but the field must exist and be an array.
+    assert!(value
+        .get("speedups")
+        .and_then(JsonValue::as_array)
+        .is_some());
+}
+
+/// The committed top-level `BENCH_7.json` (the measured throughput report
+/// this repository ships) must always parse with the workspace's own strict
+/// parser and keep its measured cells well-formed — CI runs this on every
+/// push, so a hand-edit that corrupts the artifact fails the build.
+#[test]
+fn committed_bench_7_report_parses() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_7.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "committed BENCH_7.json missing at {}: {err}",
+            path.display()
+        )
+    });
+    let value = JsonValue::parse(&text)
+        .unwrap_or_else(|err| panic!("committed BENCH_7.json does not parse: {err}"));
+    assert_eq!(
+        value.get("figure").and_then(JsonValue::as_str),
+        Some("bench_report")
+    );
+    let cells = value
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .expect("committed BENCH_7.json has no cells");
+    // The committed report covers the full sweep: 3 core counts x 7 schemes.
+    assert_eq!(
+        cells.len(),
+        21,
+        "committed report must cover the full sweep"
+    );
+    for cell in cells {
+        assert!(
+            cell.get("accesses_per_sec")
+                .and_then(JsonValue::as_f64)
+                .is_some_and(|rate| rate > 0.0),
+            "cell without positive throughput: {cell:?}"
+        );
+    }
+    assert!(!value
+        .get("speedups")
+        .and_then(JsonValue::as_array)
+        .expect("committed BENCH_7.json has no speedups")
+        .is_empty());
+}

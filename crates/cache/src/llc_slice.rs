@@ -90,12 +90,16 @@ impl<V: SharerCount> LlcSlice<V> {
 
     /// Looks up `line`, recording a hit or miss; returns its entry on a hit.
     pub fn access(&mut self, line: CacheLine) -> Option<&mut V> {
-        if self.array.contains(line) {
-            self.hits.increment();
-            self.array.get_mut(line)
-        } else {
-            self.misses.increment();
-            None
+        // Single tag scan: get_mut both finds the way and promotes it.
+        match self.array.get_mut(line) {
+            Some(entry) => {
+                self.hits.increment();
+                Some(entry)
+            }
+            None => {
+                self.misses.increment();
+                None
+            }
         }
     }
 

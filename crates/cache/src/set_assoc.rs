@@ -8,16 +8,6 @@ use lad_common::types::CacheLine;
 
 use crate::replacement::EvictionPriority;
 
-/// One way of one set.
-#[derive(Debug, Clone)]
-struct Way<V> {
-    line: CacheLine,
-    value: V,
-    /// Monotonically increasing timestamp of the last touch; larger = more
-    /// recently used.
-    lru_stamp: u64,
-}
-
 /// A set-associative cache array mapping [`CacheLine`]s to entries of type
 /// `V`.
 ///
@@ -28,16 +18,43 @@ struct Way<V> {
 ///
 /// Set indexing uses the low-order bits of the line index, exactly as a
 /// hardware cache indexed by physical address would.
+///
+/// # Layout
+///
+/// Ways are stored struct-of-arrays style in three flat vectors (`tags`,
+/// `stamps`, `values`), each `num_sets * associativity` long, with set `s`
+/// occupying slots `s * associativity ..`.  Tag scans — the hot operation on
+/// every simulated cache access — therefore touch a handful of contiguous
+/// `u64`s instead of striding over full entries, and a slice never pays a
+/// per-set heap indirection.  A slot is vacant iff its stamp is `0` (live
+/// stamps come from a global tick that starts at `1`); vacant tags are reset
+/// to `u64::MAX` so they cannot match a lookup early.
+///
+/// Within-set slot order is immaterial to behavior: resident lines are
+/// unique within a set, and LRU stamps are globally unique, so lookups and
+/// victim selection (`min_by_key` over `(priority, stamp)`) are independent
+/// of scan order.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<V> {
-    sets: Vec<Vec<Way<V>>>,
+    /// Line index per slot; `u64::MAX` when vacant (occupancy is decided by
+    /// `stamps`, the sentinel only prevents accidental tag matches).
+    tags: Vec<u64>,
+    /// Monotonically increasing timestamp of the last touch; larger = more
+    /// recently used.  `0` marks a vacant slot.
+    stamps: Vec<u64>,
+    values: Vec<Option<V>>,
     associativity: usize,
+    /// `num_sets - 1`; valid because the set count is a power of two, so
+    /// indexing is a mask instead of a 64-bit modulo.
+    set_mask: u64,
     /// Global LRU clock (shared across sets; only relative order within a set
-    /// matters).
+    /// matters).  Starts at `0`, so the first stamp handed out is `1`.
     clock: u64,
     /// Number of resident lines.
     len: usize,
 }
+
+const VACANT_TAG: u64 = u64::MAX;
 
 impl<V> SetAssocCache<V> {
     /// Creates an empty cache with `num_sets` sets of `associativity` ways.
@@ -53,11 +70,13 @@ impl<V> SetAssocCache<V> {
             num_sets.is_power_of_two(),
             "set count must be a power of two"
         );
+        let slots = num_sets * associativity;
         SetAssocCache {
-            sets: (0..num_sets)
-                .map(|_| Vec::with_capacity(associativity))
-                .collect(),
+            tags: vec![VACANT_TAG; slots],
+            stamps: vec![0; slots],
+            values: (0..slots).map(|_| None).collect(),
             associativity,
+            set_mask: num_sets as u64 - 1,
             clock: 0,
             len: 0,
         }
@@ -65,7 +84,7 @@ impl<V> SetAssocCache<V> {
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.set_mask as usize + 1
     }
 
     /// Ways per set.
@@ -75,7 +94,7 @@ impl<V> SetAssocCache<V> {
 
     /// Total capacity in lines.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.associativity
+        self.tags.len()
     }
 
     /// Number of currently resident lines.
@@ -88,8 +107,9 @@ impl<V> SetAssocCache<V> {
         self.len == 0
     }
 
-    fn set_index(&self, line: CacheLine) -> usize {
-        (line.index() % self.sets.len() as u64) as usize
+    /// First slot of the set that `line` maps to.
+    fn set_base(&self, line: CacheLine) -> usize {
+        (line.index() & self.set_mask) as usize * self.associativity
     }
 
     fn tick(&mut self) -> u64 {
@@ -97,49 +117,46 @@ impl<V> SetAssocCache<V> {
         self.clock
     }
 
+    /// Slot holding `line`, or `None` on a miss.
+    fn slot_of(&self, line: CacheLine) -> Option<usize> {
+        let base = self.set_base(line);
+        let tag = line.index();
+        (base..base + self.associativity)
+            .find(|&slot| self.tags[slot] == tag && self.stamps[slot] != 0)
+    }
+
     /// Returns a reference to the entry for `line` and promotes it to
     /// most-recently-used, or `None` on a miss.
     pub fn get(&mut self, line: CacheLine) -> Option<&V> {
-        let stamp = self.tick();
-        let set = self.set_index(line);
-        let way = self.sets[set].iter_mut().find(|w| w.line == line)?;
-        way.lru_stamp = stamp;
-        Some(&way.value)
+        let slot = self.slot_of(line)?;
+        self.stamps[slot] = self.tick();
+        self.values[slot].as_ref()
     }
 
     /// Returns a mutable reference to the entry for `line` and promotes it to
     /// most-recently-used, or `None` on a miss.
     pub fn get_mut(&mut self, line: CacheLine) -> Option<&mut V> {
-        let stamp = self.tick();
-        let set = self.set_index(line);
-        let way = self.sets[set].iter_mut().find(|w| w.line == line)?;
-        way.lru_stamp = stamp;
-        Some(&mut way.value)
+        let slot = self.slot_of(line)?;
+        self.stamps[slot] = self.tick();
+        self.values[slot].as_mut()
     }
 
     /// Returns a reference to the entry for `line` *without* updating the LRU
     /// state (a probe, e.g. an asynchronous coherence lookup).
     pub fn peek(&self, line: CacheLine) -> Option<&V> {
-        let set = self.set_index(line);
-        self.sets[set]
-            .iter()
-            .find(|w| w.line == line)
-            .map(|w| &w.value)
+        self.values[self.slot_of(line)?].as_ref()
     }
 
     /// Returns a mutable reference to the entry for `line` without updating
     /// the LRU state.
     pub fn peek_mut(&mut self, line: CacheLine) -> Option<&mut V> {
-        let set = self.set_index(line);
-        self.sets[set]
-            .iter_mut()
-            .find(|w| w.line == line)
-            .map(|w| &mut w.value)
+        let slot = self.slot_of(line)?;
+        self.values[slot].as_mut()
     }
 
     /// Returns `true` if `line` is resident.
     pub fn contains(&self, line: CacheLine) -> bool {
-        self.peek(line).is_some()
+        self.slot_of(line).is_some()
     }
 
     /// Inserts `value` for `line`, evicting a victim from the target set if
@@ -158,44 +175,50 @@ impl<V> SetAssocCache<V> {
         P: EvictionPriority<V> + ?Sized,
     {
         let stamp = self.tick();
-        let set_idx = self.set_index(line);
+        let base = self.set_base(line);
         let assoc = self.associativity;
-        let set = &mut self.sets[set_idx];
+        let tag = line.index();
 
-        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
-            way.value = value;
-            way.lru_stamp = stamp;
-            return None;
+        let mut vacant = None;
+        for slot in base..base + assoc {
+            if self.stamps[slot] == 0 {
+                vacant = Some(slot);
+            } else if self.tags[slot] == tag {
+                self.values[slot] = Some(value);
+                self.stamps[slot] = stamp;
+                return None;
+            }
         }
 
-        if set.len() < assoc {
-            set.push(Way {
-                line,
-                value,
-                lru_stamp: stamp,
-            });
+        if let Some(slot) = vacant {
+            self.tags[slot] = tag;
+            self.stamps[slot] = stamp;
+            self.values[slot] = Some(value);
             self.len += 1;
             return None;
         }
 
-        // Victim: lowest (priority, lru_stamp).
-        let victim_idx = match set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| (policy.priority(&w.value), w.lru_stamp))
-        {
-            Some((i, _)) => i,
+        // Victim: lowest (priority, lru_stamp).  Stamps are globally unique,
+        // so the choice does not depend on slot order.
+        let victim_slot = match (base..base + assoc).min_by_key(|&slot| {
+            let priority = match &self.values[slot] {
+                Some(v) => policy.priority(v),
+                None => unreachable!("occupied slot has a value"),
+            };
+            (priority, self.stamps[slot])
+        }) {
+            Some(slot) => slot,
             None => unreachable!("set is full, so non-empty"),
         };
-        let victim = std::mem::replace(
-            &mut set[victim_idx],
-            Way {
-                line,
-                value,
-                lru_stamp: stamp,
-            },
-        );
-        Some((victim.line, victim.value))
+        let victim_line = CacheLine::from_index(self.tags[victim_slot]);
+        let victim_value = match self.values[victim_slot].take() {
+            Some(v) => v,
+            None => unreachable!("occupied slot has a value"),
+        };
+        self.tags[victim_slot] = tag;
+        self.stamps[victim_slot] = stamp;
+        self.values[victim_slot] = Some(value);
+        Some((victim_line, victim_value))
     }
 
     /// Selects (without removing) the victim that [`SetAssocCache::insert`]
@@ -205,57 +228,94 @@ impl<V> SetAssocCache<V> {
     where
         P: EvictionPriority<V> + ?Sized,
     {
-        let set = &self.sets[self.set_index(line)];
-        if set.len() < self.associativity || set.iter().any(|w| w.line == line) {
-            return None;
+        let base = self.set_base(line);
+        let assoc = self.associativity;
+        let tag = line.index();
+        for slot in base..base + assoc {
+            if self.stamps[slot] == 0 || self.tags[slot] == tag {
+                return None;
+            }
         }
-        set.iter()
-            .min_by_key(|w| (policy.priority(&w.value), w.lru_stamp))
-            .map(|w| (w.line, &w.value))
+        (base..base + assoc)
+            .min_by_key(|&slot| {
+                let priority = match &self.values[slot] {
+                    Some(v) => policy.priority(v),
+                    None => unreachable!("occupied slot has a value"),
+                };
+                (priority, self.stamps[slot])
+            })
+            .and_then(|slot| {
+                self.values[slot]
+                    .as_ref()
+                    .map(|v| (CacheLine::from_index(self.tags[slot]), v))
+            })
     }
 
     /// Removes `line` and returns its entry, or `None` if it was not
     /// resident.
     pub fn remove(&mut self, line: CacheLine) -> Option<V> {
-        let set_idx = self.set_index(line);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|w| w.line == line)?;
+        let slot = self.slot_of(line)?;
         self.len -= 1;
-        Some(set.swap_remove(pos).value)
+        self.tags[slot] = VACANT_TAG;
+        self.stamps[slot] = 0;
+        self.values[slot].take()
     }
 
     /// Removes every entry, leaving the geometry unchanged.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        self.tags.fill(VACANT_TAG);
+        self.stamps.fill(0);
+        for value in &mut self.values {
+            *value = None;
         }
         self.len = 0;
     }
 
     /// Iterates over all resident `(line, entry)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (CacheLine, &V)> {
-        self.sets.iter().flatten().map(|w| (w.line, &w.value))
+        self.tags
+            .iter()
+            .zip(&self.stamps)
+            .zip(&self.values)
+            .filter(|((_, stamp), _)| **stamp != 0)
+            .filter_map(|((tag, _), value)| {
+                value.as_ref().map(|v| (CacheLine::from_index(*tag), v))
+            })
     }
 
     /// Iterates mutably over all resident `(line, entry)` pairs.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (CacheLine, &mut V)> {
-        self.sets
-            .iter_mut()
-            .flatten()
-            .map(|w| (w.line, &mut w.value))
+        self.tags
+            .iter()
+            .zip(&self.stamps)
+            .zip(&mut self.values)
+            .filter(|((_, stamp), _)| **stamp != 0)
+            .filter_map(|((tag, _), value)| {
+                value.as_mut().map(|v| (CacheLine::from_index(*tag), v))
+            })
     }
 
     /// Occupancy of the set that `line` maps to, as `(resident, ways)`.
     pub fn set_occupancy(&self, line: CacheLine) -> (usize, usize) {
-        (self.sets[self.set_index(line)].len(), self.associativity)
+        let base = self.set_base(line);
+        let resident = (base..base + self.associativity)
+            .filter(|&slot| self.stamps[slot] != 0)
+            .count();
+        (resident, self.associativity)
     }
 
     /// Lines resident in the same set as `line` (including `line` itself if
     /// resident), most recently used last.
     pub fn set_contents(&self, line: CacheLine) -> Vec<CacheLine> {
-        let mut ways: Vec<&Way<V>> = self.sets[self.set_index(line)].iter().collect();
-        ways.sort_by_key(|w| w.lru_stamp);
-        ways.into_iter().map(|w| w.line).collect()
+        let base = self.set_base(line);
+        let mut ways: Vec<(u64, u64)> = (base..base + self.associativity)
+            .filter(|&slot| self.stamps[slot] != 0)
+            .map(|slot| (self.stamps[slot], self.tags[slot]))
+            .collect();
+        ways.sort_unstable();
+        ways.into_iter()
+            .map(|(_, tag)| CacheLine::from_index(tag))
+            .collect()
     }
 
     /// Collects the resident lines into a map (diagnostics / tests).
@@ -263,7 +323,6 @@ impl<V> SetAssocCache<V> {
         self.iter().collect()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

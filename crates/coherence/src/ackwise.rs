@@ -7,6 +7,8 @@
 //! acknowledgements to expect — this is what keeps the protocol correct
 //! without a full bit-vector.
 
+use std::fmt;
+
 use lad_common::types::CoreId;
 
 /// Who must be sent invalidations for a line.
@@ -42,10 +44,91 @@ impl InvalidationTargets {
     }
 }
 
+/// Hardware pointer budgets up to this size are stored inline in the
+/// directory entry, so creating or dropping an entry costs no heap traffic
+/// (one entry is created per LLC fill — a very hot path).  Larger budgets
+/// fall back to a heap vector.
+const INLINE_POINTERS: usize = 8;
+
+/// Backing store for the pointer list: a fixed inline array for the common
+/// small budgets (ACKwise_p with p ≤ 8), a heap vector beyond that.
+#[derive(Clone)]
+enum Pointers {
+    Inline {
+        slots: [CoreId; INLINE_POINTERS],
+        len: u8,
+    },
+    Heap(Vec<CoreId>),
+}
+
+impl Pointers {
+    fn new(max_pointers: usize) -> Self {
+        if max_pointers <= INLINE_POINTERS {
+            Pointers::Inline {
+                slots: [CoreId::new(0); INLINE_POINTERS],
+                len: 0,
+            }
+        } else {
+            Pointers::Heap(Vec::with_capacity(max_pointers))
+        }
+    }
+
+    fn as_slice(&self) -> &[CoreId] {
+        match self {
+            Pointers::Inline { slots, len } => &slots[..*len as usize],
+            Pointers::Heap(v) => v,
+        }
+    }
+
+    /// Appends `core`; the caller guarantees the budget has room.
+    fn push(&mut self, core: CoreId) {
+        match self {
+            Pointers::Inline { slots, len } => {
+                slots[*len as usize] = core;
+                *len += 1;
+            }
+            Pointers::Heap(v) => v.push(core),
+        }
+    }
+
+    fn swap_remove(&mut self, pos: usize) {
+        match self {
+            Pointers::Inline { slots, len } => {
+                *len -= 1;
+                slots[pos] = slots[*len as usize];
+            }
+            Pointers::Heap(v) => {
+                v.swap_remove(pos);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Pointers::Inline { len, .. } => *len = 0,
+            Pointers::Heap(v) => v.clear(),
+        }
+    }
+}
+
+impl fmt::Debug for Pointers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for Pointers {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Pointers {}
+
 /// A limited-pointer sharer list with `p` hardware pointers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AckwiseSharers {
-    pointers: Vec<CoreId>,
+    pointers: Pointers,
     max_pointers: usize,
     /// In global mode the pointer list is no longer exhaustive; only the
     /// count below is meaningful.
@@ -63,7 +146,7 @@ impl AckwiseSharers {
     pub fn new(max_pointers: usize) -> Self {
         assert!(max_pointers > 0, "ACKwise needs at least one pointer");
         AckwiseSharers {
-            pointers: Vec::with_capacity(max_pointers),
+            pointers: Pointers::new(max_pointers),
             max_pointers,
             global: false,
             count: 0,
@@ -94,23 +177,23 @@ impl AckwiseSharers {
     /// return `false` for an actual sharer whose pointer was dropped; the
     /// protocol treats "unknown" conservatively.
     pub fn is_tracked_sharer(&self, core: CoreId) -> bool {
-        self.pointers.contains(&core)
+        self.pointers.as_slice().contains(&core)
     }
 
     /// Adds `core` as a sharer (idempotent).
     pub fn add(&mut self, core: CoreId) {
-        if self.pointers.contains(&core) {
+        if self.pointers.as_slice().contains(&core) {
             return;
         }
         if self.global {
             // Count it; pointers are best-effort in global mode.
             self.count += 1;
-            if self.pointers.len() < self.max_pointers {
+            if self.pointers.as_slice().len() < self.max_pointers {
                 self.pointers.push(core);
             }
             return;
         }
-        if self.pointers.len() < self.max_pointers {
+        if self.pointers.as_slice().len() < self.max_pointers {
             self.pointers.push(core);
             self.count += 1;
         } else {
@@ -125,13 +208,13 @@ impl AckwiseSharers {
     /// count, because the home only learns about them through their
     /// acknowledgements.
     pub fn remove(&mut self, core: CoreId) {
-        if let Some(pos) = self.pointers.iter().position(|c| *c == core) {
+        if let Some(pos) = self.pointers.as_slice().iter().position(|c| *c == core) {
             self.pointers.swap_remove(pos);
             self.count = self.count.saturating_sub(1);
         } else if self.global && self.count > 0 {
             self.count -= 1;
         }
-        if self.count <= self.pointers.len() {
+        if self.count <= self.pointers.as_slice().len() {
             // All remaining sharers are tracked again; leave global mode.
             self.global = false;
         }
@@ -150,7 +233,7 @@ impl AckwiseSharers {
 
     /// The tracked sharers (exhaustive unless [`AckwiseSharers::is_global`]).
     pub fn tracked(&self) -> &[CoreId] {
-        &self.pointers
+        self.pointers.as_slice()
     }
 
     /// Checks the list's local invariants (the `ackwise-pointer-capacity`
@@ -162,33 +245,33 @@ impl AckwiseSharers {
     /// Returns the catalog name and a description of the first violated
     /// invariant, or `None` when the state is consistent.
     pub fn local_invariant_error(&self) -> Option<(&'static str, String)> {
-        if self.pointers.len() > self.max_pointers {
+        if self.pointers.as_slice().len() > self.max_pointers {
             return Some((
                 "ackwise-pointer-capacity",
                 format!(
                     "{} pointers tracked but only {} exist",
-                    self.pointers.len(),
+                    self.pointers.as_slice().len(),
                     self.max_pointers
                 ),
             ));
         }
-        if !self.global && self.count != self.pointers.len() {
+        if !self.global && self.count != self.pointers.as_slice().len() {
             return Some((
                 "ackwise-pointer-capacity",
                 format!(
                     "exact mode but count {} != {} tracked pointers",
                     self.count,
-                    self.pointers.len()
+                    self.pointers.as_slice().len()
                 ),
             ));
         }
-        if self.global && self.count <= self.pointers.len() {
+        if self.global && self.count <= self.pointers.as_slice().len() {
             return Some((
                 "ackwise-pointer-capacity",
                 format!(
                     "global mode but count {} fits the {} tracked pointers",
                     self.count,
-                    self.pointers.len()
+                    self.pointers.as_slice().len()
                 ),
             ));
         }
@@ -199,7 +282,8 @@ impl AckwiseSharers {
     /// ownership.  The requester itself is never included.
     pub fn invalidation_targets(&self, requester: CoreId) -> InvalidationTargets {
         if self.global {
-            let holds_copy = self.is_tracked_sharer(requester) || self.count > self.pointers.len();
+            let holds_copy =
+                self.is_tracked_sharer(requester) || self.count > self.pointers.as_slice().len();
             let expected = if holds_copy && self.is_tracked_sharer(requester) {
                 self.count - 1
             } else if self.count > 0 && !self.is_tracked_sharer(requester) {
@@ -218,6 +302,7 @@ impl AckwiseSharers {
         } else {
             InvalidationTargets::Exact(
                 self.pointers
+                    .as_slice()
                     .iter()
                     .copied()
                     .filter(|c| *c != requester)

@@ -12,6 +12,8 @@
 //!   metric collection of the simulator and the experiment harness.
 //! * [`rng`] — a small deterministic random-number facade so that every
 //!   simulation and workload generator is reproducible from a seed.
+//! * [`collections`] — fixed-seed fast hash maps ([`collections::FastMap`])
+//!   for simulator hot paths where `SipHash` is too slow.
 //! * [`json`] — a dependency-free JSON document model (serializer + strict
 //!   parser) used for the machine-readable experiment reports.
 //!
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collections;
 pub mod config;
 pub mod json;
 pub mod rng;

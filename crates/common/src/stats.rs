@@ -59,19 +59,30 @@ impl fmt::Display for Counter {
     }
 }
 
-/// A histogram over `u64` sample values with exact (sparse) buckets.
+/// A histogram over `u64` sample values with exact buckets.
 ///
 /// Used for run-length distributions (Figure 1) and queueing-delay
 /// diagnostics.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Values below [`Histogram::DENSE_LIMIT`] are counted in a flat array
+/// (recording is one bounds check and an increment — this sits on the
+/// network-latency hot path, one sample per message); the rare large
+/// values spill into a sparse tree map.  The split is invisible to the
+/// API: iteration, equality and `Debug` output are defined over the
+/// logical `(value, count)` contents.
+#[derive(Clone, Default)]
 pub struct Histogram {
-    buckets: BTreeMap<u64, u64>,
+    dense: Vec<u64>,
+    sparse: BTreeMap<u64, u64>,
     count: u64,
     sum: u128,
     max: u64,
 }
 
 impl Histogram {
+    /// Values strictly below this are stored in the dense array.
+    pub const DENSE_LIMIT: u64 = 1024;
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Self::default()
@@ -79,10 +90,7 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        *self.buckets.entry(value).or_insert(0) += 1;
-        self.count += 1;
-        self.sum += value as u128;
-        self.max = self.max.max(value);
+        self.record_weighted(value, 1);
     }
 
     /// Records `weight` occurrences of `value`.
@@ -90,7 +98,15 @@ impl Histogram {
         if weight == 0 {
             return;
         }
-        *self.buckets.entry(value).or_insert(0) += weight;
+        if value < Self::DENSE_LIMIT {
+            let idx = value as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0);
+            }
+            self.dense[idx] += weight;
+        } else {
+            *self.sparse.entry(value).or_insert(0) += weight;
+        }
         self.count += weight;
         self.sum += value as u128 * weight as u128;
         self.max = self.max.max(value);
@@ -115,19 +131,38 @@ impl Histogram {
         self.max
     }
 
-    /// Total number of samples whose value lies in `range` (inclusive bounds).
+    /// Total number of samples whose value lies in `[low, high]` (inclusive).
     pub fn count_in(&self, low: u64, high: u64) -> u64 {
-        self.buckets.range(low..=high).map(|(_, c)| *c).sum()
+        if low > high {
+            return 0;
+        }
+        let mut total = 0;
+        if low < Self::DENSE_LIMIT && !self.dense.is_empty() {
+            let hi = high.min(self.dense.len() as u64 - 1);
+            if low <= hi {
+                total += self.dense[low as usize..=hi as usize].iter().sum::<u64>();
+            }
+        }
+        if high >= Self::DENSE_LIMIT {
+            let lo = low.max(Self::DENSE_LIMIT);
+            total += self.sparse.range(lo..=high).map(|(_, c)| *c).sum::<u64>();
+        }
+        total
     }
 
     /// Total number of samples whose value is `>= low`.
     pub fn count_at_least(&self, low: u64) -> u64 {
-        self.buckets.range(low..).map(|(_, c)| *c).sum()
+        self.count_in(low, u64::MAX)
     }
 
     /// Iterates over `(value, count)` pairs in increasing value order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets.iter().map(|(v, c)| (*v, *c))
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(v, c)| (v as u64, *c))
+            .chain(self.sparse.iter().map(|(v, c)| (*v, *c)))
     }
 
     /// Merges another histogram into this one.
@@ -135,6 +170,34 @@ impl Histogram {
         for (value, count) in other.iter() {
             self.record_weighted(value, count);
         }
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.max == other.max
+            && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Histogram {}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Buckets<'a>(&'a Histogram);
+        impl fmt::Debug for Buckets<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_map().entries(self.0.iter()).finish()
+            }
+        }
+        f.debug_struct("Histogram")
+            .field("buckets", &Buckets(self))
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .finish()
     }
 }
 
@@ -276,6 +339,53 @@ mod tests {
     #[test]
     fn histogram_empty_mean_is_none() {
         assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn histogram_dense_sparse_boundary() {
+        let mut h = Histogram::new();
+        let lim = Histogram::DENSE_LIMIT;
+        for v in [0, 1, lim - 1, lim, lim + 5, 1 << 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1 << 40);
+        assert_eq!(h.count_in(0, lim - 1), 3);
+        assert_eq!(h.count_in(lim, lim + 5), 2);
+        assert_eq!(h.count_at_least(lim), 3);
+        assert_eq!(h.count_at_least(0), 6);
+        assert_eq!(h.count_in(5, 4), 0);
+        // Iteration crosses the dense/sparse boundary in value order.
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (0, 1),
+                (1, 1),
+                (lim - 1, 1),
+                (lim, 1),
+                (lim + 5, 1),
+                (1 << 40, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_equality_is_logical() {
+        // Same logical contents recorded in different orders compare equal,
+        // and the Debug form (used by determinism tests) matches too.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3, 2000, 3, 7] {
+            a.record(v);
+        }
+        for v in [7, 3, 3, 2000] {
+            b.record(v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        b.record(9);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -19,9 +19,9 @@
 //! the effect the paper highlights for BLACKSCHOLES.
 
 // The page table is point-lookup-only state; its iteration order never
-// feeds a report.  lad-lint: allow(hashmap)
-use std::collections::HashMap;
-
+// feeds a report.  `FastMap`'s fixed-seed hasher keeps lookups cheap on the
+// per-access `home_for` path.
+use lad_common::collections::FastMap;
 use lad_common::types::{CacheLine, CoreId};
 
 /// Classification of one page.
@@ -58,7 +58,7 @@ pub struct HomeMap {
     num_cores: usize,
     line_bytes: usize,
     page_bytes: usize,
-    pages: HashMap<u64, PageKind>,
+    pages: FastMap<u64, PageKind>,
 }
 
 impl HomeMap {
@@ -91,7 +91,7 @@ impl HomeMap {
             num_cores,
             line_bytes,
             page_bytes,
-            pages: HashMap::new(),
+            pages: FastMap::default(),
         }
     }
 

@@ -29,18 +29,32 @@ pub enum BatchSize {
     LargeInput,
 }
 
+/// Work performed per benchmark iteration, used to derive a rate from the
+/// mean iteration time (mirroring `criterion::Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements (e.g. memory
+    /// accesses); the report adds an elements-per-second rate.
+    Elements(u64),
+    /// The iteration processes this many bytes; the report adds a
+    /// bytes-per-second rate.
+    Bytes(u64),
+}
+
 /// Drives the timed iterations of one benchmark.
 #[derive(Debug)]
 pub struct Bencher {
     iterations: u64,
     total_nanos: u128,
+    throughput: Option<Throughput>,
 }
 
 impl Bencher {
-    fn new(iterations: u64) -> Self {
+    fn new(iterations: u64, throughput: Option<Throughput>) -> Self {
         Bencher {
             iterations,
             total_nanos: 0,
+            throughput,
         }
     }
 
@@ -70,8 +84,17 @@ impl Bencher {
 
     fn report(&self, name: &str) {
         let mean = self.total_nanos / u128::from(self.iterations.max(1));
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0 => {
+                format!(", {:.0} elem/s", n as f64 * 1e9 / mean as f64)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0 => {
+                format!(", {:.0} bytes/s", n as f64 * 1e9 / mean as f64)
+            }
+            _ => String::new(),
+        };
         println!(
-            "bench {name:<45} {} iters, mean {mean} ns/iter",
+            "bench {name:<45} {} iters, mean {mean} ns/iter{rate}",
             self.iterations
         );
     }
@@ -94,7 +117,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Registers and immediately runs one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut bencher = Bencher::new(self.iterations);
+        let mut bencher = Bencher::new(self.iterations, None);
         f(&mut bencher);
         bencher.report(name);
         self
@@ -105,6 +128,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.to_string(),
+            throughput: None,
         }
     }
 }
@@ -114,6 +138,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -123,10 +148,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the work per iteration for subsequent benchmarks of this
+    /// group, so reports include a derived rate (e.g. accesses per second).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Registers and immediately runs one benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
-        self.criterion.bench_function(&full, f);
+        let mut bencher = Bencher::new(self.criterion.iterations, self.throughput);
+        f(&mut bencher);
+        bencher.report(&full);
         self
     }
 

@@ -110,7 +110,7 @@ impl Network {
     /// take zero network time.
     pub fn send(&mut self, src: CoreId, dst: CoreId, kind: MessageKind, now: Cycle) -> Delivery {
         let flits = self.message_flits(kind);
-        let route = self.mesh.route(src, dst);
+        let route = self.mesh.route_iter(src, dst);
         let hops = route.len();
 
         let mut arrival = now;
@@ -118,8 +118,8 @@ impl Network {
             // Serialization: the tail flit leaves (flits - 1) cycles after the
             // head flit.
             let mut head_time = now;
-            for link in &route {
-                let link_state = &mut self.links[*link];
+            for link in route {
+                let link_state = &mut self.links[link];
                 if self.model_contention {
                     let start = head_time.max(link_state.busy_until);
                     let finish = start + self.hop_latency as u64 + (flits - 1) as u64;

@@ -79,41 +79,26 @@ impl Mesh {
         sx.abs_diff(dx) + sy.abs_diff(dy)
     }
 
-    /// Direction of one hop.
-    fn link_id(&self, x: usize, y: usize, direction: usize) -> LinkId {
-        (y * self.width + x) * 4 + direction
-    }
-
     /// The sequence of unidirectional links traversed by an XY-routed message
     /// from `src` to `dst` (X first, then Y).  Empty if `src == dst`.
     pub fn route(&self, src: CoreId, dst: CoreId) -> Vec<LinkId> {
-        const EAST: usize = 0;
-        const WEST: usize = 1;
-        const NORTH: usize = 2; // towards larger y
-        const SOUTH: usize = 3; // towards smaller y
+        self.route_iter(src, dst).collect()
+    }
 
-        let (mut x, mut y) = self.position(src);
+    /// Iterator form of [`Mesh::route`]: yields the same links in the same
+    /// order without allocating.  This is the hot path of
+    /// [`Network::send`](crate::Network::send) — one message per coherence
+    /// hop, several hops per L1 miss.
+    pub fn route_iter(&self, src: CoreId, dst: CoreId) -> RouteIter {
+        let (x, y) = self.position(src);
         let (dx, dy) = self.position(dst);
-        let mut links = Vec::with_capacity(self.hops(src, dst));
-        while x != dx {
-            if dx > x {
-                links.push(self.link_id(x, y, EAST));
-                x += 1;
-            } else {
-                links.push(self.link_id(x, y, WEST));
-                x -= 1;
-            }
+        RouteIter {
+            width: self.width,
+            x,
+            y,
+            dx,
+            dy,
         }
-        while y != dy {
-            if dy > y {
-                links.push(self.link_id(x, y, NORTH));
-                y += 1;
-            } else {
-                links.push(self.link_id(x, y, SOUTH));
-                y -= 1;
-            }
-        }
-        links
     }
 
     /// The cores of the cluster (of `cluster_size` cores) containing `core`.
@@ -161,16 +146,92 @@ impl Mesh {
     /// The designated replica-home core of `core`'s cluster for a given line:
     /// the cluster member chosen by interleaving the line index across the
     /// cluster (Reactive-NUCA's rotational interleaving analogue).
+    ///
+    /// Computes `cluster_members(core, s)[line % len]` directly — this runs
+    /// once per L1 miss under clustered schemes, so it must not build the
+    /// member list.
     pub fn cluster_slice_for_line(
         &self,
         core: CoreId,
         cluster_size: usize,
         line_index: u64,
     ) -> CoreId {
-        let members = self.cluster_members(core, cluster_size);
-        members[(line_index % members.len() as u64) as usize]
+        assert!(cluster_size > 0, "cluster size must be positive");
+        if cluster_size == 1 {
+            return core;
+        }
+        let routers = self.num_routers();
+        if cluster_size >= routers {
+            return CoreId::new((line_index % routers as u64) as usize);
+        }
+        let side = (cluster_size as f64).sqrt().round() as usize;
+        if side * side == cluster_size
+            && self.width.is_multiple_of(side)
+            && self.height.is_multiple_of(side)
+        {
+            let (x, y) = self.position(core);
+            let bx = (x / side) * side;
+            let by = (y / side) * side;
+            let k = (line_index % cluster_size as u64) as usize;
+            self.core_at(bx + k % side, by + k / side)
+        } else {
+            // Index-contiguous fallback, possibly truncated at the mesh edge.
+            let base = (core.index() / cluster_size) * cluster_size;
+            let len = (base + cluster_size).min(routers) - base;
+            CoreId::new(base + (line_index % len as u64) as usize)
+        }
     }
 }
+
+/// Non-allocating iterator over the links of one XY route
+/// (see [`Mesh::route_iter`]).
+#[derive(Debug, Clone)]
+pub struct RouteIter {
+    width: usize,
+    x: usize,
+    y: usize,
+    dx: usize,
+    dy: usize,
+}
+
+impl Iterator for RouteIter {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        const EAST: usize = 0;
+        const WEST: usize = 1;
+        const NORTH: usize = 2; // towards larger y
+        const SOUTH: usize = 3; // towards smaller y
+
+        let router = (self.y * self.width + self.x) * 4;
+        if self.x != self.dx {
+            if self.dx > self.x {
+                self.x += 1;
+                Some(router + EAST)
+            } else {
+                self.x -= 1;
+                Some(router + WEST)
+            }
+        } else if self.y != self.dy {
+            if self.dy > self.y {
+                self.y += 1;
+                Some(router + NORTH)
+            } else {
+                self.y -= 1;
+                Some(router + SOUTH)
+            }
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let hops = self.x.abs_diff(self.dx) + self.y.abs_diff(self.dy);
+        (hops, Some(hops))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {}
 
 #[cfg(test)]
 mod tests {

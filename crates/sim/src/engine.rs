@@ -7,14 +7,13 @@
 //! schemes and any out-of-crate policy registered through a
 //! [`SchemeRegistry`](lad_replication::policy::SchemeRegistry).
 
-// `line_class` and `line_busy_until` are point-lookup-only state whose
-// iteration order never feeds a report.  lad-lint: allow(hashmap)
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use lad_check::{check_view, require, violated, HomeSummary, Invariant, ProtocolView, Violation};
 use lad_coherence::ackwise::InvalidationTargets;
 use lad_coherence::mesi::MesiState;
+use lad_common::collections::FastMap;
 use lad_common::config::SystemConfig;
 use lad_common::rng::DeterministicRng;
 use lad_common::types::{CacheLine, CoreId, Cycle, DataClass, MemoryAccess};
@@ -33,6 +32,7 @@ use lad_traceio::error::TraceError;
 use lad_traceio::source::{MemorySource, TraceSource};
 
 use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
+use crate::schedule::CoreScheduler;
 use crate::tile::Tile;
 
 /// Where one memory access was served.
@@ -105,8 +105,10 @@ pub struct Simulator {
     network: Network,
     dram: DramSystem,
     home_map: HomeMap,
-    line_class: HashMap<CacheLine, DataClass>,
-    line_busy_until: HashMap<CacheLine, Cycle>,
+    // Point-lookup-only state whose iteration order never feeds a report;
+    // the fixed-seed fast maps keep the per-access lookups cheap.
+    line_class: FastMap<CacheLine, DataClass>,
+    line_busy_until: FastMap<CacheLine, Cycle>,
     rng: DeterministicRng,
 
     energy: EnergyAccounting,
@@ -218,8 +220,8 @@ impl Simulator {
             network,
             dram,
             home_map,
-            line_class: HashMap::new(),
-            line_busy_until: HashMap::new(),
+            line_class: FastMap::default(),
+            line_busy_until: FastMap::default(),
             rng: DeterministicRng::seed_from(0x5eed),
             energy: EnergyAccounting::new(),
             latency: LatencyBreakdown::default(),
@@ -373,8 +375,11 @@ impl Simulator {
         for c in 0..self.active_cores {
             latency.synchronization += completion.since(self.tiles[c].clock).value();
         }
-        let mut run_lengths = self.run_lengths.clone();
-        run_lengths.finalize();
+        // Fold open runs into cloned per-class histograms without copying
+        // the open-run tracker (one entry per live line — the bulk of the
+        // profile mid-stream).  At stream end `run_source` has already
+        // finalized in place, so this clones a handful of histograms only.
+        let run_lengths = self.run_lengths.finalized_snapshot();
 
         // Network and DRAM energy from their cumulative event counts.
         let mut energy = self.energy.clone();
@@ -480,21 +485,28 @@ impl Simulator {
         }
 
         // Execution pass: interleave cores by local time, always advancing
-        // the core that is furthest behind.
+        // the core that is furthest behind (ties to the lowest index).  A
+        // min-heap of (clock, core) replaces the per-access linear scan:
+        // stepping mutates only the issuing core's clock, so every other
+        // heap key stays valid (see `crate::schedule`).  While the stepped
+        // core's new key is still <= the heap minimum it keeps running
+        // without any heap traffic — batched dispatch.
         source.rewind()?;
         let mut pending: Vec<Option<MemoryAccess>> = Vec::with_capacity(num_cores);
+        let mut scheduler = CoreScheduler::with_capacity(num_cores);
         for core in 0..num_cores {
-            pending.push(source.next_for_core(CoreId::new(core))?);
+            let access = source.next_for_core(CoreId::new(core))?;
+            if access.is_some() {
+                scheduler.push(core, self.tiles[core].clock);
+            }
+            pending.push(access);
         }
         #[cfg(debug_assertions)]
         let mut steps_since_check: u32 = 0;
-        loop {
-            let next = (0..num_cores)
-                .filter(|&c| pending[c].is_some())
-                .min_by_key(|&c| self.tiles[c].clock);
-            let Some(core) = next else { break };
+        let mut current = scheduler.pop();
+        while let Some(core) = current {
             let Some(access) = pending[core].take() else {
-                unreachable!("filtered on is_some");
+                unreachable!("scheduled cores always have a pending access");
             };
             self.step(&access);
             pending[core] = source.next_for_core(CoreId::new(core))?;
@@ -510,9 +522,22 @@ impl Simulator {
                     self.enforce_protocol_invariants();
                 }
             }
+
+            current = if pending[core].is_none() {
+                scheduler.pop()
+            } else if scheduler.runs_next(core, self.tiles[core].clock) {
+                Some(core)
+            } else {
+                scheduler.push(core, self.tiles[core].clock);
+                scheduler.pop()
+            };
         }
         #[cfg(debug_assertions)]
         self.enforce_protocol_invariants();
+
+        // The stream has ended: close the open runs in place so the report
+        // below (and any further `report` calls) need not fold them again.
+        self.run_lengths.finalize();
 
         Ok(self.report())
     }

@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use lad_common::config::SystemConfig;
@@ -158,6 +159,14 @@ impl ExperimentRunner {
         &self.registry
     }
 
+    /// Number of worker threads actually spawned for a matrix of
+    /// `job_count` cells: the configured thread count clamped so no worker
+    /// is spawned just to find the job queue already empty, and at least
+    /// one worker even for an empty matrix.
+    fn worker_threads(&self, job_count: usize) -> usize {
+        self.threads.min(job_count).max(1)
+    }
+
     /// Runs one benchmark under one ad-hoc configuration (bypassing the
     /// registry), using the built-in policy of `config.scheme`.
     pub fn run_one(&self, benchmark: Benchmark, config: &ReplicationConfig) -> SimulationReport {
@@ -261,46 +270,65 @@ impl ExperimentRunner {
             .flat_map(|path| schemes.iter().map(move |&scheme| (path, scheme)))
             .collect();
 
-        let mut results = BTreeMap::new();
-        let mut first_error = None;
+        // Work stealing: every worker pulls the next unclaimed job index
+        // instead of owning a pre-cut chunk, so one slow trace cannot idle
+        // the other workers the way static `chunks()` partitioning did.
+        // Cells are tagged with their job index and merged in index order,
+        // so the result map and the reported error are identical no matter
+        // which worker ran which job.
+        let workers = self.worker_threads(jobs.len());
+        let next_job = AtomicUsize::new(0);
+        type ReplayCell = Result<((String, SchemeId), SimulationReport), ReplayError>;
+        let mut collected: Vec<(usize, ReplayCell)> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
-            let chunk_size = jobs.len().div_ceil(self.threads).max(1);
-            let handles: Vec<_> = jobs
-                .chunks(chunk_size)
-                .map(|chunk| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
                     let runner = self;
+                    let jobs = &jobs;
+                    let next_job = &next_job;
                     scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(path, scheme)| {
-                                let report = runner.replay_file(path, *scheme)?;
-                                Ok(((report.benchmark.clone(), *scheme), report))
-                            })
-                            .collect::<Result<Vec<_>, ReplayError>>()
+                        let mut cells: Vec<(usize, ReplayCell)> = Vec::new();
+                        loop {
+                            let index = next_job.fetch_add(1, Ordering::Relaxed);
+                            let Some((path, scheme)) = jobs.get(index) else {
+                                break;
+                            };
+                            let cell = runner
+                                .replay_file(path, *scheme)
+                                .map(|report| ((report.benchmark.clone(), *scheme), report));
+                            cells.push((index, cell));
+                        }
+                        cells
                     })
                 })
                 .collect();
             for handle in handles {
-                match handle
-                    .join()
-                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
-                {
-                    Ok(cells) => {
-                        for (key, report) in cells {
-                            let benchmark = key.0.clone();
-                            if results.insert(key, report).is_some() && first_error.is_none() {
-                                first_error = Some(ReplayError::DuplicateBenchmark { benchmark });
-                            }
-                        }
+                collected.extend(
+                    handle
+                        .join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
+                );
+            }
+        });
+        collected.sort_unstable_by_key(|(index, _)| *index);
+
+        let mut results = BTreeMap::new();
+        let mut first_error = None;
+        for (_, cell) in collected {
+            match cell {
+                Ok((key, report)) => {
+                    let benchmark = key.0.clone();
+                    if results.insert(key, report).is_some() && first_error.is_none() {
+                        first_error = Some(ReplayError::DuplicateBenchmark { benchmark });
                     }
-                    Err(err) => {
-                        if first_error.is_none() {
-                            first_error = Some(err);
-                        }
+                }
+                Err(err) => {
+                    if first_error.is_none() {
+                        first_error = Some(err);
                     }
                 }
             }
-        });
+        }
         match first_error {
             Some(err) => Err(err),
             None => Ok(results),
@@ -330,21 +358,32 @@ impl ExperimentRunner {
             .flat_map(|b| resolved.iter().map(move |(id, entry)| (*b, *id, *entry)))
             .collect();
 
+        // Same work-stealing scheme as `replay_file_matrix`: an atomic
+        // next-job index instead of static chunks, so an expensive
+        // (benchmark, scheme) cell never strands the rest of a chunk
+        // behind it.  Each cell is keyed by `(benchmark, scheme)` and every
+        // simulation is deterministic, so the BTreeMap is byte-identical
+        // however the jobs land on workers.
+        let workers = self.worker_threads(jobs.len());
+        let next_job = AtomicUsize::new(0);
         let mut results = BTreeMap::new();
         std::thread::scope(|scope| {
-            let chunk_size = jobs.len().div_ceil(self.threads).max(1);
-            let handles: Vec<_> = jobs
-                .chunks(chunk_size)
-                .map(|chunk| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
                     let runner = self;
+                    let jobs = &jobs;
+                    let next_job = &next_job;
                     scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(benchmark, id, entry)| {
-                                let report = runner.run_registered(*benchmark, entry);
-                                ((*benchmark, *id), report)
-                            })
-                            .collect::<Vec<_>>()
+                        let mut cells = Vec::new();
+                        loop {
+                            let index = next_job.fetch_add(1, Ordering::Relaxed);
+                            let Some((benchmark, id, entry)) = jobs.get(index) else {
+                                break;
+                            };
+                            let report = runner.run_registered(*benchmark, entry);
+                            cells.push(((*benchmark, *id), report));
+                        }
+                        cells
                     })
                 })
                 .collect();
@@ -843,6 +882,67 @@ mod tests {
         assert_eq!(single.completion_time, from_matrix.completion_time);
         let adhoc = runner.run_one(Benchmark::Dedup, &ReplicationConfig::static_nuca());
         assert_eq!(adhoc.completion_time, from_matrix.completion_time);
+    }
+
+    #[test]
+    fn worker_threads_are_clamped_by_job_count() {
+        let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup], 50, 1);
+        let runner = ExperimentRunner::new(SystemConfig::small_test(), suite);
+
+        // More threads than jobs: spawn one worker per job, never more.
+        assert_eq!(runner.clone().with_threads(64).worker_threads(3), 3);
+        // Fewer threads than jobs: the configured count wins.
+        assert_eq!(runner.clone().with_threads(2).worker_threads(22), 2);
+        // Degenerate inputs still spawn exactly one worker.
+        assert_eq!(runner.clone().with_threads(8).worker_threads(0), 1);
+        assert_eq!(runner.clone().with_threads(0).worker_threads(5), 1);
+
+        // And an over-threaded runner still produces a correct matrix.
+        let results = runner
+            .with_threads(64)
+            .run_matrix(&[SchemeId::StaticNuca, SchemeId::Rt(3)])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn parallel_matrix_is_byte_identical_to_sequential() {
+        // The work-stealing matrix must be a pure scheduling change: for
+        // every scheme column of the paper's figures (ASR via its level
+        // sweep), threads=1, an uneven thread count and more-threads-than-
+        // jobs must all produce byte-identical reports.
+        let suite = BenchmarkSuite::custom(vec![Benchmark::Barnes, Benchmark::Dedup], 120, 3);
+        let runner = ExperimentRunner::new(SystemConfig::small_test(), suite);
+        let sweep = ExperimentRunner::paper_sweep();
+
+        let sequential = runner.clone().with_threads(1).run_matrix(&sweep).unwrap();
+        for threads in [3, 64] {
+            let parallel = runner
+                .clone()
+                .with_threads(threads)
+                .run_matrix(&sweep)
+                .unwrap();
+            assert_eq!(
+                format!("{sequential:?}"),
+                format!("{parallel:?}"),
+                "threads={threads} must not change any report"
+            );
+        }
+
+        // Every SCHEME_ORDER column is present after the ASR collapse, and
+        // the collapsed comparisons agree too.
+        let cmp = SchemeComparison::from_results(
+            runner.suite().benchmarks().to_vec(),
+            sequential.clone(),
+        );
+        for scheme in SchemeComparison::SCHEME_ORDER {
+            for benchmark in [Benchmark::Barnes, Benchmark::Dedup] {
+                assert!(
+                    cmp.report(benchmark, scheme).is_ok(),
+                    "{scheme} missing from the sequential sweep"
+                );
+            }
+        }
     }
 
     #[test]

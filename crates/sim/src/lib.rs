@@ -40,8 +40,10 @@
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
+pub mod schedule;
 pub mod tile;
 
 pub use engine::{AccessOutcome, ServedBy, Simulator};
 pub use experiment::{ExperimentRunner, SchemeComparison};
 pub use metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
+pub use schedule::CoreScheduler;

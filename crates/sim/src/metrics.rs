@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use lad_common::collections::FastMap;
 use lad_common::json::JsonValue;
 use lad_common::stats::Histogram;
 use lad_common::types::{CacheLine, CoreId, Cycle, DataClass};
@@ -206,10 +207,13 @@ impl fmt::Display for MissBreakdown {
 /// a conflicting access by another core or an eviction.
 #[derive(Debug, Clone, Default)]
 pub struct RunLengthProfile {
-    // Ordered maps so the Debug rendering and any iteration over the profile
-    // are byte-stable across runs (HashMap order varies per process).
+    // The histograms are ordered so the Debug rendering and any iteration
+    // over the profile are byte-stable across runs.  The open-run tracker is
+    // point-lookup-only (one entry per live line, touched on every LLC
+    // access): it uses a fixed-seed fast map, and everything derived from it
+    // goes through the histograms, whose bucket sums are order-independent.
     histograms: BTreeMap<DataClass, Histogram>,
-    open_runs: BTreeMap<CacheLine, (CoreId, u64, DataClass)>,
+    open_runs: FastMap<CacheLine, (CoreId, u64, DataClass)>,
 }
 
 impl RunLengthProfile {
@@ -261,6 +265,25 @@ impl RunLengthProfile {
         let open = std::mem::take(&mut self.open_runs);
         for (_, (_, count, class)) in open {
             self.histograms.entry(class).or_default().record(count);
+        }
+    }
+
+    /// A finalized copy of this profile, leaving `self` untouched: the
+    /// per-class histograms are cloned and every open run is folded in as if
+    /// [`RunLengthProfile::finalize`] had been called.
+    ///
+    /// This is the checkpoint primitive used by `Simulator::report` — it
+    /// never clones the open-run tracker (one entry per live cache line, by
+    /// far the largest part of the profile mid-stream).  Folding order does
+    /// not matter: histogram bucket counts are commutative sums.
+    pub fn finalized_snapshot(&self) -> RunLengthProfile {
+        let mut histograms = self.histograms.clone();
+        for (_, count, class) in self.open_runs.values() {
+            histograms.entry(*class).or_default().record(*count);
+        }
+        RunLengthProfile {
+            histograms,
+            open_runs: FastMap::default(),
         }
     }
 
