@@ -16,9 +16,12 @@
 //! * `LAD_ACCESSES` — accesses per core (default: the per-count workloads
 //!   below),
 //! * `LAD_BENCH_REPS` — repetitions per cell (default 3, `--quick` 1),
+//! * `LAD_THREADS` / `--threads <N>` — worker threads for the cell sweep
+//!   (the flag wins; default 1 so wall-clock timings do not contend),
 //! * `--quick` — CI smoke scale (8 cores, 150 accesses per core, 1 rep),
 //! * `--json <path>` — write the JSON report (e.g. `BENCH_7.json`).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -77,6 +80,15 @@ fn sweep() -> Vec<(usize, usize)> {
     }
 }
 
+/// The value of `--threads <N>`, if present.
+fn threads_flag() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|arg| arg == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|value| value.parse().ok())
+}
+
 fn schemes() -> Vec<SchemeId> {
     if quick_mode() {
         vec![SchemeId::StaticNuca, SchemeId::Rt(3)]
@@ -115,49 +127,99 @@ fn main() {
         .map(String::from),
     );
 
-    let mut cells = Vec::new();
+    // One job per (workload, scheme) cell; traces are generated once per
+    // workload and shared.
+    let mut jobs = Vec::new();
     for (cores, per_core) in sweep() {
         let system = SystemConfig::paper_default().with_num_cores(cores);
-        let trace =
-            TraceGenerator::new(Benchmark::Barnes.profile()).generate(cores, per_core, SEED);
-        let accesses = trace.total_accesses();
+        let trace = Arc::new(
+            TraceGenerator::new(Benchmark::Barnes.profile()).generate(cores, per_core, SEED),
+        );
         for &scheme in &schemes {
-            let entry = registry
-                .get(scheme)
-                .unwrap_or_else(|err| panic!("builtin registry must cover the sweep: {err}"));
-            let mut best_seconds = f64::INFINITY;
-            let mut completion = 0u64;
-            for _ in 0..reps {
-                let mut sim = Simulator::with_policy_and_energy_model(
-                    system.clone(),
-                    entry.config.clone(),
-                    Arc::clone(&entry.policy),
-                    EnergyModel::paper_default(),
-                );
-                let start = Instant::now();
-                let report = sim.run(&trace);
-                let seconds = start.elapsed().as_secs_f64();
-                best_seconds = best_seconds.min(seconds);
-                completion = report.completion_time.value();
-            }
-            let rate = accesses as f64 / best_seconds;
-            csv_row([
-                cores.to_string(),
-                scheme.label(),
-                accesses.to_string(),
-                format!("{best_seconds:.4}"),
-                format!("{rate:.0}"),
-                completion.to_string(),
-            ]);
-            cells.push(JsonValue::object([
-                ("cores", JsonValue::from(cores as f64)),
-                ("scheme", JsonValue::from(scheme.label())),
-                ("accesses", JsonValue::from(accesses as f64)),
-                ("best_seconds", JsonValue::from(best_seconds)),
-                ("accesses_per_sec", JsonValue::from(rate)),
-                ("completion_time", JsonValue::from(completion as f64)),
-            ]));
+            jobs.push((cores, system.clone(), Arc::clone(&trace), scheme));
         }
+    }
+
+    // Worker-count selection follows the workspace rule (flag, then
+    // LAD_THREADS, then the default) with a default of ONE worker: timing
+    // cells in parallel makes them contend for cores and understates
+    // throughput, so parallelism is strictly opt-in here.  Cells are tagged
+    // with their job index and merged in index order, so the report is
+    // identical no matter which worker ran which cell.
+    let workers = lad_common::workers::worker_count_or(threads_flag(), 1).min(jobs.len().max(1));
+    if workers > 1 {
+        println!("(timing with {workers} parallel workers; expect contention)");
+    }
+    let next_job = AtomicUsize::new(0);
+    type TimedCell = (usize, usize, SchemeId, f64, u64);
+    let mut timed: Vec<(usize, TimedCell)> = Vec::with_capacity(jobs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let jobs = &jobs;
+                let next_job = &next_job;
+                let registry = &registry;
+                scope.spawn(move || {
+                    let mut cells: Vec<(usize, TimedCell)> = Vec::new();
+                    loop {
+                        let index = next_job.fetch_add(1, Ordering::Relaxed);
+                        let Some((cores, system, trace, scheme)) = jobs.get(index) else {
+                            break;
+                        };
+                        let entry = registry.get(*scheme).unwrap_or_else(|err| {
+                            panic!("builtin registry must cover the sweep: {err}")
+                        });
+                        let accesses = trace.total_accesses();
+                        let mut best_seconds = f64::INFINITY;
+                        let mut completion = 0u64;
+                        for _ in 0..reps {
+                            let mut sim = Simulator::with_policy_and_energy_model(
+                                system.clone(),
+                                entry.config.clone(),
+                                Arc::clone(&entry.policy),
+                                EnergyModel::paper_default(),
+                            );
+                            let start = Instant::now();
+                            let report = sim.run(trace);
+                            let seconds = start.elapsed().as_secs_f64();
+                            best_seconds = best_seconds.min(seconds);
+                            completion = report.completion_time.value();
+                        }
+                        cells.push((index, (*cores, accesses, *scheme, best_seconds, completion)));
+                    }
+                    cells
+                })
+            })
+            .collect();
+        for handle in handles {
+            timed.extend(
+                handle
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
+            );
+        }
+    });
+    timed.sort_unstable_by_key(|(index, _)| *index);
+
+    let mut cells = Vec::new();
+    for (_, (cores, accesses, scheme, best_seconds, completion)) in timed {
+        let rate = accesses as f64 / best_seconds;
+        csv_row([
+            cores.to_string(),
+            scheme.label(),
+            accesses.to_string(),
+            format!("{best_seconds:.4}"),
+            format!("{rate:.0}"),
+            completion.to_string(),
+        ]);
+        cells.push(JsonValue::object([
+            ("cores", JsonValue::from(cores as f64)),
+            ("scheme", JsonValue::from(scheme.label())),
+            ("accesses", JsonValue::from(accesses as f64)),
+            ("best_seconds", JsonValue::from(best_seconds)),
+            ("accesses_per_sec", JsonValue::from(rate)),
+            ("completion_time", JsonValue::from(completion as f64)),
+        ]));
     }
 
     // Speedup rows: every measured cell that has a pre-PR reference.

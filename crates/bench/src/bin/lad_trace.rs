@@ -221,9 +221,11 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         max_address: u64,
     }
     let mut stats = vec![CoreStats::default(); header.num_cores];
+    let mut digest = lad_traceio::digest::DigestBuilder::new(header.num_cores, &header.benchmark);
     loop {
         match reader.next_access() {
             Ok(Some(access)) => {
+                digest.record(&access);
                 let s = &mut stats[access.core.index()];
                 if s.accesses == 0 {
                     s.min_address = access.address.value();
@@ -246,6 +248,7 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         }
     }
     let total = reader.accesses_read();
+    println!("digest      {}", digest.finish().to_hex());
     println!("accesses    {total}");
     if total > 0 {
         println!("bytes/acc   {:.2}", bytes as f64 / total as f64);

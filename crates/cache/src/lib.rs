@@ -34,8 +34,10 @@ pub mod l1;
 pub mod llc_slice;
 pub mod replacement;
 pub mod set_assoc;
+pub mod snapshot;
 
 pub use l1::L1Cache;
 pub use llc_slice::{LlcReplacementPolicy, LlcSlice};
 pub use replacement::{EvictionPriority, PlainLru, SharerAwareLru, SharerCount};
 pub use set_assoc::SetAssocCache;
+pub use snapshot::CacheState;

@@ -205,6 +205,20 @@ impl<V: SharerCount> LlcSlice<V> {
         }
         evicted
     }
+
+    pub(crate) fn array(&self) -> &SetAssocCache<V> {
+        &self.array
+    }
+
+    pub(crate) fn array_mut(&mut self) -> &mut SetAssocCache<V> {
+        &mut self.array
+    }
+
+    pub(crate) fn set_counters(&mut self, hits: Counter, misses: Counter, evictions: Counter) {
+        self.hits = hits;
+        self.misses = misses;
+        self.evictions = evictions;
+    }
 }
 
 #[cfg(test)]

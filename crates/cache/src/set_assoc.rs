@@ -322,6 +322,59 @@ impl<V> SetAssocCache<V> {
     pub fn to_map(&self) -> HashMap<CacheLine, &V> {
         self.iter().collect()
     }
+
+    /// Iterates over occupied slots as `(slot, tag, lru_stamp, value)` in
+    /// slot order, for checkpointing.  Together with [`SetAssocCache::clock`]
+    /// this captures the array exactly: replaying the tuples through
+    /// [`SetAssocCache::restore_slot`] and [`SetAssocCache::set_clock`]
+    /// reproduces every future lookup, promotion and victim choice.
+    pub fn slots(&self) -> impl Iterator<Item = (usize, u64, u64, &V)> {
+        self.stamps
+            .iter()
+            .enumerate()
+            .filter(|(_, stamp)| **stamp != 0)
+            .filter_map(|(slot, stamp)| {
+                self.values[slot]
+                    .as_ref()
+                    .map(|v| (slot, self.tags[slot], *stamp, v))
+            })
+    }
+
+    /// The global LRU clock (for checkpointing).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Re-occupies `slot` with a checkpointed `(tag, stamp, value)` tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or already occupied, or if `stamp`
+    /// is `0` (the vacancy marker) — a checkpoint only records live slots.
+    pub fn restore_slot(&mut self, slot: usize, tag: u64, stamp: u64, value: V) {
+        assert!(slot < self.stamps.len(), "slot {slot} out of range");
+        assert!(self.stamps[slot] == 0, "slot {slot} is already occupied");
+        assert!(stamp != 0, "stamp 0 marks a vacant slot");
+        self.tags[slot] = tag;
+        self.stamps[slot] = stamp;
+        self.values[slot] = Some(value);
+        self.len += 1;
+    }
+
+    /// Restores the global LRU clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock` is older than a resident stamp: the next tick must
+    /// out-rank every live line, exactly as in the checkpointed array.
+    pub fn set_clock(&mut self, clock: u64) {
+        let newest = self.stamps.iter().copied().max().unwrap_or(0);
+        assert!(
+            clock >= newest,
+            "clock {clock} is older than resident stamp {newest}"
+        );
+        self.clock = clock;
+    }
 }
 #[cfg(test)]
 mod tests {
@@ -521,6 +574,50 @@ mod tests {
             *v += 100;
         }
         assert_eq!(c.peek(line(3)), Some(&103));
+    }
+
+    #[test]
+    fn slot_snapshot_restores_exact_lru_behavior() {
+        let mut c = SetAssocCache::new(2, 2);
+        for i in 0..5 {
+            c.insert(line(i), i, &PlainLru);
+        }
+        c.get(line(1));
+
+        let mut restored: SetAssocCache<u64> = SetAssocCache::new(2, 2);
+        let slots: Vec<_> = c
+            .slots()
+            .map(|(slot, tag, stamp, v)| (slot, tag, stamp, *v))
+            .collect();
+        for (slot, tag, stamp, v) in slots {
+            restored.restore_slot(slot, tag, stamp, v);
+        }
+        restored.set_clock(c.clock());
+
+        assert_eq!(restored.len(), c.len());
+        assert_eq!(restored.clock(), c.clock());
+        // The restored array makes the same victim choice and hands out the
+        // same next stamp.
+        let expect = c.insert(line(9), 9, &PlainLru);
+        let got = restored.insert(line(9), 9, &PlainLru);
+        assert_eq!(expect, got);
+        assert_eq!(restored.clock(), c.clock());
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn restore_slot_rejects_double_occupancy() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(2, 2);
+        c.restore_slot(0, 4, 1, 7);
+        c.restore_slot(0, 6, 2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "older than resident stamp")]
+    fn set_clock_rejects_stale_clocks() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(2, 2);
+        c.restore_slot(0, 4, 5, 7);
+        c.set_clock(3);
     }
 
     #[test]

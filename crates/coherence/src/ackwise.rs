@@ -236,6 +236,43 @@ impl AckwiseSharers {
         self.pointers.as_slice()
     }
 
+    /// Rebuilds a list from checkpointed parts: the tracked pointers
+    /// verbatim (order is immaterial, but global-mode pointers are
+    /// best-effort and must round-trip exactly), the mode flag and the exact
+    /// sharer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts violate the list's invariants (more pointers
+    /// than the budget, count inconsistent with the mode) — see
+    /// [`AckwiseSharers::local_invariant_error`].
+    pub fn from_parts(max_pointers: usize, tracked: &[CoreId], global: bool, count: usize) -> Self {
+        assert!(max_pointers > 0, "ACKwise needs at least one pointer");
+        let mut pointers = Pointers::new(max_pointers);
+        for &core in tracked {
+            assert!(
+                !pointers.as_slice().contains(&core),
+                "duplicate tracked sharer {core:?}"
+            );
+            assert!(
+                pointers.as_slice().len() < max_pointers,
+                "{} tracked sharers exceed the {max_pointers}-pointer budget",
+                tracked.len()
+            );
+            pointers.push(core);
+        }
+        let sharers = AckwiseSharers {
+            pointers,
+            max_pointers,
+            global,
+            count,
+        };
+        if let Some((name, details)) = sharers.local_invariant_error() {
+            panic!("checkpointed sharer list violates [{name}]: {details}");
+        }
+        sharers
+    }
+
     /// Checks the list's local invariants (the `ackwise-pointer-capacity`
     /// member of the `lad-check` catalog): the pointer list never exceeds
     /// the hardware pointer budget, `count == tracked` outside global mode
@@ -407,6 +444,39 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert!(!s.is_global());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_both_modes() {
+        // Exact mode.
+        let mut s = AckwiseSharers::new(4);
+        for i in 0..3 {
+            s.add(core(i));
+        }
+        let rebuilt =
+            AckwiseSharers::from_parts(s.max_pointers(), s.tracked(), s.is_global(), s.count());
+        assert_eq!(rebuilt, s);
+        // Global mode keeps best-effort pointers verbatim.
+        let mut s = AckwiseSharers::new(2);
+        for i in 0..5 {
+            s.add(core(i));
+        }
+        assert!(s.is_global());
+        let rebuilt =
+            AckwiseSharers::from_parts(s.max_pointers(), s.tracked(), s.is_global(), s.count());
+        assert_eq!(rebuilt, s);
+        // The rebuilt list behaves identically afterwards.
+        s.remove(core(1));
+        let mut r = rebuilt;
+        r.remove(core(1));
+        assert_eq!(r, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn from_parts_rejects_inconsistent_state() {
+        // Exact mode whose count disagrees with the tracked list.
+        AckwiseSharers::from_parts(4, &[core(0)], false, 3);
     }
 
     #[test]

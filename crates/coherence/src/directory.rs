@@ -101,6 +101,35 @@ impl DirectoryEntry {
         }
     }
 
+    /// Rebuilds an entry from its checkpointed parts.  The home state is not
+    /// a free variable — it is derived from the parts (an owner means
+    /// Exclusive, sharers without an owner mean Shared, otherwise Uncached),
+    /// so a checkpoint only stores the sharer list and the owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are inconsistent (see
+    /// [`DirectoryEntry::local_invariant_error`]), e.g. an owner that is not
+    /// the sole tracked sharer.
+    pub fn from_parts(sharers: AckwiseSharers, owner: Option<CoreId>) -> Self {
+        let state = if owner.is_some() {
+            HomeState::Exclusive
+        } else if sharers.count() > 0 {
+            HomeState::Shared
+        } else {
+            HomeState::Uncached
+        };
+        let entry = DirectoryEntry {
+            state,
+            sharers,
+            owner,
+        };
+        if let Some((name, details)) = entry.local_invariant_error() {
+            panic!("checkpointed directory entry violates [{name}]: {details}");
+        }
+        entry
+    }
+
     /// Number of cores whose local hierarchy holds a copy.
     pub fn sharer_count(&self) -> usize {
         self.sharers.count()
@@ -518,6 +547,33 @@ mod tests {
         }
         assert_eq!(e.sharer_count(), 1);
         assert!(!e.sharers().is_global());
+    }
+
+    #[test]
+    fn from_parts_rederives_every_home_state() {
+        // Exclusive: one owner.
+        let mut e = entry();
+        e.handle_write(core(3));
+        let rebuilt = DirectoryEntry::from_parts(e.sharers().clone(), e.owner());
+        assert_eq!(rebuilt, e);
+        // Shared: readers, no owner.
+        let mut e = entry();
+        e.handle_read(core(1));
+        e.handle_read(core(2));
+        let rebuilt = DirectoryEntry::from_parts(e.sharers().clone(), e.owner());
+        assert_eq!(rebuilt, e);
+        // Uncached.
+        let e = entry();
+        let rebuilt = DirectoryEntry::from_parts(e.sharers().clone(), e.owner());
+        assert_eq!(rebuilt, e);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn from_parts_rejects_untracked_owner() {
+        let mut sharers = AckwiseSharers::new(4);
+        sharers.add(core(1));
+        DirectoryEntry::from_parts(sharers, Some(core(2)));
     }
 
     #[test]

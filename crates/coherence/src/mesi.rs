@@ -65,6 +65,18 @@ impl MesiState {
     pub fn after_invalidation(self) -> MesiState {
         MesiState::Invalid
     }
+
+    /// Parses the single-letter [`std::fmt::Display`] rendering ("M", "E",
+    /// "S", "I") back into a state; `None` for anything else.
+    pub fn parse(text: &str) -> Option<MesiState> {
+        match text {
+            "M" => Some(MesiState::Modified),
+            "E" => Some(MesiState::Exclusive),
+            "S" => Some(MesiState::Shared),
+            "I" => Some(MesiState::Invalid),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for MesiState {
@@ -141,5 +153,20 @@ mod tests {
         assert_eq!(MesiState::Exclusive.to_string(), "E");
         assert_eq!(MesiState::Shared.to_string(), "S");
         assert_eq!(MesiState::Invalid.to_string(), "I");
+    }
+
+    #[test]
+    fn parse_inverts_display() {
+        for s in [
+            MesiState::Modified,
+            MesiState::Exclusive,
+            MesiState::Shared,
+            MesiState::Invalid,
+        ] {
+            assert_eq!(MesiState::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(MesiState::parse("X"), None);
+        assert_eq!(MesiState::parse(""), None);
+        assert_eq!(MesiState::parse("m"), None);
     }
 }

@@ -16,6 +16,9 @@
 //!   for simulator hot paths where `SipHash` is too slow.
 //! * [`json`] — a dependency-free JSON document model (serializer + strict
 //!   parser) used for the machine-readable experiment reports.
+//! * [`workers`] — the one worker-count resolution chain (explicit override,
+//!   then `LAD_THREADS`, then a default) shared by every parallel entry
+//!   point.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod types;
+pub mod workers;
 
 pub use config::SystemConfig;
 pub use json::JsonValue;

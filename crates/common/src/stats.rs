@@ -28,6 +28,11 @@ impl Counter {
         Counter(0)
     }
 
+    /// Rebuilds a counter from a checkpointed [`Counter::value`].
+    pub fn from_value(value: u64) -> Self {
+        Counter(value)
+    }
+
     /// Adds `n` events.
     pub fn add(&mut self, n: u64) {
         self.0 += n;
@@ -305,6 +310,7 @@ mod tests {
         assert!((c.fraction_of(40) - 0.25).abs() < 1e-12);
         assert_eq!(c.fraction_of(0), 0.0);
         assert_eq!(c.to_string(), "10");
+        assert_eq!(Counter::from_value(c.value()), c);
     }
 
     #[test]

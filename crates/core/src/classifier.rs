@@ -188,6 +188,39 @@ impl LocalityClassifier {
             .collect()
     }
 
+    /// Rebuilds a classifier from a checkpointed [`LocalityClassifier::snapshot`],
+    /// preserving the tracking order (which decides Limited_k replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same bad parameters as [`LocalityClassifier::new`], on
+    /// duplicate tracked cores, or on more entries than a limited
+    /// classifier's capacity.
+    pub fn from_snapshot(kind: ClassifierKind, rt: u32, entries: &[TrackedCore]) -> Self {
+        let mut classifier = LocalityClassifier::new(kind, rt);
+        if let Some(k) = classifier.capacity {
+            assert!(
+                entries.len() <= k,
+                "{} tracked cores exceed the Limited_{k} capacity",
+                entries.len()
+            );
+        }
+        for tracked in entries {
+            assert!(
+                classifier.find(tracked.core).is_none(),
+                "duplicate tracked core {:?}",
+                tracked.core
+            );
+            classifier.entries.push(CoreEntry {
+                core: tracked.core,
+                mode: tracked.mode,
+                home_reuse: SaturatingCounter::with_value(rt, tracked.home_reuse),
+                active: tracked.active,
+            });
+        }
+        classifier
+    }
+
     /// The current replication mode of `core` (majority vote if untracked by
     /// a limited classifier; the initial non-replica mode if untracked by the
     /// complete classifier).
@@ -685,6 +718,37 @@ mod tests {
     #[should_panic(expected = "at least one tracked core")]
     fn zero_capacity_rejected() {
         LocalityClassifier::new(ClassifierKind::Limited(0), 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_tracking_order() {
+        let mut c = limited(2, 3);
+        c.on_home_read(core(0));
+        c.on_home_read(core(1));
+        c.on_home_write(core(1), true); // core 0 reset + inactive
+
+        let rebuilt = LocalityClassifier::from_snapshot(
+            ClassifierKind::Limited(2),
+            c.replication_threshold(),
+            &c.snapshot(),
+        );
+        assert_eq!(rebuilt, c);
+        // Replacement picks the same (first inactive) entry afterwards: the
+        // order survived, so future behavior is identical.
+        let mut c2 = rebuilt;
+        c.on_home_read(core(2));
+        c2.on_home_read(core(2));
+        assert_eq!(c2, c);
+        assert_eq!(c.tracked_cores(), vec![core(2), core(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the Limited_1 capacity")]
+    fn snapshot_restore_rejects_overfull_entries() {
+        let mut c = limited(2, 3);
+        c.on_home_read(core(0));
+        c.on_home_read(core(1));
+        LocalityClassifier::from_snapshot(ClassifierKind::Limited(1), 3, &c.snapshot());
     }
 
     #[test]

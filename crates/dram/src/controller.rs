@@ -96,6 +96,34 @@ impl DramController {
         self.accesses = Counter::new();
         self.busy_cycles = 0;
     }
+
+    /// Snapshots the controller's mutable state for checkpointing.
+    pub fn state(&self) -> DramControllerState {
+        DramControllerState {
+            free_at: self.free_at,
+            accesses: self.accesses.value(),
+            busy_cycles: self.busy_cycles,
+        }
+    }
+
+    /// Restores a snapshot (the timing parameters come from the
+    /// configuration the controller was built with).
+    pub fn restore_state(&mut self, state: &DramControllerState) {
+        self.free_at = state.free_at;
+        self.accesses = Counter::from_value(state.accesses);
+        self.busy_cycles = state.busy_cycles;
+    }
+}
+
+/// Plain-data state of one [`DramController`] for checkpoint/resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramControllerState {
+    /// Cycle at which the controller next becomes free.
+    pub free_at: Cycle,
+    /// Accesses served so far.
+    pub accesses: u64,
+    /// Total cycles of controller occupancy so far.
+    pub busy_cycles: u64,
 }
 
 /// The full off-chip memory system: one controller per configured channel,
@@ -168,6 +196,28 @@ impl DramSystem {
     pub fn reset(&mut self) {
         for c in &mut self.controllers {
             c.reset();
+        }
+    }
+
+    /// Snapshots every controller's mutable state, in controller order.
+    pub fn state(&self) -> Vec<DramControllerState> {
+        self.controllers.iter().map(DramController::state).collect()
+    }
+
+    /// Restores a snapshot taken from a system with the same controller
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a controller-count mismatch.
+    pub fn restore_state(&mut self, state: &[DramControllerState]) {
+        assert_eq!(
+            state.len(),
+            self.controllers.len(),
+            "controller count mismatch: the snapshot is from a different memory system"
+        );
+        for (controller, snapshot) in self.controllers.iter_mut().zip(state) {
+            controller.restore_state(snapshot);
         }
     }
 }
@@ -262,6 +312,37 @@ mod tests {
         assert_eq!(c.queue_delay, Cycle::ZERO);
         sys.reset();
         assert_eq!(sys.total_accesses(), 0);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_queueing() {
+        let mut sys = system();
+        sys.access(0, Cycle::ZERO);
+        sys.access(8, Cycle::ZERO);
+        sys.access(1, Cycle::ZERO);
+
+        let state = sys.state();
+        let mut restored = system();
+        restored.restore_state(&state);
+        assert_eq!(restored.state(), state);
+        assert_eq!(restored.total_accesses(), sys.total_accesses());
+
+        // A follow-up access to the busy controller queues identically.
+        let expect = sys.access(0, Cycle::new(5));
+        let got = restored.access(0, Cycle::new(5));
+        assert_eq!(got, expect);
+        assert!(got.queue_delay > Cycle::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "different memory system")]
+    fn restore_rejects_wrong_controller_count() {
+        let mut sys = system();
+        sys.restore_state(&[DramControllerState {
+            free_at: Cycle::ZERO,
+            accesses: 0,
+            busy_cycles: 0,
+        }]);
     }
 
     #[test]

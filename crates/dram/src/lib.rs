@@ -16,4 +16,4 @@
 
 pub mod controller;
 
-pub use controller::{DramAccess, DramController, DramSystem};
+pub use controller::{DramAccess, DramController, DramControllerState, DramSystem};

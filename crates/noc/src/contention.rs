@@ -76,6 +76,54 @@ impl NetworkStats {
     pub fn max_latency(&self) -> Cycle {
         Cycle::new(self.latency.max())
     }
+
+    /// The delivered-latency histogram as sorted `(latency, count)` pairs
+    /// (for checkpointing).
+    pub fn latency_distribution(&self) -> Vec<(u64, u64)> {
+        self.latency.iter().collect()
+    }
+
+    pub(crate) fn from_parts(
+        messages: u64,
+        control_messages: u64,
+        data_messages: u64,
+        flit_hops: u64,
+        router_traversals: u64,
+        latency: &[(u64, u64)],
+    ) -> Self {
+        let mut histogram = Histogram::new();
+        for &(value, count) in latency {
+            histogram.record_weighted(value, count);
+        }
+        NetworkStats {
+            messages,
+            control_messages,
+            data_messages,
+            flit_hops,
+            router_traversals,
+            latency: histogram,
+        }
+    }
+}
+
+/// Plain-data state of a [`crate::Network`] for checkpoint/resume: link
+/// occupancy plus the aggregate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkState {
+    /// Per-link occupancy, in link-index order.
+    pub links: Vec<LinkState>,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Control messages delivered.
+    pub control_messages: u64,
+    /// Data messages delivered.
+    pub data_messages: u64,
+    /// Flit × link-hop traversals.
+    pub flit_hops: u64,
+    /// Flit × router traversals.
+    pub router_traversals: u64,
+    /// Delivered-latency histogram as sorted `(latency, count)` pairs.
+    pub latency: Vec<(u64, u64)>,
 }
 
 #[cfg(test)]

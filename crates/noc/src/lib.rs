@@ -35,7 +35,7 @@ pub mod contention;
 pub mod message;
 pub mod topology;
 
-pub use contention::{LinkState, NetworkStats};
+pub use contention::{LinkState, NetworkState, NetworkStats};
 pub use message::{Delivery, MessageKind};
 pub use topology::Mesh;
 
@@ -179,6 +179,41 @@ impl Network {
             *link = LinkState::default();
         }
     }
+
+    /// Snapshots the link occupancy and statistics for checkpointing.
+    pub fn state(&self) -> NetworkState {
+        NetworkState {
+            links: self.links.clone(),
+            messages: self.stats.messages(),
+            control_messages: self.stats.control_messages(),
+            data_messages: self.stats.data_messages(),
+            flit_hops: self.stats.flit_hops(),
+            router_traversals: self.stats.router_traversals(),
+            latency: self.stats.latency_distribution(),
+        }
+    }
+
+    /// Restores a snapshot taken from a network of the same topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's link count does not match this mesh.
+    pub fn restore_state(&mut self, state: &NetworkState) {
+        assert_eq!(
+            state.links.len(),
+            self.links.len(),
+            "link count mismatch: the snapshot is from a different mesh"
+        );
+        self.links.clone_from(&state.links);
+        self.stats = NetworkStats::from_parts(
+            state.messages,
+            state.control_messages,
+            state.data_messages,
+            state.flit_hops,
+            state.router_traversals,
+            &state.latency,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +327,55 @@ mod tests {
         let there = net2.base_latency(CoreId::new(0), CoreId::new(7), MessageKind::Control);
         let back = net2.base_latency(CoreId::new(7), CoreId::new(0), MessageKind::Data);
         assert!(d.latency.value() >= (there + back).value());
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_contention_and_stats() {
+        let mut net = network();
+        net.send(
+            CoreId::new(0),
+            CoreId::new(5),
+            MessageKind::Data,
+            Cycle::ZERO,
+        );
+        net.send(
+            CoreId::new(0),
+            CoreId::new(5),
+            MessageKind::Control,
+            Cycle::new(1),
+        );
+
+        let state = net.state();
+        let mut restored = network();
+        restored.restore_state(&state);
+        assert_eq!(restored.state(), state);
+
+        // The restored network queues a new message behind the same link
+        // occupancy and keeps accumulating the same statistics.
+        let expect = net.send(
+            CoreId::new(0),
+            CoreId::new(5),
+            MessageKind::Data,
+            Cycle::new(2),
+        );
+        let got = restored.send(
+            CoreId::new(0),
+            CoreId::new(5),
+            MessageKind::Data,
+            Cycle::new(2),
+        );
+        assert_eq!(got, expect);
+        assert_eq!(restored.state(), net.state());
+    }
+
+    #[test]
+    #[should_panic(expected = "different mesh")]
+    fn restore_rejects_wrong_topology() {
+        let net = network();
+        let state = net.state();
+        let small = SystemConfig::small_test();
+        let mut other = Network::new(&small.network, small.cache_line_bytes);
+        other.restore_state(&state);
     }
 
     #[test]

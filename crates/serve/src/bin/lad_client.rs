@@ -1,0 +1,245 @@
+//! `lad-client` — CLI for the `lad-serve` experiment service.
+//!
+//! ```text
+//! lad-client --addr HOST:PORT upload <FILE.ladt>
+//! lad-client --addr HOST:PORT submit
+//!            (--trace <FILE.ladt> | --stored <DIGEST> |
+//!             --builtin <BENCH> --cores N --accesses N [--seed N])
+//!            --scheme <S> [--scheme <S> ...] [--system paper|small-test]
+//!            [--wait] [--json <PATH>]
+//! lad-client --addr HOST:PORT status <JOB>
+//! lad-client --addr HOST:PORT result <JOB> [--json <PATH>]
+//! lad-client --addr HOST:PORT wait <JOB> [--json <PATH>]
+//! lad-client --addr HOST:PORT cancel <JOB>
+//! lad-client --addr HOST:PORT stats
+//! lad-client --addr HOST:PORT shutdown
+//! ```
+//!
+//! Every command prints the server's response frame pretty-printed;
+//! `--json <PATH>` additionally writes it to a file.  Exit status is
+//! non-zero on any server error frame.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lad_common::json::JsonValue;
+use lad_serve::client::Client;
+use lad_serve::protocol::{JobSpec, SystemPreset, TraceSpec};
+
+const USAGE: &str = "\
+lad-client: CLI for the lad-serve experiment service
+
+USAGE:
+  lad-client --addr HOST:PORT upload <FILE.ladt>
+  lad-client --addr HOST:PORT submit
+             (--trace <FILE.ladt> | --stored <DIGEST> |
+              --builtin <BENCH> --cores N --accesses N [--seed N])
+             --scheme <S> [--scheme <S> ...] [--system paper|small-test]
+             [--wait] [--json <PATH>]
+  lad-client --addr HOST:PORT status <JOB>
+  lad-client --addr HOST:PORT result <JOB> [--json <PATH>]
+  lad-client --addr HOST:PORT wait <JOB> [--json <PATH>]
+  lad-client --addr HOST:PORT cancel <JOB>
+  lad-client --addr HOST:PORT stats
+  lad-client --addr HOST:PORT shutdown
+
+Schemes are the registry labels: S-NUCA, R-NUCA, VR, ASR-<level>, RT-<k>.
+`upload` sends a local trace to the server's store and prints its digest
+for use with `submit --stored`.";
+
+/// How often `wait` (and `submit --wait`) polls the job status.
+const POLL: Duration = Duration::from_millis(100);
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&mut args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("lad-client: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value of `--flag value` out of `args`, removing both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(index) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if index + 1 >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    let value = args.remove(index + 1);
+    args.remove(index);
+    Ok(Some(value))
+}
+
+/// Pulls a bare `--flag` out of `args`, reporting whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(index) => {
+            args.remove(index);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{what} must be a number, got {value:?}"))
+}
+
+fn no_leftovers(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        Some(extra) => Err(format!("unexpected argument {extra:?}\n\n{USAGE}")),
+        None => Ok(()),
+    }
+}
+
+/// Prints a response frame and optionally writes it to `--json <PATH>`.
+fn emit(response: &JsonValue, json_path: Option<&str>) -> Result<(), String> {
+    println!("{}", response.pretty());
+    if let Some(path) = json_path {
+        std::fs::write(path, response.pretty())
+            .map_err(|err| format!("cannot write {path}: {err}"))?;
+    }
+    Ok(())
+}
+
+fn run(args: &mut Vec<String>) -> Result<(), String> {
+    let addr = take_flag(args, "--addr")?.ok_or(format!("--addr is required\n\n{USAGE}"))?;
+    if args.is_empty() {
+        return Err(format!("missing command\n\n{USAGE}"));
+    }
+    let command = args.remove(0);
+    let mut client =
+        Client::connect(&addr).map_err(|err| format!("cannot connect to {addr}: {err}"))?;
+    match command.as_str() {
+        "upload" => cmd_upload(&mut client, args),
+        "submit" => cmd_submit(&mut client, args),
+        "status" => cmd_job_verb(args, |job| client.status(job)),
+        "result" => cmd_job_verb_json(args, |job| client.result(job)),
+        "wait" => cmd_job_verb_json(args, |job| client.wait(job, POLL)),
+        "cancel" => cmd_job_verb(args, |job| client.cancel(job)),
+        "stats" => {
+            no_leftovers(args)?;
+            emit(&client.stats().map_err(|err| err.to_string())?, None)
+        }
+        "shutdown" => {
+            no_leftovers(args)?;
+            emit(&client.shutdown().map_err(|err| err.to_string())?, None)
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn cmd_upload(client: &mut Client, args: &mut Vec<String>) -> Result<(), String> {
+    if args.len() != 1 {
+        return Err(format!("upload takes exactly one <FILE.ladt>\n\n{USAGE}"));
+    }
+    let path = args.remove(0);
+    let bytes = std::fs::read(&path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    emit(&client.upload(&bytes).map_err(|err| err.to_string())?, None)
+}
+
+fn cmd_submit(client: &mut Client, args: &mut Vec<String>) -> Result<(), String> {
+    let trace = trace_spec(args)?;
+    let mut schemes = Vec::new();
+    while let Some(scheme) = take_flag(args, "--scheme")? {
+        schemes.push(scheme);
+    }
+    if schemes.is_empty() {
+        return Err(format!("submit needs at least one --scheme\n\n{USAGE}"));
+    }
+    let system = match take_flag(args, "--system")? {
+        Some(label) => SystemPreset::parse(&label).map_err(|err| err.to_string())?,
+        None => SystemPreset::Paper,
+    };
+    let wait = take_switch(args, "--wait");
+    let json_path = take_flag(args, "--json")?;
+    no_leftovers(args)?;
+
+    let spec = JobSpec {
+        trace,
+        schemes,
+        system,
+    };
+    let receipt = client.submit(&spec).map_err(|err| err.to_string())?;
+    let job = receipt
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .ok_or("submit response is missing the job id")?
+        .to_string();
+    if wait {
+        emit(
+            &client.wait(&job, POLL).map_err(|err| err.to_string())?,
+            json_path.as_deref(),
+        )
+    } else {
+        emit(&receipt, json_path.as_deref())
+    }
+}
+
+fn trace_spec(args: &mut Vec<String>) -> Result<TraceSpec, String> {
+    let file = take_flag(args, "--trace")?;
+    let stored = take_flag(args, "--stored")?;
+    let builtin = take_flag(args, "--builtin")?;
+    match (file, stored, builtin) {
+        (Some(path), None, None) => Ok(TraceSpec::File { path: path.into() }),
+        (None, Some(digest), None) => Ok(TraceSpec::Stored { digest }),
+        (None, None, Some(benchmark)) => {
+            let cores = take_flag(args, "--cores")?
+                .ok_or("--builtin requires --cores")
+                .and_then(|v| parse_number(&v, "--cores").map_err(|_| "--cores must be a number"))
+                .map_err(str::to_string)?;
+            let accesses = take_flag(args, "--accesses")?
+                .ok_or("--builtin requires --accesses".to_string())
+                .and_then(|v| parse_number(&v, "--accesses"))?;
+            let seed = match take_flag(args, "--seed")? {
+                Some(v) => parse_number(&v, "--seed")?,
+                None => 0,
+            };
+            Ok(TraceSpec::Builtin {
+                benchmark,
+                cores,
+                accesses_per_core: accesses,
+                seed,
+            })
+        }
+        _ => Err(format!(
+            "submit needs exactly one of --trace, --stored or --builtin\n\n{USAGE}"
+        )),
+    }
+}
+
+fn cmd_job_verb(
+    args: &mut Vec<String>,
+    call: impl FnOnce(&str) -> Result<JsonValue, lad_serve::client::ClientError>,
+) -> Result<(), String> {
+    if args.len() != 1 {
+        return Err(format!("this command takes exactly one <JOB>\n\n{USAGE}"));
+    }
+    let job = args.remove(0);
+    emit(&call(&job).map_err(|err| err.to_string())?, None)
+}
+
+fn cmd_job_verb_json(
+    args: &mut Vec<String>,
+    call: impl FnOnce(&str) -> Result<JsonValue, lad_serve::client::ClientError>,
+) -> Result<(), String> {
+    let json_path = take_flag(args, "--json")?;
+    if args.len() != 1 {
+        return Err(format!("this command takes exactly one <JOB>\n\n{USAGE}"));
+    }
+    let job = args.remove(0);
+    emit(
+        &call(&job).map_err(|err| err.to_string())?,
+        json_path.as_deref(),
+    )
+}

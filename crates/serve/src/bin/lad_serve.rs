@@ -1,0 +1,94 @@
+//! `lad-serve` — the experiment service daemon.
+//!
+//! ```text
+//! lad-serve --data-dir <DIR> [--addr HOST:PORT] [--workers N]
+//!           [--queue-limit N] [--checkpoint-interval N]
+//!           [--read-timeout-ms N]
+//! ```
+//!
+//! Binds the address (port `0` picks an ephemeral port), prints
+//! `lad-serve listening on <ADDR>` once ready, and serves until a client
+//! sends the `shutdown` verb; in-flight cells checkpoint on the way down
+//! so a restart over the same `--data-dir` resumes them.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lad_serve::server::{self, ServerConfig};
+
+const USAGE: &str = "\
+lad-serve: multi-tenant experiment service daemon
+
+USAGE:
+  lad-serve --data-dir <DIR> [--addr HOST:PORT] [--workers N]
+            [--queue-limit N] [--checkpoint-interval N]
+            [--read-timeout-ms N]
+
+Durable state (result cache, checkpoints, uploaded traces) lives under
+--data-dir; restarting over the same directory keeps cached results and
+resumes checkpointed cells.  Stop the daemon with `lad-client shutdown`.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("lad-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value of `--flag value` out of `args`, removing both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(index) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if index + 1 >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    let value = args.remove(index + 1);
+    args.remove(index);
+    Ok(Some(value))
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{what} must be a number, got {value:?}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let data_dir =
+        take_flag(&mut args, "--data-dir")?.ok_or(format!("--data-dir is required\n\n{USAGE}"))?;
+    let mut config = ServerConfig::new(data_dir);
+    if let Some(addr) = take_flag(&mut args, "--addr")? {
+        config.addr = addr;
+    }
+    if let Some(value) = take_flag(&mut args, "--workers")? {
+        config.workers = parse_number(&value, "--workers")?;
+    }
+    if let Some(value) = take_flag(&mut args, "--queue-limit")? {
+        config.queue_limit = parse_number(&value, "--queue-limit")?;
+    }
+    if let Some(value) = take_flag(&mut args, "--checkpoint-interval")? {
+        config.checkpoint_interval = parse_number(&value, "--checkpoint-interval")?;
+    }
+    if let Some(value) = take_flag(&mut args, "--read-timeout-ms")? {
+        config.read_timeout = Duration::from_millis(parse_number(&value, "--read-timeout-ms")?);
+    }
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
+    }
+    server::run(config, |addr| {
+        println!("lad-serve listening on {addr}");
+        let _ = std::io::stdout().flush();
+    })
+    .map_err(|err| err.to_string())
+}

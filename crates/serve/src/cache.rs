@@ -1,0 +1,254 @@
+//! Content-addressed result cache: completed [`SimulationReport`]s keyed
+//! by `(trace digest, config fingerprint, scheme label)`, held in memory
+//! and spilled to a JSON directory so repeat submissions stay free across
+//! server restarts.
+//!
+//! The key is *content*-addressed on the workload side — the trace half is
+//! the streaming FNV-1a content digest of the decoded frames
+//! ([`lad_traceio::digest`]), so re-encoded or re-uploaded copies of the
+//! same trace share cache entries — and *configuration*-addressed on the
+//! system side (an FNV-1a fingerprint of the full
+//! [`SystemConfig`](lad_common::config::SystemConfig) debug rendering, so
+//! any knob change invalidates cleanly).  Scheme identity is the label,
+//! which pins the replication configuration through the scheme registry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use lad_common::json::JsonValue;
+use lad_sim::metrics::SimulationReport;
+
+/// The cache key of one (workload, system, scheme) cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// 16-hex-digit content digest of the trace (or builtin-spec
+    /// fingerprint for generator workloads).
+    pub trace: String,
+    /// 16-hex-digit fingerprint of the system configuration.
+    pub config: String,
+    /// Scheme label (e.g. `"RT-3"`).
+    pub scheme: String,
+}
+
+impl CacheKey {
+    /// The spill-file stem of this key: `<trace>-<config>-<scheme>` with
+    /// the scheme label sanitized to filesystem-safe characters.
+    pub fn file_stem(&self) -> String {
+        let scheme: String = self
+            .scheme
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("{}-{}-{}", self.trace, self.config, scheme)
+    }
+
+    /// The JSON form stored in spill files and status frames.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("trace", JsonValue::from(self.trace.as_str())),
+            ("config", JsonValue::from(self.config.as_str())),
+            ("scheme", JsonValue::from(self.scheme.as_str())),
+        ])
+    }
+
+    fn from_json(value: &JsonValue) -> Result<CacheKey, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("cache key is missing {name:?}"))
+        };
+        Ok(CacheKey {
+            trace: field("trace")?,
+            config: field("config")?,
+            scheme: field("scheme")?,
+        })
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.trace, self.config, self.scheme)
+    }
+}
+
+/// In-memory result cache with a JSON spill directory and hit/miss
+/// counters (reported by the `stats` verb).
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    entries: Mutex<BTreeMap<CacheKey, SimulationReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens a cache over `dir` (created if missing), loading every
+    /// well-formed spill entry already there; `None` keeps the cache
+    /// memory-only.
+    ///
+    /// Malformed spill files are skipped, not fatal: a half-written entry
+    /// from a crashed server must not brick the restart.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the directory cannot be created or listed.
+    pub fn open(dir: Option<PathBuf>) -> std::io::Result<ResultCache> {
+        let mut entries = BTreeMap::new();
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)?;
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                if let Some((key, report)) = load_entry(&path) {
+                    entries.insert(key, report);
+                }
+            }
+        }
+        Ok(ResultCache {
+            dir,
+            entries: Mutex::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks a key up, counting a hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<SimulationReport> {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        match entries.get(key) {
+            Some(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed report and spills it to the cache directory
+    /// (atomically, via a rename).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spill write fails; the in-memory entry is kept
+    /// either way, so the running server still serves it.
+    pub fn insert(&self, key: CacheKey, report: SimulationReport) -> std::io::Result<()> {
+        let json = JsonValue::object([("key", key.to_json()), ("report", report.to_json())]);
+        let stem = key.file_stem();
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, report);
+        if let Some(dir) = &self.dir {
+            let tmp = dir.join(format!("{stem}.tmp"));
+            let path = dir.join(format!("{stem}.json"));
+            std::fs::write(&tmp, json.pretty())?;
+            std::fs::rename(&tmp, &path)?;
+        }
+        Ok(())
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+fn load_entry(path: &Path) -> Option<(CacheKey, SimulationReport)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = JsonValue::parse(&text).ok()?;
+    let key = CacheKey::from_json(json.get("key")?).ok()?;
+    let report = SimulationReport::from_json(json.get("report")?).ok()?;
+    Some((key, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_common::config::SystemConfig;
+    use lad_replication::config::ReplicationConfig;
+    use lad_sim::engine::Simulator;
+    use lad_trace::benchmarks::Benchmark;
+    use lad_trace::generator::TraceGenerator;
+
+    fn small_report() -> SimulationReport {
+        let system = SystemConfig::small_test();
+        let trace =
+            TraceGenerator::new(Benchmark::Barnes.profile()).generate(system.num_cores, 60, 3);
+        let mut sim = Simulator::new(system, ReplicationConfig::locality_aware(3));
+        sim.run(&trace)
+    }
+
+    fn key(scheme: &str) -> CacheKey {
+        CacheKey {
+            trace: "00112233aabbccdd".into(),
+            config: "ffeeddccbbaa0011".into(),
+            scheme: scheme.into(),
+        }
+    }
+
+    #[test]
+    fn cache_spills_and_reloads_across_instances() {
+        let dir = std::env::temp_dir().join(format!("lad-serve-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let report = small_report();
+
+        let cache = ResultCache::open(Some(dir.clone())).unwrap();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key("RT-3")).is_none());
+        assert_eq!(cache.misses(), 1);
+        cache.insert(key("RT-3"), report.clone()).unwrap();
+        let hit = cache.lookup(&key("RT-3")).unwrap();
+        assert_eq!(hit.to_json().pretty(), report.to_json().pretty());
+        assert_eq!(cache.hits(), 1);
+
+        // A second instance over the same directory sees the entry; a
+        // corrupt extra file is skipped, not fatal.
+        std::fs::write(dir.join("garbage.json"), "{not json").unwrap();
+        std::fs::write(dir.join("not-a-report.json"), "{\"key\": 3}").unwrap();
+        let reloaded = ResultCache::open(Some(dir.clone())).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        let hit = reloaded.lookup(&key("RT-3")).unwrap();
+        assert_eq!(hit.to_json().pretty(), report.to_json().pretty());
+        // Different scheme, same trace/config: distinct entry.
+        assert!(reloaded.lookup(&key("S-NUCA")).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_stems_separate_schemes_and_stay_fs_safe() {
+        assert_eq!(
+            key("ASR-0.50").file_stem(),
+            "00112233aabbccdd-ffeeddccbbaa0011-ASR_0_50"
+        );
+        assert_ne!(key("RT-3").file_stem(), key("RT-8").file_stem());
+        assert!(!key("a/b\\c").file_stem().contains(['/', '\\']));
+    }
+}

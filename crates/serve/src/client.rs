@@ -1,0 +1,260 @@
+//! Client side of the experiment service: a persistent connection speaking
+//! the newline-delimited JSON protocol, with typed errors and one method
+//! per verb.  Used by the `lad-client` binary and the integration tests.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lad_common::json::JsonValue;
+
+use crate::protocol::{hex_encode, JobSpec};
+
+/// Everything that can go wrong on the client side of a call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection could not be established or the call's I/O failed
+    /// (after one reconnect attempt).
+    Io(std::io::Error),
+    /// The server's response line was not a well-formed protocol frame.
+    Protocol(String),
+    /// The server replied with an error frame.
+    Server {
+        /// HTTP-style status code (`400`, `404`, `409`, `410`, `429`,
+        /// `500`, `503`).
+        code: u16,
+        /// Stable machine-readable discriminator (e.g. `"queue_full"`).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "i/o error: {err}"),
+            ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+            ClientError::Server {
+                code,
+                kind,
+                message,
+            } => write!(f, "server error {code} ({kind}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    fn open(addr: &str) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Connection {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::other("server closed the connection"));
+        }
+        Ok(response)
+    }
+}
+
+/// A client of one experiment service, holding a persistent connection
+/// (re-established once per call if the server dropped it, e.g. after a
+/// read timeout).
+pub struct Client {
+    addr: String,
+    conn: Option<Connection>,
+}
+
+impl Client {
+    /// Connects to a server at `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl Into<String>) -> Result<Client, ClientError> {
+        let addr = addr.into();
+        let conn = Connection::open(&addr)?;
+        Ok(Client {
+            addr,
+            conn: Some(conn),
+        })
+    }
+
+    /// Sends one frame and returns the parsed successful response body.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for error frames, [`ClientError::Protocol`]
+    /// for responses that do not parse, [`ClientError::Io`] when the
+    /// connection fails even after one reconnect.
+    pub fn call(&mut self, frame: &JsonValue) -> Result<JsonValue, ClientError> {
+        let line = frame.to_string();
+        let response = match self.conn.as_mut().map(|conn| conn.round_trip(&line)) {
+            Some(Ok(response)) => response,
+            // Stale or missing connection: reconnect once and retry.
+            Some(Err(_)) | None => {
+                self.conn = None;
+                let mut conn = Connection::open(&self.addr)?;
+                let response = conn.round_trip(&line)?;
+                self.conn = Some(conn);
+                response
+            }
+        };
+        let parsed = JsonValue::parse(response.trim())
+            .map_err(|err| ClientError::Protocol(format!("unparseable response: {err}")))?;
+        match parsed.get("ok").and_then(JsonValue::as_bool) {
+            Some(true) => Ok(parsed),
+            Some(false) => {
+                let error = parsed.get("error");
+                let field = |name: &str| {
+                    error
+                        .and_then(|e| e.get(name))
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("unknown")
+                        .to_string()
+                };
+                Err(ClientError::Server {
+                    code: error
+                        .and_then(|e| e.get("code"))
+                        .and_then(JsonValue::as_u64)
+                        .and_then(|c| u16::try_from(c).ok())
+                        .unwrap_or(500),
+                    kind: field("kind"),
+                    message: field("message"),
+                })
+            }
+            None => Err(ClientError::Protocol(
+                "response frame is missing \"ok\"".to_string(),
+            )),
+        }
+    }
+
+    fn verb(
+        &mut self,
+        verb: &str,
+        fields: Vec<(&str, JsonValue)>,
+    ) -> Result<JsonValue, ClientError> {
+        let mut frame = vec![("verb", JsonValue::from(verb))];
+        frame.extend(fields);
+        self.call(&JsonValue::object(frame))
+    }
+
+    /// Uploads a LADT trace; the response carries its content `digest`
+    /// (usable in [`TraceSpec::Stored`](crate::protocol::TraceSpec)),
+    /// `benchmark` and `cores`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`].
+    pub fn upload(&mut self, bytes: &[u8]) -> Result<JsonValue, ClientError> {
+        self.verb(
+            "upload",
+            vec![("bytes", JsonValue::from(hex_encode(bytes)))],
+        )
+    }
+
+    /// Submits a job; the response carries the `job` id plus `cells`,
+    /// `cached` and `attached` counts.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`].
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<JsonValue, ClientError> {
+        self.verb("submit", vec![("job", spec.to_json())])
+    }
+
+    /// Fetches per-cell progress of a job.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`].
+    pub fn status(&mut self, job: &str) -> Result<JsonValue, ClientError> {
+        self.verb("status", vec![("job", JsonValue::from(job))])
+    }
+
+    /// Fetches the results of a finished job.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`]; notably [`ClientError::Server`] with kind
+    /// `not_finished` while cells are still queued or running.
+    pub fn result(&mut self, job: &str) -> Result<JsonValue, ClientError> {
+        self.verb("result", vec![("job", JsonValue::from(job))])
+    }
+
+    /// Polls `status` until the job leaves the `running` state, then
+    /// returns `result`'s response.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::result`] — a job that finished `cancelled` or
+    /// `failed` surfaces as the corresponding server error.
+    pub fn wait(&mut self, job: &str, poll: Duration) -> Result<JsonValue, ClientError> {
+        loop {
+            let status = self.status(job)?;
+            match status.get("state").and_then(JsonValue::as_str) {
+                Some("running") => std::thread::sleep(poll),
+                _ => return self.result(job),
+            }
+        }
+    }
+
+    /// Cancels a job's queued and running cells.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`].
+    pub fn cancel(&mut self, job: &str) -> Result<JsonValue, ClientError> {
+        self.verb("cancel", vec![("job", JsonValue::from(job))])
+    }
+
+    /// Fetches service-wide counters (queue depth, cache hits, ...).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`].
+    pub fn stats(&mut self) -> Result<JsonValue, ClientError> {
+        self.verb("stats", vec![])
+    }
+
+    /// Asks the server to drain and exit.  The server closes the
+    /// connection after acknowledging, so this client needs a reconnect
+    /// (which will fail once the server is gone) for further calls.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`].
+    pub fn shutdown(&mut self) -> Result<JsonValue, ClientError> {
+        let response = self.verb("shutdown", vec![]);
+        self.conn = None;
+        response
+    }
+}

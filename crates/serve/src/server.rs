@@ -1,0 +1,1201 @@
+//! The experiment service itself: a TCP listener speaking the
+//! [`protocol`](crate::protocol) frames, a persistent work-stealing worker
+//! pool executing (workload × scheme) cells, and the durable state — the
+//! [`ResultCache`] plus a checkpoint spill directory that lets cancelled or
+//! killed cells resume instead of recomputing.
+//!
+//! # Layout of the data directory
+//!
+//! ```text
+//! <data_dir>/cache/        one JSON file per completed cell (result cache)
+//! <data_dir>/checkpoints/  one JSON file per in-flight cell's last
+//!                          EngineCheckpoint (removed on completion)
+//! <data_dir>/traces/       uploaded LADT traces, named by content digest
+//! ```
+//!
+//! # Concurrency
+//!
+//! One accept thread spawns a handler thread per connection (all inside a
+//! `std::thread::scope`, so a draining server joins everything).  Worker
+//! threads pull cells from a bounded queue guarded by a mutex + condvar —
+//! the same "one shared cursor, workers steal the next job" shape as
+//! [`ExperimentRunner::replay_file_matrix`](lad_sim::experiment::ExperimentRunner::replay_file_matrix),
+//! persistent across jobs instead of per-matrix.  Identical cells submitted
+//! concurrently are deduplicated *in flight*: later submissions subscribe
+//! to the running cell rather than enqueueing a copy, so N parallel
+//! submissions of the same job simulate once.
+//!
+//! Every cell runs under a [`RunObserver`] that publishes progress
+//! (accesses done, accesses/sec), honours its cancel flag, and spills an
+//! [`EngineCheckpoint`] every `checkpoint_interval` accesses; the `cancel`
+//! and `shutdown` verbs flip the flag, so interrupted work resumes from
+//! the last boundary when the same cell is submitted again — even in a new
+//! server process over the same data directory.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use lad_common::config::SystemConfig;
+use lad_common::json::JsonValue;
+use lad_energy::model::EnergyModel;
+use lad_replication::policy::SchemeRegistry;
+use lad_replication::scheme::SchemeId;
+use lad_sim::checkpoint::EngineCheckpoint;
+use lad_sim::engine::{RunControl, RunObserver, RunOutcome, RunProgress, Simulator};
+use lad_sim::experiment::ReplayError;
+use lad_sim::metrics::SimulationReport;
+use lad_trace::benchmarks::Benchmark;
+use lad_trace::generator::TraceGenerator;
+use lad_traceio::source::{FileSource, GeneratorSource, TraceSource};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::protocol::{
+    fingerprint, fingerprint_hex, hex_decode, JobSpec, ServeError, TraceSpec, PROTOCOL_VERSION,
+};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Durable state root (result cache, checkpoints, uploaded traces).
+    pub data_dir: PathBuf,
+    /// Worker threads executing cells.  The default follows the
+    /// workspace-wide selection rule ([`lad_common::workers::worker_count`]).
+    pub workers: usize,
+    /// Maximum queued (not yet running) cells; submissions that would
+    /// exceed it are rejected with a `429`-style
+    /// [`ServeError::QueueFull`] instead of growing without bound.
+    pub queue_limit: usize,
+    /// Cells checkpoint (and publish progress) every this many accesses.
+    pub checkpoint_interval: u64,
+    /// Per-connection read timeout; a connection idle longer is dropped.
+    pub read_timeout: Duration,
+    /// Maximum accepted `upload` body size in (decoded) bytes.
+    pub max_upload_bytes: usize,
+}
+
+impl ServerConfig {
+    /// Defaults for a data directory: ephemeral loopback port, workspace
+    /// worker-count rule, 256-cell queue, checkpoint every 10k accesses,
+    /// 10 s read timeout, 64 MB upload cap.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: data_dir.into(),
+            workers: lad_common::workers::worker_count(None),
+            queue_limit: 256,
+            checkpoint_interval: 10_000,
+            read_timeout: Duration::from_secs(10),
+            max_upload_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Shared progress of one in-flight cell, published by its observer and
+/// read by the `status` verb.
+#[derive(Debug, Default)]
+struct CellProgress {
+    /// Accesses stepped so far (including any resumed prefix).
+    done: AtomicU64,
+    /// Wall-clock nanoseconds since the cell started executing.
+    nanos: AtomicU64,
+    /// Accesses covered by the last durable checkpoint spill.
+    checkpointed: AtomicU64,
+}
+
+/// Everything a worker needs to execute one cell.
+#[derive(Debug, Clone)]
+struct CellSpec {
+    trace: TraceSpec,
+    scheme: SchemeId,
+    system: SystemConfig,
+    benchmark: String,
+}
+
+/// A queued-or-running cell, subscribed to by one or more job cells.
+#[derive(Debug)]
+struct PendingCell {
+    spec: CellSpec,
+    running: bool,
+    cancel: Arc<AtomicBool>,
+    progress: Arc<CellProgress>,
+    subscribers: Vec<(String, usize)>,
+}
+
+#[derive(Debug, Clone)]
+enum CellState {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed(String),
+}
+
+impl CellState {
+    fn label(&self) -> &'static str {
+        match self {
+            CellState::Queued => "queued",
+            CellState::Running => "running",
+            CellState::Done => "done",
+            CellState::Cancelled => "cancelled",
+            CellState::Failed(_) => "failed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobCell {
+    benchmark: String,
+    scheme: SchemeId,
+    key: CacheKey,
+    state: CellState,
+    progress: Arc<CellProgress>,
+    report: Option<SimulationReport>,
+}
+
+#[derive(Debug)]
+struct Job {
+    cells: Vec<JobCell>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_job: u64,
+    jobs: BTreeMap<String, Job>,
+    queue: VecDeque<CacheKey>,
+    pending: BTreeMap<CacheKey, PendingCell>,
+}
+
+/// Service-wide counters reported by the `stats` verb.
+#[derive(Debug, Default)]
+struct ServiceStats {
+    jobs_submitted: AtomicU64,
+    cells_executed: AtomicU64,
+    cells_resumed: AtomicU64,
+    cells_failed: AtomicU64,
+    checkpoints_written: AtomicU64,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    addr: SocketAddr,
+    registry: SchemeRegistry,
+    cache: ResultCache,
+    state: Mutex<State>,
+    work: Condvar,
+    shutting_down: AtomicBool,
+    stats: ServiceStats,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn checkpoint_path(&self, key: &CacheKey) -> PathBuf {
+        self.config
+            .data_dir
+            .join("checkpoints")
+            .join(format!("{}.json", key.file_stem()))
+    }
+
+    fn trace_path(&self, digest: &str) -> PathBuf {
+        self.config
+            .data_dir
+            .join("traces")
+            .join(format!("{digest}.ladt"))
+    }
+}
+
+/// A running service instance.
+///
+/// Dropping the handle drains the server exactly like the `shutdown` verb
+/// (running cells are cancelled *with* a final checkpoint spill, so their
+/// work is resumable), making an abrupt test teardown equivalent to a
+/// SIGTERM.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr`, loads the durable state under
+    /// `config.data_dir`, and starts the accept loop plus worker pool on a
+    /// background thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the data directory cannot
+    /// be prepared.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        std::fs::create_dir_all(config.data_dir.join("checkpoints"))?;
+        std::fs::create_dir_all(config.data_dir.join("traces"))?;
+        let cache = ResultCache::open(Some(config.data_dir.join("cache")))?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config: ServerConfig { workers, ..config },
+            addr,
+            registry: SchemeRegistry::builtin(),
+            cache,
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            stats: ServiceStats::default(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lad-serve".to_string())
+                .spawn(move || serve(&shared, listener))?
+        };
+        Ok(Server {
+            shared,
+            addr,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the actual port when `addr` asked for `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server has drained (a client sent `shutdown`, or
+    /// the handle initiated one).
+    pub fn join(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            initiate_shutdown(&self.shared);
+            self.finish();
+        }
+    }
+}
+
+/// Runs a server in the foreground until a client sends `shutdown` —
+/// the daemon entry point.  Calls `ready` with the bound address once
+/// listening (the binary prints it for operators and CI).
+///
+/// # Errors
+///
+/// As for [`Server::spawn`].
+pub fn run(config: ServerConfig, ready: impl FnOnce(SocketAddr)) -> std::io::Result<()> {
+    let server = Server::spawn(config)?;
+    ready(server.addr());
+    server.join();
+    Ok(())
+}
+
+fn serve(shared: &Shared, listener: TcpListener) {
+    std::thread::scope(|scope| {
+        for _ in 0..shared.config.workers {
+            scope.spawn(|| worker_loop(shared));
+        }
+        for conn in listener.incoming() {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+            scope.spawn(move || handle_connection(shared, stream));
+        }
+        // The accept loop can only break once the flag is set; make sure
+        // every worker parked on the condvar re-checks it.
+        shared.work.notify_all();
+    });
+}
+
+/// The `shutdown` verb's body, shared with [`Server`]'s drop: flag the
+/// drain, cancel queued cells, ask running cells to stop at their next
+/// checkpoint boundary, and unblock the accept loop.
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    {
+        let mut state = shared.lock();
+        let State {
+            jobs,
+            queue,
+            pending,
+            ..
+        } = &mut *state;
+        while let Some(key) = queue.pop_front() {
+            if let Some(cell) = pending.remove(&key) {
+                set_cells(jobs, &cell.subscribers, &CellState::Cancelled);
+            }
+        }
+        for cell in pending.values() {
+            cell.cancel.store(true, Ordering::SeqCst);
+        }
+    }
+    shared.work.notify_all();
+    // Unblock the accept loop with a throwaway connection so it observes
+    // the flag even if no client ever connects again.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// A verb's successful response plus whether the connection should close
+/// after it (only `shutdown` closes).
+struct Reply {
+    body: JsonValue,
+    close: bool,
+}
+
+fn reply(body: JsonValue) -> Result<Reply, ServeError> {
+    Ok(Reply { body, close: false })
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            // Timeouts and resets both land here: drop the connection, the
+            // client reconnects if it still cares.
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (frame, close) = match handle_frame(shared, &line) {
+            Ok(reply) => (reply.body, reply.close),
+            Err(err) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                (err.to_response(), false)
+            }
+        };
+        if writeln!(writer, "{frame}").is_err() || writer.flush().is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn handle_frame(shared: &Shared, line: &str) -> Result<Reply, ServeError> {
+    shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+    let frame =
+        JsonValue::parse(line.trim()).map_err(|err| ServeError::MalformedFrame(err.to_string()))?;
+    let verb = frame
+        .get("verb")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| {
+            ServeError::MalformedFrame(
+                "frame must be a JSON object with a \"verb\" string".to_string(),
+            )
+        })?;
+    match verb {
+        "upload" => verb_upload(shared, &frame),
+        "submit" => verb_submit(shared, &frame),
+        "status" => verb_status(shared, &frame),
+        "result" => verb_result(shared, &frame),
+        "cancel" => verb_cancel(shared, &frame),
+        "stats" => verb_stats(shared),
+        "shutdown" => verb_shutdown(shared),
+        other => Err(ServeError::UnknownVerb(other.to_string())),
+    }
+}
+
+fn job_field(frame: &JsonValue) -> Result<&str, ServeError> {
+    frame
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServeError::BadRequest("frame needs a \"job\" id string".to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Verbs
+// ---------------------------------------------------------------------------
+
+fn verb_upload(shared: &Shared, frame: &JsonValue) -> Result<Reply, ServeError> {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    let body = frame
+        .get("bytes")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServeError::BadRequest("upload needs a \"bytes\" hex string".to_string()))?;
+    if body.len() > shared.config.max_upload_bytes.saturating_mul(2) {
+        return Err(ServeError::BadRequest(format!(
+            "upload exceeds the {}-byte limit",
+            shared.config.max_upload_bytes
+        )));
+    }
+    let bytes = hex_decode(body)?;
+    // Decode fully before storing: the digest pass validates every frame,
+    // so a stored trace is always replayable.
+    let digest = lad_traceio::digest::digest_reader(std::io::Cursor::new(&bytes))
+        .map_err(|err| ServeError::Replay(ReplayError::Trace(err)))?;
+    let header = lad_traceio::reader::TraceReader::new(std::io::Cursor::new(&bytes))
+        .map_err(|err| ServeError::Replay(ReplayError::Trace(err)))?
+        .header()
+        .clone();
+    let path = shared.trace_path(&digest.to_hex());
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, &path)?;
+    reply(JsonValue::object([
+        ("ok", JsonValue::from(true)),
+        ("digest", JsonValue::from(digest.to_hex())),
+        ("bytes", JsonValue::from(bytes.len() as u64)),
+        ("benchmark", JsonValue::from(header.benchmark.as_str())),
+        ("cores", JsonValue::from(header.num_cores as u64)),
+    ]))
+}
+
+/// A trace spec resolved against the server's stores: its cache digest,
+/// canonical benchmark name and core count.
+struct ResolvedTrace {
+    digest: String,
+    benchmark: String,
+    cores: usize,
+}
+
+fn resolve_trace(shared: &Shared, spec: &TraceSpec) -> Result<ResolvedTrace, ServeError> {
+    let from_file = |path: &Path| -> Result<ResolvedTrace, ServeError> {
+        let digest = lad_traceio::digest::digest_file(path)
+            .map_err(|err| ServeError::Replay(ReplayError::Trace(err)))?;
+        let source =
+            FileSource::open(path).map_err(|err| ServeError::Replay(ReplayError::Trace(err)))?;
+        Ok(ResolvedTrace {
+            digest: digest.to_hex(),
+            benchmark: source.name().to_string(),
+            cores: source.num_cores(),
+        })
+    };
+    match spec {
+        TraceSpec::File { path } => from_file(path),
+        TraceSpec::Stored { digest } => {
+            let well_formed = digest.len() == 16 && digest.bytes().all(|b| b.is_ascii_hexdigit());
+            if !well_formed {
+                return Err(ServeError::BadRequest(format!(
+                    "stored trace digest must be 16 hex digits, got {digest:?}"
+                )));
+            }
+            let path = shared.trace_path(digest);
+            if !path.is_file() {
+                return Err(ServeError::UnknownTrace(digest.clone()));
+            }
+            from_file(&path)
+        }
+        TraceSpec::Builtin {
+            benchmark,
+            cores,
+            accesses_per_core,
+            seed,
+        } => {
+            let known = Benchmark::ALL
+                .iter()
+                .find(|b| b.label() == benchmark)
+                .ok_or_else(|| ServeError::UnknownBenchmark(benchmark.clone()))?;
+            // Generation is deterministic from the spec, so a spec
+            // fingerprint is content-equivalent as a cache key without
+            // materializing the trace at submit time.
+            let spec_text = format!(
+                "builtin:{}:{cores}:{accesses_per_core}:{seed}",
+                known.label()
+            );
+            Ok(ResolvedTrace {
+                digest: fingerprint_hex(fingerprint(&spec_text)),
+                benchmark: known.label().to_string(),
+                cores: *cores,
+            })
+        }
+    }
+}
+
+fn verb_submit(shared: &Shared, frame: &JsonValue) -> Result<Reply, ServeError> {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    let spec = JobSpec::from_json(
+        frame
+            .get("job")
+            .ok_or_else(|| ServeError::BadRequest("submit needs a \"job\" object".to_string()))?,
+    )?;
+    let mut schemes = Vec::with_capacity(spec.schemes.len());
+    for label in &spec.schemes {
+        let id = SchemeId::parse(label);
+        shared
+            .registry
+            .get(id)
+            .map_err(|err| ServeError::Replay(ReplayError::UnknownScheme(err)))?;
+        schemes.push(id);
+    }
+    let resolved = resolve_trace(shared, &spec.trace)?;
+    let system = spec.system.config().with_num_cores(resolved.cores);
+    // The energy model is pinned to `EnergyModel::paper_default()`, so the
+    // system configuration is the only free knob to fingerprint.
+    let config_fp = fingerprint_hex(fingerprint(&format!("{system:?}")));
+
+    enum Planned {
+        Cached(Box<SimulationReport>),
+        Attach,
+        Enqueue,
+    }
+    let mut state = shared.lock();
+    let mut plan: Vec<(CacheKey, Planned)> = Vec::with_capacity(schemes.len());
+    let mut new_cells = 0usize;
+    for id in &schemes {
+        let key = CacheKey {
+            trace: resolved.digest.clone(),
+            config: config_fp.clone(),
+            scheme: id.label(),
+        };
+        let planned = if let Some(report) = shared.cache.lookup(&key) {
+            Planned::Cached(Box::new(report))
+        } else if state.pending.contains_key(&key) {
+            Planned::Attach
+        } else {
+            new_cells += 1;
+            Planned::Enqueue
+        };
+        plan.push((key, planned));
+    }
+    if state.queue.len() + new_cells > shared.config.queue_limit {
+        return Err(ServeError::QueueFull {
+            limit: shared.config.queue_limit,
+        });
+    }
+
+    let job_id = format!("job-{}", state.next_job);
+    state.next_job += 1;
+    let mut cells = Vec::with_capacity(plan.len());
+    let mut cached = 0usize;
+    let mut attached = 0usize;
+    for (index, ((key, planned), id)) in plan.into_iter().zip(&schemes).enumerate() {
+        let cell = match planned {
+            Planned::Cached(report) => {
+                cached += 1;
+                JobCell {
+                    benchmark: resolved.benchmark.clone(),
+                    scheme: *id,
+                    key,
+                    state: CellState::Done,
+                    progress: Arc::new(CellProgress::default()),
+                    report: Some(*report),
+                }
+            }
+            Planned::Attach => {
+                attached += 1;
+                let pending = match state.pending.get_mut(&key) {
+                    Some(pending) => pending,
+                    None => unreachable!("planned under the same lock"),
+                };
+                pending.subscribers.push((job_id.clone(), index));
+                JobCell {
+                    benchmark: resolved.benchmark.clone(),
+                    scheme: *id,
+                    key,
+                    state: if pending.running {
+                        CellState::Running
+                    } else {
+                        CellState::Queued
+                    },
+                    progress: Arc::clone(&pending.progress),
+                    report: None,
+                }
+            }
+            Planned::Enqueue => {
+                let progress = Arc::new(CellProgress::default());
+                state.pending.insert(
+                    key.clone(),
+                    PendingCell {
+                        spec: CellSpec {
+                            trace: spec.trace.clone(),
+                            scheme: *id,
+                            system: system.clone(),
+                            benchmark: resolved.benchmark.clone(),
+                        },
+                        running: false,
+                        cancel: Arc::new(AtomicBool::new(false)),
+                        progress: Arc::clone(&progress),
+                        subscribers: vec![(job_id.clone(), index)],
+                    },
+                );
+                state.queue.push_back(key.clone());
+                JobCell {
+                    benchmark: resolved.benchmark.clone(),
+                    scheme: *id,
+                    key,
+                    state: CellState::Queued,
+                    progress,
+                    report: None,
+                }
+            }
+        };
+        cells.push(cell);
+    }
+    let total = cells.len();
+    state.jobs.insert(job_id.clone(), Job { cells });
+    drop(state);
+    shared.work.notify_all();
+    shared.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    reply(JsonValue::object([
+        ("ok", JsonValue::from(true)),
+        ("job", JsonValue::from(job_id)),
+        ("cells", JsonValue::from(total as u64)),
+        ("cached", JsonValue::from(cached as u64)),
+        ("attached", JsonValue::from(attached as u64)),
+    ]))
+}
+
+fn verb_status(shared: &Shared, frame: &JsonValue) -> Result<Reply, ServeError> {
+    let job_id = job_field(frame)?;
+    let state = shared.lock();
+    let job = state
+        .jobs
+        .get(job_id)
+        .ok_or_else(|| ServeError::UnknownJob(job_id.to_string()))?;
+    let mut cells = Vec::with_capacity(job.cells.len());
+    for cell in &job.cells {
+        let done = cell.progress.done.load(Ordering::Relaxed);
+        let nanos = cell.progress.nanos.load(Ordering::Relaxed);
+        let rate = if nanos > 0 {
+            done as f64 * 1e9 / nanos as f64
+        } else {
+            0.0
+        };
+        let mut fields = vec![
+            ("benchmark", JsonValue::from(cell.benchmark.as_str())),
+            ("scheme", JsonValue::from(cell.scheme.label())),
+            ("state", JsonValue::from(cell.state.label())),
+            ("accesses_done", JsonValue::from(done)),
+            ("accesses_per_sec", JsonValue::from(rate)),
+            (
+                "checkpointed_accesses",
+                JsonValue::from(cell.progress.checkpointed.load(Ordering::Relaxed)),
+            ),
+        ];
+        if let CellState::Failed(message) = &cell.state {
+            fields.push(("error", JsonValue::from(message.as_str())));
+        }
+        cells.push(JsonValue::object(fields));
+    }
+    let overall = job_state(job);
+    reply(JsonValue::object([
+        ("ok", JsonValue::from(true)),
+        ("job", JsonValue::from(job_id)),
+        ("state", JsonValue::from(overall)),
+        ("cells", JsonValue::Array(cells)),
+    ]))
+}
+
+fn job_state(job: &Job) -> &'static str {
+    let mut saw_failed = false;
+    let mut saw_cancelled = false;
+    for cell in &job.cells {
+        match cell.state {
+            CellState::Queued | CellState::Running => return "running",
+            CellState::Failed(_) => saw_failed = true,
+            CellState::Cancelled => saw_cancelled = true,
+            CellState::Done => {}
+        }
+    }
+    if saw_failed {
+        "failed"
+    } else if saw_cancelled {
+        "cancelled"
+    } else {
+        "done"
+    }
+}
+
+fn verb_result(shared: &Shared, frame: &JsonValue) -> Result<Reply, ServeError> {
+    let job_id = job_field(frame)?;
+    let state = shared.lock();
+    let job = state
+        .jobs
+        .get(job_id)
+        .ok_or_else(|| ServeError::UnknownJob(job_id.to_string()))?;
+    let remaining = job
+        .cells
+        .iter()
+        .filter(|c| matches!(c.state, CellState::Queued | CellState::Running))
+        .count();
+    if remaining > 0 {
+        return Err(ServeError::NotFinished {
+            job: job_id.to_string(),
+            remaining,
+        });
+    }
+    if let Some(message) = job.cells.iter().find_map(|c| match &c.state {
+        CellState::Failed(message) => Some(message.clone()),
+        _ => None,
+    }) {
+        return Err(ServeError::JobFailed {
+            job: job_id.to_string(),
+            message,
+        });
+    }
+    if job
+        .cells
+        .iter()
+        .any(|c| matches!(c.state, CellState::Cancelled))
+    {
+        return Err(ServeError::JobCancelled {
+            job: job_id.to_string(),
+        });
+    }
+    let mut results = Vec::with_capacity(job.cells.len());
+    for cell in &job.cells {
+        let report = cell
+            .report
+            .as_ref()
+            .ok_or_else(|| ServeError::Io(std::io::Error::other("done cell lost its report")))?;
+        results.push(JsonValue::object([
+            ("benchmark", JsonValue::from(cell.benchmark.as_str())),
+            ("scheme", JsonValue::from(cell.scheme.label())),
+            ("report", report.to_json()),
+        ]));
+    }
+    reply(JsonValue::object([
+        ("ok", JsonValue::from(true)),
+        ("job", JsonValue::from(job_id)),
+        ("results", JsonValue::Array(results)),
+    ]))
+}
+
+fn verb_cancel(shared: &Shared, frame: &JsonValue) -> Result<Reply, ServeError> {
+    let job_id = job_field(frame)?.to_string();
+    let mut state = shared.lock();
+    if !state.jobs.contains_key(&job_id) {
+        return Err(ServeError::UnknownJob(job_id));
+    }
+    let State {
+        jobs,
+        queue,
+        pending,
+        ..
+    } = &mut *state;
+    let job = match jobs.get_mut(&job_id) {
+        Some(job) => job,
+        None => unreachable!("checked above under the same lock"),
+    };
+    let mut cancelled = 0usize;
+    let mut finished = 0usize;
+    for (index, cell) in job.cells.iter_mut().enumerate() {
+        match cell.state {
+            CellState::Queued | CellState::Running => {
+                if let Some(pending_cell) = pending.get_mut(&cell.key) {
+                    pending_cell
+                        .subscribers
+                        .retain(|(job, i)| !(*job == job_id && *i == index));
+                    if pending_cell.subscribers.is_empty() {
+                        if pending_cell.running {
+                            // The worker stops at its next checkpoint
+                            // boundary and spills a resumable checkpoint.
+                            pending_cell.cancel.store(true, Ordering::SeqCst);
+                        } else {
+                            queue.retain(|key| key != &cell.key);
+                            pending.remove(&cell.key);
+                        }
+                    }
+                }
+                cell.state = CellState::Cancelled;
+                cancelled += 1;
+            }
+            _ => finished += 1,
+        }
+    }
+    reply(JsonValue::object([
+        ("ok", JsonValue::from(true)),
+        ("job", JsonValue::from(job_id)),
+        ("cancelled", JsonValue::from(cancelled as u64)),
+        ("finished", JsonValue::from(finished as u64)),
+    ]))
+}
+
+fn verb_stats(shared: &Shared) -> Result<Reply, ServeError> {
+    let (queue_depth, active_jobs) = {
+        let state = shared.lock();
+        let active = state
+            .jobs
+            .values()
+            .filter(|job| {
+                job.cells
+                    .iter()
+                    .any(|c| matches!(c.state, CellState::Queued | CellState::Running))
+            })
+            .count();
+        (state.queue.len(), active)
+    };
+    let stat = |counter: &AtomicU64| JsonValue::from(counter.load(Ordering::Relaxed));
+    reply(JsonValue::object([
+        ("ok", JsonValue::from(true)),
+        ("protocol", JsonValue::from(u64::from(PROTOCOL_VERSION))),
+        ("workers", JsonValue::from(shared.config.workers as u64)),
+        (
+            "queue",
+            JsonValue::object([
+                ("depth", JsonValue::from(queue_depth as u64)),
+                ("limit", JsonValue::from(shared.config.queue_limit as u64)),
+            ]),
+        ),
+        (
+            "jobs",
+            JsonValue::object([
+                ("submitted", stat(&shared.stats.jobs_submitted)),
+                ("active", JsonValue::from(active_jobs as u64)),
+            ]),
+        ),
+        (
+            "cells",
+            JsonValue::object([
+                ("executed", stat(&shared.stats.cells_executed)),
+                ("resumed", stat(&shared.stats.cells_resumed)),
+                ("failed", stat(&shared.stats.cells_failed)),
+                (
+                    "checkpoints_written",
+                    stat(&shared.stats.checkpoints_written),
+                ),
+            ]),
+        ),
+        (
+            "cache",
+            JsonValue::object([
+                ("entries", JsonValue::from(shared.cache.len() as u64)),
+                ("hits", JsonValue::from(shared.cache.hits())),
+                ("misses", JsonValue::from(shared.cache.misses())),
+            ]),
+        ),
+        (
+            "connections",
+            JsonValue::object([
+                ("accepted", stat(&shared.stats.connections)),
+                ("frames", stat(&shared.stats.frames)),
+                ("errors", stat(&shared.stats.errors)),
+            ]),
+        ),
+        (
+            "shutting_down",
+            JsonValue::from(shared.shutting_down.load(Ordering::SeqCst)),
+        ),
+    ]))
+}
+
+fn verb_shutdown(shared: &Shared) -> Result<Reply, ServeError> {
+    initiate_shutdown(shared);
+    Ok(Reply {
+        body: JsonValue::object([
+            ("ok", JsonValue::from(true)),
+            ("draining", JsonValue::from(true)),
+        ]),
+        close: true,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+struct WorkItem {
+    key: CacheKey,
+    spec: CellSpec,
+    cancel: Arc<AtomicBool>,
+    progress: Arc<CellProgress>,
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let item = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(key) = state.queue.pop_front() {
+                    let claimed = match state.pending.get_mut(&key) {
+                        Some(pending) => {
+                            pending.running = true;
+                            Some((
+                                pending.spec.clone(),
+                                Arc::clone(&pending.cancel),
+                                Arc::clone(&pending.progress),
+                                pending.subscribers.clone(),
+                            ))
+                        }
+                        // Cancelled out from under the queue entry.
+                        None => None,
+                    };
+                    let Some((spec, cancel, progress, subscribers)) = claimed else {
+                        continue;
+                    };
+                    set_cells(&mut state.jobs, &subscribers, &CellState::Running);
+                    break Some(WorkItem {
+                        key,
+                        spec,
+                        cancel,
+                        progress,
+                    });
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(item) = item else { return };
+        execute_cell(shared, item);
+    }
+}
+
+/// What one executed cell produced (errors are carried as strings so a
+/// panicking worker and a trace error land in the same `Failed` path).
+enum CellOutcome {
+    Completed(Box<SimulationReport>),
+    Cancelled,
+}
+
+fn execute_cell(shared: &Shared, item: WorkItem) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_cell(shared, &item)));
+    let result: Result<CellOutcome, String> = match result {
+        Ok(result) => result,
+        Err(panic) => Err(format!("cell panicked: {}", panic_text(&panic))),
+    };
+    let mut state = shared.lock();
+    let subscribers = match state.pending.remove(&item.key) {
+        Some(pending) => pending.subscribers,
+        None => Vec::new(),
+    };
+    match result {
+        Ok(CellOutcome::Completed(report)) => {
+            shared.stats.cells_executed.fetch_add(1, Ordering::Relaxed);
+            complete_cells(&mut state.jobs, &subscribers, &report);
+        }
+        Ok(CellOutcome::Cancelled) => {
+            set_cells(&mut state.jobs, &subscribers, &CellState::Cancelled);
+        }
+        Err(message) => {
+            shared.stats.cells_failed.fetch_add(1, Ordering::Relaxed);
+            set_cells(&mut state.jobs, &subscribers, &CellState::Failed(message));
+        }
+    }
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = panic.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = panic.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn set_cells(jobs: &mut BTreeMap<String, Job>, subscribers: &[(String, usize)], to: &CellState) {
+    for (job_id, index) in subscribers {
+        if let Some(cell) = jobs
+            .get_mut(job_id)
+            .and_then(|job| job.cells.get_mut(*index))
+        {
+            cell.state = to.clone();
+        }
+    }
+}
+
+fn complete_cells(
+    jobs: &mut BTreeMap<String, Job>,
+    subscribers: &[(String, usize)],
+    report: &SimulationReport,
+) {
+    for (job_id, index) in subscribers {
+        if let Some(cell) = jobs
+            .get_mut(job_id)
+            .and_then(|job| job.cells.get_mut(*index))
+        {
+            cell.state = CellState::Done;
+            cell.report = Some(report.clone());
+        }
+    }
+}
+
+fn open_source(shared: &Shared, spec: &TraceSpec) -> Result<Box<dyn TraceSource>, String> {
+    match spec {
+        TraceSpec::File { path } => FileSource::open(path)
+            .map(|s| Box::new(s) as Box<dyn TraceSource>)
+            .map_err(|err| err.to_string()),
+        TraceSpec::Stored { digest } => FileSource::open(shared.trace_path(digest))
+            .map(|s| Box::new(s) as Box<dyn TraceSource>)
+            .map_err(|err| err.to_string()),
+        TraceSpec::Builtin {
+            benchmark,
+            cores,
+            accesses_per_core,
+            seed,
+        } => {
+            let known = Benchmark::ALL
+                .iter()
+                .find(|b| b.label() == benchmark)
+                .ok_or_else(|| format!("unknown builtin benchmark {benchmark:?}"))?;
+            Ok(Box::new(GeneratorSource::new(
+                TraceGenerator::new(known.profile()),
+                *cores,
+                *accesses_per_core,
+                *seed,
+            )))
+        }
+    }
+}
+
+/// The per-cell [`RunObserver`]: publishes progress, honours the cancel
+/// flag, and spills a resumable checkpoint every interval.
+struct CellObserver<'a> {
+    interval: u64,
+    key: &'a CacheKey,
+    cancel: &'a AtomicBool,
+    progress: &'a CellProgress,
+    started: Instant,
+    checkpoint_path: &'a Path,
+    stats: &'a ServiceStats,
+}
+
+impl RunObserver for CellObserver<'_> {
+    fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    fn observe(&mut self, run: RunProgress<'_>) -> RunControl {
+        let total = run.total_accesses();
+        self.progress.done.store(total, Ordering::Relaxed);
+        self.progress.nanos.store(
+            u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        if self.cancel.load(Ordering::SeqCst) {
+            // The engine returns `Cancelled` with a checkpoint built at
+            // this exact boundary; the worker spills it.
+            return RunControl::Cancel;
+        }
+        let checkpoint = run.checkpoint();
+        if write_checkpoint(self.checkpoint_path, self.key, &checkpoint).is_ok() {
+            self.stats
+                .checkpoints_written
+                .fetch_add(1, Ordering::Relaxed);
+            self.progress.checkpointed.store(total, Ordering::Relaxed);
+        }
+        RunControl::Continue
+    }
+}
+
+fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
+    let entry = shared
+        .registry
+        .get(item.spec.scheme)
+        .map_err(|err| err.to_string())?;
+    let mut source = open_source(shared, &item.spec.trace)?;
+    let mut sim = Simulator::with_policy_and_energy_model(
+        item.spec.system.clone(),
+        entry.config.clone(),
+        Arc::clone(&entry.policy),
+        EnergyModel::paper_default(),
+    );
+    let checkpoint_path = shared.checkpoint_path(&item.key);
+    let restored = load_checkpoint(&checkpoint_path, &item.key, &item.spec);
+    let mut observer = CellObserver {
+        interval: shared.config.checkpoint_interval.max(1),
+        key: &item.key,
+        cancel: &item.cancel,
+        progress: &item.progress,
+        started: Instant::now(),
+        checkpoint_path: &checkpoint_path,
+        stats: &shared.stats,
+    };
+    let outcome = match &restored {
+        Some(checkpoint) => {
+            shared.stats.cells_resumed.fetch_add(1, Ordering::Relaxed);
+            sim.resume_source(source.as_mut(), checkpoint, Some(&mut observer))
+        }
+        None => sim.run_source_observed(source.as_mut(), Some(&mut observer)),
+    }
+    .map_err(|err| err.to_string())?;
+    match outcome {
+        RunOutcome::Completed(report) => {
+            let _ = std::fs::remove_file(&checkpoint_path);
+            // The in-memory cache entry lands regardless; a failed spill
+            // only costs restart durability.
+            let _ = shared.cache.insert(item.key.clone(), (*report).clone());
+            Ok(CellOutcome::Completed(report))
+        }
+        RunOutcome::Cancelled(checkpoint) => {
+            let _ = write_checkpoint(&checkpoint_path, &item.key, &checkpoint);
+            item.progress
+                .checkpointed
+                .store(checkpoint.total_accesses, Ordering::Relaxed);
+            Ok(CellOutcome::Cancelled)
+        }
+    }
+}
+
+fn write_checkpoint(
+    path: &Path,
+    key: &CacheKey,
+    checkpoint: &EngineCheckpoint,
+) -> std::io::Result<()> {
+    let json = JsonValue::object([("key", key.to_json()), ("checkpoint", checkpoint.to_json())]);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json.pretty())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads and validates a spilled checkpoint for `key`; anything malformed
+/// or mismatched (including a file for a different spec that landed on
+/// the same stem) is ignored and the cell simply runs from access 0.
+fn load_checkpoint(path: &Path, key: &CacheKey, spec: &CellSpec) -> Option<EngineCheckpoint> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = JsonValue::parse(&text).ok()?;
+    let stored = json.get("key")?;
+    let matches = |field: &str, expected: &str| {
+        stored.get(field).and_then(JsonValue::as_str) == Some(expected)
+    };
+    if !(matches("trace", &key.trace)
+        && matches("config", &key.config)
+        && matches("scheme", &key.scheme))
+    {
+        return None;
+    }
+    let checkpoint = EngineCheckpoint::from_json(json.get("checkpoint")?).ok()?;
+    // `resume_source` asserts these; a stale or corrupted spill must fall
+    // back to a fresh run instead of panicking the worker.
+    if checkpoint.benchmark != spec.benchmark
+        || checkpoint.num_cores != spec.system.num_cores
+        || checkpoint.consumed.len() != checkpoint.num_cores
+    {
+        return None;
+    }
+    Some(checkpoint)
+}

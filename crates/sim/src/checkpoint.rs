@@ -1,0 +1,764 @@
+//! Mid-stream engine checkpoints: a plain-data snapshot of every piece of
+//! mutable simulator state plus the per-core stream cursor, with exact JSON
+//! round-tripping through [`lad_common::json`].
+//!
+//! Two things are deliberately **not** serialized:
+//!
+//! * the R-NUCA home map and the per-line data classes — both are rebuilt by
+//!   re-running the profiling pass on resume (`profile_access` is their only
+//!   writer and converges to the same state in any complete order), and
+//! * the per-core pending accesses — [`EngineCheckpoint::consumed`] counts
+//!   the accesses each core has *stepped*, so resume fast-forwards each
+//!   core's stream by that many accesses and re-fetches the pending window
+//!   from the (deterministic) source.
+//!
+//! Full-range `u64` values (RNG state, cache tags, line indices) are encoded
+//! as `"0x…"` hex strings: [`JsonValue`] numbers are `f64` and would
+//! silently lose bits above 2^53.
+//!
+//! [`EngineCheckpoint::from_json`] reports *structural* problems (missing or
+//! mistyped fields) as errors.  *Semantic* invariant violations — sharer
+//! lists over budget, duplicate classifier entries, occupied-slot clashes —
+//! panic inside the validating restore constructors of the lower crates:
+//! checkpoints are produced by [`Simulator::capture_checkpoint`] and a
+//! structurally well-formed document that violates protocol invariants means
+//! the file was tampered with, not malformed.
+
+use lad_cache::CacheState;
+use lad_coherence::ackwise::AckwiseSharers;
+use lad_coherence::directory::DirectoryEntry;
+use lad_coherence::mesi::MesiState;
+use lad_common::json::JsonValue;
+use lad_common::types::{CacheLine, CoreId, Cycle, DataClass};
+use lad_dram::DramControllerState;
+use lad_energy::accounting::{Component, EnergyAccounting};
+use lad_noc::{LinkState, NetworkState};
+use lad_replication::classifier::{
+    ClassifierKind, LocalityClassifier, ReplicationMode, TrackedCore,
+};
+use lad_replication::counter::SaturatingCounter;
+use lad_replication::entry::{HomeEntry, LlcEntry, ReplicaEntry};
+
+use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile};
+
+#[cfg(doc)]
+use crate::Simulator;
+
+/// Snapshot of one tile: core clock plus the three cache arrays.
+#[derive(Debug, Clone)]
+pub struct TileCheckpoint {
+    /// The core's local clock.
+    pub clock: Cycle,
+    /// The L1 instruction cache.
+    pub l1i: CacheState<MesiState>,
+    /// The L1 data cache.
+    pub l1d: CacheState<MesiState>,
+    /// The LLC slice (home lines and replicas).
+    pub llc: CacheState<LlcEntry>,
+}
+
+/// A resumable mid-stream snapshot of a [`Simulator`].
+///
+/// Captured by [`Simulator::capture_checkpoint`] at a scheduling-loop
+/// boundary; [`Simulator::resume_source`] continues the run from it with
+/// results byte-identical to never having stopped.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    /// Benchmark (stream) name — resume validates it against the source.
+    pub benchmark: String,
+    /// Cores the stream spans.
+    pub num_cores: usize,
+    /// Scheme label — resume validates it against the simulator.
+    pub scheme: String,
+    /// The replication threshold RT the classifier state was captured under.
+    pub replication_threshold: u32,
+    /// Classifier capacity: `None` = Complete, `Some(k)` = Limited_k.
+    pub classifier_capacity: Option<usize>,
+    /// Per-tile state, in core order (all tiles, not just active cores).
+    pub tiles: Vec<TileCheckpoint>,
+    /// Network link occupancy and traffic statistics.
+    pub network: NetworkState,
+    /// Per-controller DRAM state.
+    pub dram: Vec<DramControllerState>,
+    /// The deterministic RNG's word state.
+    pub rng: [u64; 4],
+    /// Dynamic energy accumulated so far (cache/directory events only; the
+    /// network and DRAM components are re-derived from their event counts).
+    pub energy: EnergyAccounting,
+    /// Completion-time components accumulated so far.
+    pub latency: LatencyBreakdown,
+    /// L1 miss breakdown accumulated so far.
+    pub misses: MissBreakdown,
+    /// Run-length profile, including still-open runs.
+    pub run_lengths: RunLengthProfile,
+    /// Per-line home-serialization horizon, sorted by line.
+    pub line_busy_until: Vec<(CacheLine, Cycle)>,
+    /// Total LLC replicas created.
+    pub replicas_created: u64,
+    /// Total back-invalidations from LLC evictions.
+    pub back_invalidations: u64,
+    /// Total accesses stepped.
+    pub total_accesses: u64,
+    /// Accesses each core has stepped — the stream cursor used to
+    /// fast-forward the source on resume.
+    pub consumed: Vec<u64>,
+}
+
+fn hex(value: u64) -> JsonValue {
+    JsonValue::String(format!("{value:#x}"))
+}
+
+fn parse_hex(value: &JsonValue, what: &str) -> Result<u64, String> {
+    let text = value
+        .as_str()
+        .ok_or_else(|| format!("{what} must be a hex string"))?;
+    let digits = text
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("{what} must start with 0x"))?;
+    u64::from_str_radix(digits, 16).map_err(|error| format!("{what}: {error}"))
+}
+
+fn u64_field(value: &JsonValue, name: &str) -> Result<u64, String> {
+    value
+        .get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("checkpoint is missing numeric field {name:?}"))
+}
+
+fn str_field(value: &JsonValue, name: &str) -> Result<String, String> {
+    value
+        .get(name)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("checkpoint is missing string field {name:?}"))
+}
+
+fn array_field<'a>(value: &'a JsonValue, name: &str) -> Result<&'a [JsonValue], String> {
+    value
+        .get(name)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("checkpoint is missing array field {name:?}"))
+}
+
+fn bool_field(value: &JsonValue, name: &str) -> Result<bool, String> {
+    value
+        .get(name)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("checkpoint is missing boolean field {name:?}"))
+}
+
+fn core_from(value: &JsonValue, what: &str) -> Result<CoreId, String> {
+    let index = value
+        .as_u64()
+        .ok_or_else(|| format!("{what} must be a core index"))?;
+    Ok(CoreId::new(index as usize))
+}
+
+fn mesi_from(value: &JsonValue, what: &str) -> Result<MesiState, String> {
+    value
+        .as_str()
+        .and_then(MesiState::parse)
+        .ok_or_else(|| format!("{what} must be one of \"M\", \"E\", \"S\", \"I\""))
+}
+
+fn class_from(value: &JsonValue, what: &str) -> Result<DataClass, String> {
+    let label = value
+        .as_str()
+        .ok_or_else(|| format!("{what} must be a data-class label"))?;
+    DataClass::ALL
+        .iter()
+        .copied()
+        .find(|class| class.label() == label)
+        .ok_or_else(|| format!("{what}: unknown data class {label:?}"))
+}
+
+fn cache_to_json<V>(state: &CacheState<V>, encode: impl Fn(&V) -> JsonValue) -> JsonValue {
+    let slots: Vec<JsonValue> = state
+        .slots
+        .iter()
+        .map(|(slot, tag, stamp, value)| {
+            JsonValue::Array(vec![
+                JsonValue::from(*slot),
+                hex(*tag),
+                JsonValue::from(*stamp),
+                encode(value),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        ("clock", JsonValue::from(state.clock)),
+        ("hits", JsonValue::from(state.hits)),
+        ("misses", JsonValue::from(state.misses)),
+        ("evictions", JsonValue::from(state.evictions)),
+        ("slots", JsonValue::Array(slots)),
+    ])
+}
+
+fn cache_from_json<V>(
+    value: &JsonValue,
+    what: &str,
+    decode: impl Fn(&JsonValue, &str) -> Result<V, String>,
+) -> Result<CacheState<V>, String> {
+    let mut slots = Vec::new();
+    for (i, entry) in array_field(value, "slots")?.iter().enumerate() {
+        let quad = entry.as_array().filter(|q| q.len() == 4);
+        let Some([slot, tag, stamp, payload]) = quad else {
+            return Err(format!(
+                "{what} slot {i} must be a [slot, tag, stamp, value] quad"
+            ));
+        };
+        let slot = slot
+            .as_u64()
+            .ok_or_else(|| format!("{what} slot {i}: slot index must be a number"))?;
+        let tag = parse_hex(tag, &format!("{what} slot {i} tag"))?;
+        let stamp = stamp
+            .as_u64()
+            .ok_or_else(|| format!("{what} slot {i}: stamp must be a number"))?;
+        let payload = decode(payload, &format!("{what} slot {i}"))?;
+        slots.push((slot as usize, tag, stamp, payload));
+    }
+    Ok(CacheState {
+        slots,
+        clock: u64_field(value, "clock")?,
+        hits: u64_field(value, "hits")?,
+        misses: u64_field(value, "misses")?,
+        evictions: u64_field(value, "evictions")?,
+    })
+}
+
+fn llc_entry_to_json(entry: &LlcEntry) -> JsonValue {
+    match entry {
+        LlcEntry::Home(home) => {
+            let sharers = home.directory.sharers();
+            let tracked: Vec<JsonValue> = sharers
+                .tracked()
+                .iter()
+                .map(|core| JsonValue::from(core.index()))
+                .collect();
+            let classifier: Vec<JsonValue> = home
+                .classifier
+                .snapshot()
+                .iter()
+                .map(|t| {
+                    JsonValue::Array(vec![
+                        JsonValue::from(t.core.index()),
+                        JsonValue::from(t.mode.allows_replica()),
+                        JsonValue::from(t.home_reuse),
+                        JsonValue::from(t.active),
+                    ])
+                })
+                .collect();
+            JsonValue::object([
+                ("kind", JsonValue::from("home")),
+                ("dirty", JsonValue::from(home.dirty)),
+                (
+                    "owner",
+                    home.directory
+                        .owner()
+                        .map_or(JsonValue::Null, |core| JsonValue::from(core.index())),
+                ),
+                ("max_pointers", JsonValue::from(sharers.max_pointers())),
+                ("tracked", JsonValue::Array(tracked)),
+                ("global", JsonValue::from(sharers.is_global())),
+                ("sharer_count", JsonValue::from(sharers.count())),
+                ("classifier", JsonValue::Array(classifier)),
+            ])
+        }
+        LlcEntry::Replica(replica) => JsonValue::object([
+            ("kind", JsonValue::from("replica")),
+            ("state", JsonValue::from(replica.state.to_string())),
+            ("dirty", JsonValue::from(replica.dirty)),
+            ("l1_copy", JsonValue::from(replica.l1_copy)),
+            ("reuse", JsonValue::from(replica.reuse.value())),
+        ]),
+    }
+}
+
+fn llc_entry_from_json(
+    value: &JsonValue,
+    what: &str,
+    rt: u32,
+    kind: ClassifierKind,
+) -> Result<LlcEntry, String> {
+    match str_field(value, "kind")?.as_str() {
+        "home" => {
+            let mut tracked = Vec::new();
+            for core in array_field(value, "tracked")? {
+                tracked.push(core_from(core, &format!("{what} tracked sharer"))?);
+            }
+            let sharers = AckwiseSharers::from_parts(
+                u64_field(value, "max_pointers")? as usize,
+                &tracked,
+                bool_field(value, "global")?,
+                u64_field(value, "sharer_count")? as usize,
+            );
+            let owner = match value.get("owner") {
+                None => return Err(format!("{what} home entry is missing \"owner\"")),
+                Some(JsonValue::Null) => None,
+                Some(core) => Some(core_from(core, &format!("{what} owner"))?),
+            };
+            let mut entries = Vec::new();
+            for (i, entry) in array_field(value, "classifier")?.iter().enumerate() {
+                let quad = entry.as_array().filter(|q| q.len() == 4);
+                let Some([core, replica, reuse, active]) = quad else {
+                    return Err(format!(
+                        "{what} classifier entry {i} must be a [core, replica, reuse, active] quad"
+                    ));
+                };
+                let mode = if replica
+                    .as_bool()
+                    .ok_or_else(|| format!("{what} classifier entry {i}: mode must be a bool"))?
+                {
+                    ReplicationMode::Replica
+                } else {
+                    ReplicationMode::NonReplica
+                };
+                entries.push(TrackedCore {
+                    core: core_from(core, &format!("{what} classifier entry {i}"))?,
+                    mode,
+                    home_reuse: reuse.as_u64().ok_or_else(|| {
+                        format!("{what} classifier entry {i}: reuse must be a number")
+                    })? as u32,
+                    active: active.as_bool().ok_or_else(|| {
+                        format!("{what} classifier entry {i}: active must be a bool")
+                    })?,
+                });
+            }
+            Ok(LlcEntry::Home(HomeEntry {
+                directory: DirectoryEntry::from_parts(sharers, owner),
+                classifier: LocalityClassifier::from_snapshot(kind, rt, &entries),
+                dirty: bool_field(value, "dirty")?,
+            }))
+        }
+        "replica" => Ok(LlcEntry::Replica(ReplicaEntry {
+            state: mesi_from(
+                value
+                    .get("state")
+                    .ok_or_else(|| format!("{what} replica is missing \"state\""))?,
+                &format!("{what} replica state"),
+            )?,
+            reuse: SaturatingCounter::with_value(rt, u64_field(value, "reuse")? as u32),
+            l1_copy: bool_field(value, "l1_copy")?,
+            dirty: bool_field(value, "dirty")?,
+        })),
+        kind => Err(format!("{what}: unknown LLC entry kind {kind:?}")),
+    }
+}
+
+fn network_to_json(state: &NetworkState) -> JsonValue {
+    let links: Vec<JsonValue> = state
+        .links
+        .iter()
+        .map(|link| {
+            JsonValue::Array(vec![
+                JsonValue::from(link.busy_until.value()),
+                JsonValue::from(link.flits),
+            ])
+        })
+        .collect();
+    let latency: Vec<JsonValue> = state
+        .latency
+        .iter()
+        .map(|(value, count)| {
+            JsonValue::Array(vec![JsonValue::from(*value), JsonValue::from(*count)])
+        })
+        .collect();
+    JsonValue::object([
+        ("links", JsonValue::Array(links)),
+        ("messages", JsonValue::from(state.messages)),
+        ("control_messages", JsonValue::from(state.control_messages)),
+        ("data_messages", JsonValue::from(state.data_messages)),
+        ("flit_hops", JsonValue::from(state.flit_hops)),
+        (
+            "router_traversals",
+            JsonValue::from(state.router_traversals),
+        ),
+        ("latency", JsonValue::Array(latency)),
+    ])
+}
+
+fn pair_u64(value: &JsonValue, what: &str) -> Result<(u64, u64), String> {
+    let pair = value.as_array().filter(|p| p.len() == 2);
+    let (first, second) = match pair {
+        Some([a, b]) => (a.as_u64(), b.as_u64()),
+        _ => (None, None),
+    };
+    match (first, second) {
+        (Some(first), Some(second)) => Ok((first, second)),
+        _ => Err(format!("{what} must be a pair of numbers")),
+    }
+}
+
+fn network_from_json(value: &JsonValue) -> Result<NetworkState, String> {
+    let mut links = Vec::new();
+    for (i, link) in array_field(value, "links")?.iter().enumerate() {
+        let (busy_until, flits) = pair_u64(link, &format!("network link {i}"))?;
+        links.push(LinkState {
+            busy_until: Cycle::new(busy_until),
+            flits,
+        });
+    }
+    let mut latency = Vec::new();
+    for (i, sample) in array_field(value, "latency")?.iter().enumerate() {
+        latency.push(pair_u64(sample, &format!("network latency sample {i}"))?);
+    }
+    Ok(NetworkState {
+        links,
+        messages: u64_field(value, "messages")?,
+        control_messages: u64_field(value, "control_messages")?,
+        data_messages: u64_field(value, "data_messages")?,
+        flit_hops: u64_field(value, "flit_hops")?,
+        router_traversals: u64_field(value, "router_traversals")?,
+        latency,
+    })
+}
+
+impl EngineCheckpoint {
+    /// The checkpoint as a JSON document.  Numeric state round-trips exactly
+    /// through [`EngineCheckpoint::from_json`]; full-range `u64` words are
+    /// hex strings (see the module docs).
+    pub fn to_json(&self) -> JsonValue {
+        let tiles: Vec<JsonValue> = self
+            .tiles
+            .iter()
+            .map(|tile| {
+                JsonValue::object([
+                    ("clock", JsonValue::from(tile.clock.value())),
+                    (
+                        "l1i",
+                        cache_to_json(&tile.l1i, |s| JsonValue::from(s.to_string())),
+                    ),
+                    (
+                        "l1d",
+                        cache_to_json(&tile.l1d, |s| JsonValue::from(s.to_string())),
+                    ),
+                    ("llc", cache_to_json(&tile.llc, llc_entry_to_json)),
+                ])
+            })
+            .collect();
+        let dram: Vec<JsonValue> = self
+            .dram
+            .iter()
+            .map(|controller| {
+                JsonValue::Array(vec![
+                    JsonValue::from(controller.free_at.value()),
+                    JsonValue::from(controller.accesses),
+                    JsonValue::from(controller.busy_cycles),
+                ])
+            })
+            .collect();
+        let rng: Vec<JsonValue> = self.rng.iter().map(|word| hex(*word)).collect();
+        let energy = JsonValue::Object(
+            self.energy
+                .iter()
+                .map(|(component, pj)| (component.label().to_string(), JsonValue::from(pj)))
+                .collect(),
+        );
+        let open_runs: Vec<JsonValue> = self
+            .run_lengths
+            .open_runs()
+            .iter()
+            .map(|(line, core, count, class)| {
+                JsonValue::Array(vec![
+                    hex(line.index()),
+                    JsonValue::from(core.index()),
+                    JsonValue::from(*count),
+                    JsonValue::from(class.label()),
+                ])
+            })
+            .collect();
+        let line_busy: Vec<JsonValue> = self
+            .line_busy_until
+            .iter()
+            .map(|(line, cycle)| {
+                JsonValue::Array(vec![hex(line.index()), JsonValue::from(cycle.value())])
+            })
+            .collect();
+        let consumed: Vec<JsonValue> = self.consumed.iter().map(|n| JsonValue::from(*n)).collect();
+        JsonValue::object([
+            ("benchmark", JsonValue::from(self.benchmark.as_str())),
+            ("num_cores", JsonValue::from(self.num_cores)),
+            ("scheme", JsonValue::from(self.scheme.as_str())),
+            (
+                "replication_threshold",
+                JsonValue::from(self.replication_threshold),
+            ),
+            (
+                "classifier_capacity",
+                self.classifier_capacity
+                    .map_or(JsonValue::Null, JsonValue::from),
+            ),
+            ("tiles", JsonValue::Array(tiles)),
+            ("network", network_to_json(&self.network)),
+            ("dram", JsonValue::Array(dram)),
+            ("rng", JsonValue::Array(rng)),
+            ("energy", energy),
+            ("latency", self.latency.to_json()),
+            ("misses", self.misses.to_json()),
+            ("run_lengths", self.run_lengths.to_json()),
+            ("open_runs", JsonValue::Array(open_runs)),
+            ("line_busy_until", JsonValue::Array(line_busy)),
+            ("replicas_created", JsonValue::from(self.replicas_created)),
+            (
+                "back_invalidations",
+                JsonValue::from(self.back_invalidations),
+            ),
+            ("total_accesses", JsonValue::from(self.total_accesses)),
+            ("consumed", JsonValue::Array(consumed)),
+        ])
+    }
+
+    /// Rebuilds a checkpoint from [`EngineCheckpoint::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    ///
+    /// # Panics
+    ///
+    /// Structurally valid documents whose state violates protocol invariants
+    /// (sharer lists over budget, duplicate classifier entries, …) panic in
+    /// the lower crates' validating constructors — see the module docs.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let replication_threshold = u64_field(value, "replication_threshold")? as u32;
+        let classifier_capacity = match value.get("classifier_capacity") {
+            None => return Err("checkpoint is missing \"classifier_capacity\"".to_string()),
+            Some(JsonValue::Null) => None,
+            Some(capacity) => Some(
+                capacity
+                    .as_u64()
+                    .ok_or("\"classifier_capacity\" must be null or a number")?
+                    as usize,
+            ),
+        };
+        let kind = match classifier_capacity {
+            None => ClassifierKind::Complete,
+            Some(k) => ClassifierKind::Limited(k),
+        };
+
+        let mut tiles = Vec::new();
+        for (i, tile) in array_field(value, "tiles")?.iter().enumerate() {
+            let l1i = tile
+                .get("l1i")
+                .ok_or_else(|| format!("tile {i} is missing \"l1i\""))?;
+            let l1d = tile
+                .get("l1d")
+                .ok_or_else(|| format!("tile {i} is missing \"l1d\""))?;
+            let llc = tile
+                .get("llc")
+                .ok_or_else(|| format!("tile {i} is missing \"llc\""))?;
+            tiles.push(TileCheckpoint {
+                clock: Cycle::new(u64_field(tile, "clock")?),
+                l1i: cache_from_json(l1i, &format!("tile {i} l1i"), mesi_from)?,
+                l1d: cache_from_json(l1d, &format!("tile {i} l1d"), mesi_from)?,
+                llc: cache_from_json(llc, &format!("tile {i} llc"), |entry, what| {
+                    llc_entry_from_json(entry, what, replication_threshold, kind)
+                })?,
+            });
+        }
+
+        let network = network_from_json(
+            value
+                .get("network")
+                .ok_or("checkpoint is missing the network state")?,
+        )?;
+
+        let mut dram = Vec::new();
+        for (i, controller) in array_field(value, "dram")?.iter().enumerate() {
+            let triple = controller.as_array().filter(|t| t.len() == 3);
+            let values = match triple {
+                Some([a, b, c]) => match (a.as_u64(), b.as_u64(), c.as_u64()) {
+                    (Some(a), Some(b), Some(c)) => Some((a, b, c)),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let (free_at, accesses, busy_cycles) = values.ok_or_else(|| {
+                format!("dram controller {i} must be a [free_at, accesses, busy_cycles] triple")
+            })?;
+            dram.push(DramControllerState {
+                free_at: Cycle::new(free_at),
+                accesses,
+                busy_cycles,
+            });
+        }
+
+        let rng_words = array_field(value, "rng")?;
+        if rng_words.len() != 4 {
+            return Err(format!(
+                "rng state must have 4 words, not {}",
+                rng_words.len()
+            ));
+        }
+        let mut rng = [0u64; 4];
+        for (slot, word) in rng.iter_mut().zip(rng_words) {
+            *slot = parse_hex(word, "rng word")?;
+        }
+
+        let energy_obj = value
+            .get("energy")
+            .and_then(JsonValue::as_object)
+            .ok_or("checkpoint is missing the energy breakdown")?;
+        let mut energy = EnergyAccounting::new();
+        for (label, pj) in energy_obj {
+            let component = Component::ALL
+                .iter()
+                .copied()
+                .find(|c| c.label() == label)
+                .ok_or_else(|| format!("unknown energy component {label:?}"))?;
+            let pj = pj
+                .as_f64()
+                .filter(|pj| *pj >= 0.0)
+                .ok_or_else(|| format!("energy of {label:?} must be a non-negative number"))?;
+            energy.record(component, pj);
+        }
+
+        let mut run_lengths = RunLengthProfile::from_json(
+            value
+                .get("run_lengths")
+                .ok_or("checkpoint is missing the run-length profile")?,
+        )?;
+        for (i, run) in array_field(value, "open_runs")?.iter().enumerate() {
+            let quad = run.as_array().filter(|q| q.len() == 4);
+            let Some([line, core, count, class]) = quad else {
+                return Err(format!(
+                    "open run {i} must be a [line, core, length, class] quad"
+                ));
+            };
+            run_lengths.restore_open_run(
+                CacheLine::from_index(parse_hex(line, &format!("open run {i} line"))?),
+                core_from(core, &format!("open run {i} core"))?,
+                count
+                    .as_u64()
+                    .ok_or_else(|| format!("open run {i}: length must be a number"))?,
+                class_from(class, &format!("open run {i} class"))?,
+            );
+        }
+
+        let mut line_busy_until = Vec::new();
+        for (i, entry) in array_field(value, "line_busy_until")?.iter().enumerate() {
+            let pair = entry.as_array().filter(|p| p.len() == 2);
+            let Some([line, cycle]) = pair else {
+                return Err(format!(
+                    "line_busy_until entry {i} must be a [line, cycle] pair"
+                ));
+            };
+            line_busy_until.push((
+                CacheLine::from_index(parse_hex(line, &format!("line_busy_until entry {i}"))?),
+                Cycle::new(
+                    cycle.as_u64().ok_or_else(|| {
+                        format!("line_busy_until entry {i}: cycle must be a number")
+                    })?,
+                ),
+            ));
+        }
+
+        let mut consumed = Vec::new();
+        for (i, count) in array_field(value, "consumed")?.iter().enumerate() {
+            consumed.push(
+                count
+                    .as_u64()
+                    .ok_or_else(|| format!("consumed[{i}] must be a number"))?,
+            );
+        }
+
+        Ok(EngineCheckpoint {
+            benchmark: str_field(value, "benchmark")?,
+            num_cores: u64_field(value, "num_cores")? as usize,
+            scheme: str_field(value, "scheme")?,
+            replication_threshold,
+            classifier_capacity,
+            tiles,
+            network,
+            dram,
+            rng,
+            energy,
+            latency: LatencyBreakdown::from_json(
+                value
+                    .get("latency")
+                    .ok_or("checkpoint is missing the latency breakdown")?,
+            )?,
+            misses: MissBreakdown::from_json(
+                value
+                    .get("misses")
+                    .ok_or("checkpoint is missing the miss breakdown")?,
+            )?,
+            run_lengths,
+            line_busy_until,
+            replicas_created: u64_field(value, "replicas_created")?,
+            back_invalidations: u64_field(value, "back_invalidations")?,
+            total_accesses: u64_field(value, "total_accesses")?,
+            consumed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use lad_common::config::SystemConfig;
+    use lad_replication::config::ReplicationConfig;
+    use lad_trace::benchmarks::Benchmark;
+    use lad_trace::generator::TraceGenerator;
+    use lad_traceio::source::MemorySource;
+
+    fn captured_checkpoint() -> EngineCheckpoint {
+        let trace = TraceGenerator::new(Benchmark::Barnes.profile()).generate(16, 400, 7);
+        let mut sim = Simulator::new(
+            SystemConfig::small_test(),
+            ReplicationConfig::locality_aware(3),
+        );
+        let mut source = MemorySource::new(&trace);
+        let mut stop = crate::engine::StopAfter::new(200);
+        match sim.run_source_observed(&mut source, Some(&mut stop)) {
+            Ok(crate::engine::RunOutcome::Cancelled(checkpoint)) => *checkpoint,
+            other => panic!("expected a cancelled run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_json_roundtrips_exactly() {
+        let checkpoint = captured_checkpoint();
+        let json = checkpoint.to_json();
+        let text = json.pretty();
+        let reparsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(reparsed, json);
+        let decoded = EngineCheckpoint::from_json(&reparsed).unwrap();
+        // Re-encoding the decoded checkpoint must reproduce the document
+        // byte-for-byte: the JSON form is canonical (sorted open runs and
+        // busy lines, hex words, exact floats), so equality here covers
+        // every field — cache slots, RNG words, energy totals, cursors.
+        assert_eq!(decoded.to_json().pretty(), text);
+        assert_eq!(decoded.consumed, checkpoint.consumed);
+        assert_eq!(decoded.total_accesses, checkpoint.total_accesses);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let json = captured_checkpoint().to_json();
+        let JsonValue::Object(pairs) = &json else {
+            panic!("checkpoint JSON must be an object");
+        };
+        for i in 0..pairs.len() {
+            let mut broken = pairs.clone();
+            broken.remove(i);
+            assert!(
+                EngineCheckpoint::from_json(&JsonValue::Object(broken)).is_err(),
+                "dropping field {} must fail",
+                pairs[i].0
+            );
+        }
+        assert!(EngineCheckpoint::from_json(&JsonValue::Null).is_err());
+    }
+
+    #[test]
+    fn hex_encoding_preserves_full_range_words() {
+        for word in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d, 1 << 53] {
+            let encoded = hex(word);
+            assert_eq!(parse_hex(&encoded, "word"), Ok(word));
+        }
+        assert!(parse_hex(&JsonValue::from("123"), "word").is_err());
+        assert!(parse_hex(&JsonValue::from(123u64), "word").is_err());
+    }
+}

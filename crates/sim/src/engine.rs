@@ -31,6 +31,7 @@ use lad_trace::generator::WorkloadTrace;
 use lad_traceio::error::TraceError;
 use lad_traceio::source::{MemorySource, TraceSource};
 
+use crate::checkpoint::{EngineCheckpoint, TileCheckpoint};
 use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
 use crate::schedule::CoreScheduler;
 use crate::tile::Tile;
@@ -57,6 +58,96 @@ pub struct AccessOutcome {
     pub served_by: ServedBy,
     /// The issuing core's local clock after the access completed.
     pub finish: Cycle,
+}
+
+/// Periodic callback driven by [`Simulator::run_source_observed`] at
+/// scheduling-loop boundaries — the hook for progress reporting, periodic
+/// checkpoint spills and cooperative cancellation.
+pub trait RunObserver {
+    /// Number of stepped accesses between [`RunObserver::observe`] calls
+    /// (values below 1 are treated as 1; sampled once at loop entry).
+    fn interval(&self) -> u64;
+
+    /// Called every [`RunObserver::interval`] accesses with a [`RunProgress`]
+    /// view of the live run.  Return [`RunControl::Cancel`] to stop the run
+    /// at this boundary with a resumable checkpoint.
+    fn observe(&mut self, progress: RunProgress<'_>) -> RunControl;
+}
+
+/// The observer's verdict after each [`RunObserver::observe`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunControl {
+    /// Keep running.
+    Continue,
+    /// Stop at this scheduling boundary and return a resumable checkpoint.
+    Cancel,
+}
+
+/// Read-only view of a live run, handed to [`RunObserver::observe`].
+#[derive(Debug)]
+pub struct RunProgress<'a> {
+    sim: &'a Simulator,
+    consumed: &'a [u64],
+}
+
+impl RunProgress<'_> {
+    /// The running simulator (for [`Simulator::report`]-style snapshots).
+    pub fn simulator(&self) -> &Simulator {
+        self.sim
+    }
+
+    /// Accesses each core has stepped so far.
+    pub fn consumed(&self) -> &[u64] {
+        self.consumed
+    }
+
+    /// Total accesses stepped so far (including any resumed prefix).
+    pub fn total_accesses(&self) -> u64 {
+        self.sim.total_accesses
+    }
+
+    /// Builds a resumable checkpoint of the run at this boundary.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        self.sim.capture_checkpoint(self.consumed)
+    }
+}
+
+/// How an observed run ended.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The stream drained; the finished report.  Boxed like the
+    /// checkpoint so the enum stays pointer-sized on the happy path too.
+    Completed(Box<SimulationReport>),
+    /// The observer cancelled; resume from the carried checkpoint.
+    Cancelled(Box<EngineCheckpoint>),
+}
+
+/// A [`RunObserver`] that cancels after a fixed number of stepped accesses —
+/// the building block for "checkpoint every N accesses" tests and for
+/// bounded execution slices.
+#[derive(Debug, Clone, Copy)]
+pub struct StopAfter {
+    limit: u64,
+}
+
+impl StopAfter {
+    /// Cancels the run once `limit` accesses have been stepped (counted from
+    /// loop entry, i.e. from the resume point on resumed runs).
+    pub fn new(limit: u64) -> Self {
+        StopAfter {
+            limit: limit.max(1),
+        }
+    }
+}
+
+impl RunObserver for StopAfter {
+    fn interval(&self) -> u64 {
+        self.limit
+    }
+
+    fn observe(&mut self, _progress: RunProgress<'_>) -> RunControl {
+        RunControl::Cancel
+    }
 }
 
 /// Result of probing one sharer during an invalidation round.
@@ -463,6 +554,29 @@ impl Simulator {
         &mut self,
         source: &mut dyn TraceSource,
     ) -> Result<SimulationReport, TraceError> {
+        match self.run_source_observed(source, None)? {
+            RunOutcome::Completed(report) => Ok(*report),
+            RunOutcome::Cancelled(_) => unreachable!("without an observer nothing can cancel"),
+        }
+    }
+
+    /// [`Simulator::run_source`] with a [`RunObserver`] called at scheduling
+    /// boundaries every [`RunObserver::interval`] accesses — the hook for
+    /// progress reporting, periodic checkpoint spills, and cancellation.
+    ///
+    /// Returning [`RunControl::Cancel`] stops the run at the current loop
+    /// boundary and yields [`RunOutcome::Cancelled`] carrying an
+    /// [`EngineCheckpoint`] from which [`Simulator::resume_source`] continues
+    /// with results byte-identical to never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run_source`].
+    pub fn run_source_observed(
+        &mut self,
+        source: &mut dyn TraceSource,
+        observer: Option<&mut dyn RunObserver>,
+    ) -> Result<RunOutcome, TraceError> {
         let name = source.name().to_string();
         let num_cores = source.num_cores();
         if num_cores > self.system.num_cores {
@@ -472,26 +586,107 @@ impl Simulator {
             });
         }
         self.begin(&name, num_cores);
+        self.profile_source(source)?;
+        source.rewind()?;
+        self.execute_source(source, num_cores, vec![0; num_cores], observer)
+    }
 
-        // Profiling pass.  Page classification and the per-line class map
-        // converge to the same final state in any complete order
-        // (instruction marking is sticky, the private→shared upgrade is
-        // commutative, and a line's class is consistent within a trace), so
-        // the source streams in its own order — file order for LADT
-        // readers, which keeps replay memory O(chunk).
+    /// Continues a run from an [`EngineCheckpoint`] captured on the same
+    /// benchmark, scheme and configuration, producing results byte-identical
+    /// to the uninterrupted run.
+    ///
+    /// The home map and per-line data classes are rebuilt by re-running the
+    /// profiling pass (their final state is order-independent and they never
+    /// change after profiling); each core's stream is then fast-forwarded by
+    /// its [`EngineCheckpoint::consumed`] cursor and the scheduling loop
+    /// continues — rebuilding the scheduler heap from the restored clocks
+    /// reproduces the continuation schedule exactly, because the next core
+    /// is always the minimum `(clock, core)` key over the pending set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run_source`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not match the source (benchmark name,
+    /// core count) or this simulator (scheme label, replication threshold,
+    /// classifier organization, tile geometry), or if the stream is shorter
+    /// than the checkpoint's cursor.
+    pub fn resume_source(
+        &mut self,
+        source: &mut dyn TraceSource,
+        checkpoint: &EngineCheckpoint,
+        observer: Option<&mut dyn RunObserver>,
+    ) -> Result<RunOutcome, TraceError> {
+        let name = source.name().to_string();
+        let num_cores = source.num_cores();
+        if num_cores > self.system.num_cores {
+            return Err(TraceError::CoreCountExceeded {
+                trace_cores: num_cores,
+                limit: self.system.num_cores,
+            });
+        }
+        assert_eq!(
+            checkpoint.benchmark, name,
+            "checkpoint was captured on a different benchmark"
+        );
+        assert_eq!(
+            checkpoint.num_cores, num_cores,
+            "checkpoint was captured on a stream with a different core count"
+        );
+        self.begin(&name, num_cores);
+        self.profile_source(source)?;
+        source.rewind()?;
+        self.restore_from_checkpoint(checkpoint);
+        // Fast-forward every core's stream past the accesses it has already
+        // stepped; the remaining per-core suffixes are exactly the pending
+        // windows the interrupted loop still had to execute.
+        for core in 0..num_cores {
+            for _ in 0..checkpoint.consumed[core] {
+                let replayed = source.next_for_core(CoreId::new(core))?;
+                assert!(
+                    replayed.is_some(),
+                    "stream for core {core} is shorter than the checkpoint cursor"
+                );
+            }
+        }
+        self.execute_source(source, num_cores, checkpoint.consumed.clone(), observer)
+    }
+
+    /// The profiling pass shared by [`Simulator::run_source_observed`] and
+    /// [`Simulator::resume_source`].  Page classification and the per-line
+    /// class map converge to the same final state in any complete order
+    /// (instruction marking is sticky, the private→shared upgrade is
+    /// commutative, and a line's class is consistent within a trace), so the
+    /// source streams in its own order — file order for LADT readers, which
+    /// keeps replay memory O(chunk).
+    fn profile_source(&mut self, source: &mut dyn TraceSource) -> Result<(), TraceError> {
         source.rewind()?;
         while let Some(access) = source.next_access()? {
             self.profile_access(&access);
         }
+        Ok(())
+    }
 
-        // Execution pass: interleave cores by local time, always advancing
-        // the core that is furthest behind (ties to the lowest index).  A
-        // min-heap of (clock, core) replaces the per-access linear scan:
-        // stepping mutates only the issuing core's clock, so every other
-        // heap key stays valid (see `crate::schedule`).  While the stepped
-        // core's new key is still <= the heap minimum it keeps running
-        // without any heap traffic — batched dispatch.
-        source.rewind()?;
+    /// Execution pass: interleave cores by local time, always advancing the
+    /// core that is furthest behind (ties to the lowest index).  A min-heap
+    /// of (clock, core) replaces the per-access linear scan: stepping
+    /// mutates only the issuing core's clock, so every other heap key stays
+    /// valid (see `crate::schedule`).  While the stepped core's new key is
+    /// still <= the heap minimum it keeps running without any heap traffic
+    /// — batched dispatch.
+    ///
+    /// `consumed` carries the per-core cursor of accesses already stepped
+    /// (all zeros for a fresh run); the source must already be positioned on
+    /// each core's first unstepped access.
+    fn execute_source(
+        &mut self,
+        source: &mut dyn TraceSource,
+        num_cores: usize,
+        mut consumed: Vec<u64>,
+        mut observer: Option<&mut dyn RunObserver>,
+    ) -> Result<RunOutcome, TraceError> {
         let mut pending: Vec<Option<MemoryAccess>> = Vec::with_capacity(num_cores);
         let mut scheduler = CoreScheduler::with_capacity(num_cores);
         for core in 0..num_cores {
@@ -501,6 +696,8 @@ impl Simulator {
             }
             pending.push(access);
         }
+        let interval = observer.as_ref().map_or(u64::MAX, |o| o.interval().max(1));
+        let mut since_observe: u64 = 0;
         #[cfg(debug_assertions)]
         let mut steps_since_check: u32 = 0;
         let mut current = scheduler.pop();
@@ -509,6 +706,7 @@ impl Simulator {
                 unreachable!("scheduled cores always have a pending access");
             };
             self.step(&access);
+            consumed[core] += 1;
             pending[core] = source.next_for_core(CoreId::new(core))?;
 
             // Debug builds sweep the live state against the shared invariant
@@ -520,6 +718,22 @@ impl Simulator {
                 if steps_since_check >= RUNTIME_CHECK_INTERVAL {
                     steps_since_check = 0;
                     self.enforce_protocol_invariants();
+                }
+            }
+
+            if let Some(observer) = observer.as_deref_mut() {
+                since_observe += 1;
+                if since_observe >= interval {
+                    since_observe = 0;
+                    let progress = RunProgress {
+                        sim: self,
+                        consumed: &consumed,
+                    };
+                    if matches!(observer.observe(progress), RunControl::Cancel) {
+                        return Ok(RunOutcome::Cancelled(Box::new(
+                            self.capture_checkpoint(&consumed),
+                        )));
+                    }
                 }
             }
 
@@ -539,7 +753,121 @@ impl Simulator {
         // below (and any further `report` calls) need not fold them again.
         self.run_lengths.finalize();
 
-        Ok(self.report())
+        Ok(RunOutcome::Completed(Box::new(self.report())))
+    }
+
+    /// Snapshots every piece of mutable state into an [`EngineCheckpoint`].
+    ///
+    /// `consumed` is the per-core count of accesses already stepped — the
+    /// stream cursor [`Simulator::resume_source`] fast-forwards by.  The
+    /// checkpoint must be taken at a scheduling-loop boundary (after a
+    /// [`Simulator::step`] and its pending-window refill), which is where
+    /// [`Simulator::run_source_observed`] calls its observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumed` does not cover exactly the active cores.
+    pub fn capture_checkpoint(&self, consumed: &[u64]) -> EngineCheckpoint {
+        assert_eq!(
+            consumed.len(),
+            self.active_cores,
+            "one cursor per active core required"
+        );
+        let mut line_busy_until: Vec<(CacheLine, Cycle)> = self
+            .line_busy_until
+            .iter()
+            .map(|(line, cycle)| (*line, *cycle))
+            .collect();
+        line_busy_until.sort_unstable_by_key(|(line, _)| *line);
+        EngineCheckpoint {
+            benchmark: self.benchmark.clone(),
+            num_cores: self.active_cores,
+            scheme: self.label.clone(),
+            replication_threshold: self.replication.replication_threshold,
+            classifier_capacity: self.replication.classifier.capacity(),
+            tiles: self
+                .tiles
+                .iter()
+                .map(|tile| TileCheckpoint {
+                    clock: tile.clock,
+                    l1i: tile.l1i.state(),
+                    l1d: tile.l1d.state(),
+                    llc: tile.llc.state(),
+                })
+                .collect(),
+            network: self.network.state(),
+            dram: self.dram.state(),
+            rng: self.rng.state(),
+            energy: self.energy.clone(),
+            latency: self.latency,
+            misses: self.misses,
+            run_lengths: self.run_lengths.clone(),
+            line_busy_until,
+            replicas_created: self.replicas_created,
+            back_invalidations: self.back_invalidations,
+            total_accesses: self.total_accesses,
+            consumed: consumed.to_vec(),
+        }
+    }
+
+    /// Restores every piece of mutable state from a checkpoint captured on
+    /// the same configuration.  Call after [`Simulator::begin`] and the
+    /// profiling pass — the home map and per-line classes are rebuilt by
+    /// profiling, not restored (see [`EngineCheckpoint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not match this simulator's benchmark,
+    /// scheme, replication parameters or geometry; the lower crates'
+    /// validating restore constructors additionally reject state that
+    /// violates protocol invariants.
+    pub fn restore_from_checkpoint(&mut self, checkpoint: &EngineCheckpoint) {
+        assert_eq!(
+            checkpoint.benchmark, self.benchmark,
+            "checkpoint was captured on a different benchmark"
+        );
+        assert_eq!(
+            checkpoint.num_cores, self.active_cores,
+            "checkpoint was captured with a different active-core count"
+        );
+        assert_eq!(
+            checkpoint.scheme, self.label,
+            "checkpoint was captured under a different scheme"
+        );
+        assert_eq!(
+            checkpoint.replication_threshold, self.replication.replication_threshold,
+            "checkpoint was captured under a different replication threshold"
+        );
+        assert_eq!(
+            checkpoint.classifier_capacity,
+            self.replication.classifier.capacity(),
+            "checkpoint was captured under a different classifier organization"
+        );
+        assert_eq!(
+            checkpoint.tiles.len(),
+            self.tiles.len(),
+            "checkpoint was captured on a system with a different tile count"
+        );
+        for (tile, snapshot) in self.tiles.iter_mut().zip(&checkpoint.tiles) {
+            tile.clock = snapshot.clock;
+            tile.l1i.restore_state(&snapshot.l1i);
+            tile.l1d.restore_state(&snapshot.l1d);
+            tile.llc.restore_state(&snapshot.llc);
+        }
+        self.network.restore_state(&checkpoint.network);
+        self.dram.restore_state(&checkpoint.dram);
+        self.rng = DeterministicRng::from_state(checkpoint.rng);
+        self.energy = checkpoint.energy.clone();
+        self.latency = checkpoint.latency;
+        self.misses = checkpoint.misses;
+        self.run_lengths = checkpoint.run_lengths.clone();
+        self.line_busy_until.clear();
+        for (line, cycle) in &checkpoint.line_busy_until {
+            self.line_busy_until.insert(*line, *cycle);
+        }
+        self.replicas_created = checkpoint.replicas_created;
+        self.back_invalidations = checkpoint.back_invalidations;
+        self.total_accesses = checkpoint.total_accesses;
     }
 
     /// Checks the live engine state against the shared `lad-check` invariant
@@ -1498,6 +1826,142 @@ mod tests {
         let mut source = ReaderSource::new(std::io::Cursor::new(bytes)).unwrap();
         let replayed = sim.run_source(&mut source).unwrap();
         assert_eq!(format!("{in_memory:?}"), format!("{replayed:?}"));
+    }
+
+    #[test]
+    fn cancel_checkpoint_resume_matches_straight_run() {
+        // The tentpole equivalence: step → checkpoint → resume on a FRESH
+        // simulator must produce a report byte-identical to the straight run,
+        // across schemes (including ASR, which consumes the RNG).
+        for config in [
+            ReplicationConfig::locality_aware(3),
+            ReplicationConfig::static_nuca(),
+            ReplicationConfig::asr(0.5),
+        ] {
+            let trace = small_trace(Benchmark::Barnes, 600, 42);
+            let mut straight = Simulator::new(SystemConfig::small_test(), config.clone());
+            let expected = straight.run(&trace);
+
+            let mut first = Simulator::new(SystemConfig::small_test(), config.clone());
+            let mut source = MemorySource::new(&trace);
+            let mut stop = StopAfter::new(250);
+            let checkpoint = match first.run_source_observed(&mut source, Some(&mut stop)) {
+                Ok(RunOutcome::Cancelled(checkpoint)) => checkpoint,
+                other => panic!("expected cancellation, got {other:?}"),
+            };
+            assert_eq!(checkpoint.total_accesses, 250);
+            assert_eq!(checkpoint.consumed.iter().sum::<u64>(), 250);
+
+            // Spill through JSON, as the service does, then resume elsewhere.
+            let spilled = checkpoint.to_json().pretty();
+            let reloaded =
+                EngineCheckpoint::from_json(&lad_common::json::JsonValue::parse(&spilled).unwrap())
+                    .unwrap();
+            let mut resumed = Simulator::new(SystemConfig::small_test(), config);
+            let mut source = MemorySource::new(&trace);
+            let report = match resumed.resume_source(&mut source, &reloaded, None) {
+                Ok(RunOutcome::Completed(report)) => *report,
+                other => panic!("expected completion, got {other:?}"),
+            };
+            assert_eq!(format!("{report:?}"), format!("{expected:?}"));
+        }
+    }
+
+    #[test]
+    fn repeated_cancel_resume_chains_match_straight_run() {
+        // Crash/restart robustness: stopping every 150 accesses and resuming
+        // from the spilled checkpoint each time still lands on the straight
+        // run's exact report.
+        let trace = small_trace(Benchmark::OceanContiguous, 40, 9);
+        let config = ReplicationConfig::locality_aware(3);
+        let mut straight = Simulator::new(SystemConfig::small_test(), config.clone());
+        let expected = straight.run(&trace);
+
+        let mut source = MemorySource::new(&trace);
+        let mut sim = Simulator::new(SystemConfig::small_test(), config.clone());
+        let mut stop = StopAfter::new(150);
+        let mut outcome = sim
+            .run_source_observed(&mut source, Some(&mut stop))
+            .unwrap();
+        let mut hops = 0;
+        let report = loop {
+            match outcome {
+                RunOutcome::Completed(report) => break *report,
+                RunOutcome::Cancelled(checkpoint) => {
+                    hops += 1;
+                    assert!(hops < 20, "resume chain must terminate");
+                    let mut fresh = Simulator::new(SystemConfig::small_test(), config.clone());
+                    let mut source = MemorySource::new(&trace);
+                    let mut stop = StopAfter::new(150);
+                    outcome = fresh
+                        .resume_source(&mut source, &checkpoint, Some(&mut stop))
+                        .unwrap();
+                }
+            }
+        };
+        assert!(hops >= 2, "the trace must span several checkpoints");
+        assert_eq!(format!("{report:?}"), format!("{expected:?}"));
+    }
+
+    #[test]
+    fn observer_progress_reports_live_state() {
+        struct Spy {
+            calls: u64,
+            last_total: u64,
+        }
+        impl RunObserver for Spy {
+            fn interval(&self) -> u64 {
+                100
+            }
+            fn observe(&mut self, progress: RunProgress<'_>) -> RunControl {
+                self.calls += 1;
+                let total = progress.total_accesses();
+                assert!(total > self.last_total, "progress must be monotonic");
+                assert_eq!(progress.consumed().iter().sum::<u64>(), total);
+                // A mid-stream report is available without consuming state.
+                assert_eq!(progress.simulator().report().total_accesses, total);
+                self.last_total = total;
+                RunControl::Continue
+            }
+        }
+        let trace = small_trace(Benchmark::Barnes, 450, 3);
+        let mut sim = Simulator::new(
+            SystemConfig::small_test(),
+            ReplicationConfig::locality_aware(3),
+        );
+        let mut spy = Spy {
+            calls: 0,
+            last_total: 0,
+        };
+        let mut source = MemorySource::new(&trace);
+        let outcome = sim
+            .run_source_observed(&mut source, Some(&mut spy))
+            .unwrap();
+        let RunOutcome::Completed(report) = outcome else {
+            panic!("a Continue-only observer cannot cancel");
+        };
+        assert_eq!(spy.calls, report.total_accesses / 100);
+        assert!(spy.calls > 0, "the stream must span several intervals");
+    }
+
+    #[test]
+    #[should_panic(expected = "different scheme")]
+    fn resume_rejects_checkpoints_from_another_scheme() {
+        let trace = small_trace(Benchmark::Barnes, 300, 42);
+        let mut sim = Simulator::new(
+            SystemConfig::small_test(),
+            ReplicationConfig::locality_aware(3),
+        );
+        let mut source = MemorySource::new(&trace);
+        let mut stop = StopAfter::new(100);
+        let checkpoint = match sim.run_source_observed(&mut source, Some(&mut stop)) {
+            Ok(RunOutcome::Cancelled(checkpoint)) => checkpoint,
+            other => panic!("expected cancellation, got {other:?}"),
+        };
+        let mut other =
+            Simulator::new(SystemConfig::small_test(), ReplicationConfig::static_nuca());
+        let mut source = MemorySource::new(&trace);
+        let _ = other.resume_source(&mut source, &checkpoint, None);
     }
 
     #[test]

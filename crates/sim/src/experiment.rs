@@ -108,14 +108,17 @@ pub struct ExperimentRunner {
 impl ExperimentRunner {
     /// Creates a runner for one system configuration and benchmark suite,
     /// with the built-in scheme registry.
+    ///
+    /// Worker-thread count follows the workspace-wide selection rule
+    /// ([`lad_common::workers::worker_count`]): the `LAD_THREADS`
+    /// environment variable if set, the machine's parallelism otherwise;
+    /// [`ExperimentRunner::with_threads`] overrides both.
     pub fn new(system: SystemConfig, suite: BenchmarkSuite) -> Self {
         ExperimentRunner {
             system,
             suite,
             energy_model: EnergyModel::paper_default(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: lad_common::workers::worker_count(None),
             registry: SchemeRegistry::builtin(),
         }
     }

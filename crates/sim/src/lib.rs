@@ -37,13 +37,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod schedule;
 pub mod tile;
 
-pub use engine::{AccessOutcome, ServedBy, Simulator};
+pub use checkpoint::{EngineCheckpoint, TileCheckpoint};
+pub use engine::{
+    AccessOutcome, RunControl, RunObserver, RunOutcome, RunProgress, ServedBy, Simulator, StopAfter,
+};
 pub use experiment::{ExperimentRunner, SchemeComparison};
 pub use metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
 pub use schedule::CoreScheduler;

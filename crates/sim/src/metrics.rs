@@ -287,6 +287,38 @@ impl RunLengthProfile {
         }
     }
 
+    /// The open (not yet closed) runs as `(line, core, length, class)`
+    /// tuples sorted by line — the checkpoint companion to
+    /// [`RunLengthProfile::to_json`], which covers only the closed-run
+    /// histograms.
+    pub fn open_runs(&self) -> Vec<(CacheLine, CoreId, u64, DataClass)> {
+        let mut runs: Vec<_> = self
+            .open_runs
+            .iter()
+            .map(|(line, (core, count, class))| (*line, *core, *count, *class))
+            .collect();
+        runs.sort_unstable_by_key(|(line, ..)| *line);
+        runs
+    }
+
+    /// Reinstates one open run from a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-length run or if the line already has an open run
+    /// (a checkpoint holds at most one open run per line).
+    pub fn restore_open_run(
+        &mut self,
+        line: CacheLine,
+        core: CoreId,
+        count: u64,
+        class: DataClass,
+    ) {
+        assert!(count > 0, "an open run has at least one access");
+        let previous = self.open_runs.insert(line, (core, count, class));
+        assert!(previous.is_none(), "line {line:?} already has an open run");
+    }
+
     /// Total recorded runs for a class.
     pub fn runs(&self, class: DataClass) -> u64 {
         self.histograms.get(&class).map_or(0, Histogram::count)

@@ -15,7 +15,9 @@
 //! traces, [`GeneratorSource`] wraps the synthetic generator and
 //! [`FileSource`] streams `.ladt` files.  [`text`] converts the common
 //! one-access-per-line interchange format, and [`suite`] records whole
-//! benchmark suites to directories of `.ladt` files.
+//! benchmark suites to directories of `.ladt` files.  [`digest`] computes
+//! chunking-independent FNV-1a 64 content digests over decoded accesses —
+//! the content-addressed key of the experiment service's result cache.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod error;
 pub mod format;
 pub mod reader;
@@ -45,6 +48,7 @@ pub mod text;
 pub mod varint;
 pub mod writer;
 
+pub use digest::{digest_file, digest_source, digest_workload, DigestBuilder, TraceDigest};
 pub use error::TraceError;
 pub use format::{TraceHeader, DEFAULT_CHUNK_SIZE, FORMAT_VERSION, MAGIC, MAX_FRAME_ACCESSES};
 pub use reader::{decode_all, TraceReader};

@@ -36,6 +36,7 @@ pub use lad_dram as dram;
 pub use lad_energy as energy;
 pub use lad_noc as noc;
 pub use lad_replication as replication;
+pub use lad_serve as serve;
 pub use lad_sim as sim;
 pub use lad_trace as trace;
 pub use lad_traceio as traceio;
