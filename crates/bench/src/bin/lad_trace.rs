@@ -167,8 +167,11 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     print_report(&report);
     if let Some(json_path) = json {
-        std::fs::write(&json_path, report.to_json().pretty())
-            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        lad_common::fs::atomic_write(
+            std::path::Path::new(&json_path),
+            report.to_json().pretty().as_bytes(),
+        )
+        .map_err(|e| format!("cannot write {json_path}: {e}"))?;
         eprintln!("wrote JSON report to {json_path}");
     }
     Ok(())
@@ -283,15 +286,15 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
             format!("cannot open {}: {e}", input.display())
         })?))
     };
-    let create_output = || -> Result<BufWriter<File>, String> {
-        Ok(BufWriter::new(File::create(&output).map_err(|e| {
-            format!("cannot create {}: {e}", output.display())
-        })?))
-    };
+    // Conversions stream through `atomic_stream` (temp file + fsync +
+    // rename), so an interrupted convert never leaves a torn output file.
     match to.as_str() {
         "text" => {
-            let written =
-                ladt_to_text(open_input()?, create_output()?).map_err(|e| e.to_string())?;
+            let reader = open_input()?;
+            let written = lad_common::fs::atomic_stream(&output, |file| {
+                ladt_to_text(reader, BufWriter::new(file)).map_err(std::io::Error::other)
+            })
+            .map_err(|e| format!("cannot write {}: {e}", output.display()))?;
             println!("converted {written} accesses to text: {}", output.display());
         }
         "ladt" => {
@@ -300,8 +303,11 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
                 None => scan_text_cores(open_input()?).map_err(|e| e.to_string())?,
             };
             let header = TraceHeader::new(num_cores, name, seed);
-            let written =
-                text_to_ladt(open_input()?, create_output()?, header).map_err(|e| e.to_string())?;
+            let reader = open_input()?;
+            let written = lad_common::fs::atomic_stream(&output, |file| {
+                text_to_ladt(reader, BufWriter::new(file), header).map_err(std::io::Error::other)
+            })
+            .map_err(|e| format!("cannot write {}: {e}", output.display()))?;
             println!(
                 "converted {written} accesses ({num_cores} cores) to LADT: {}",
                 output.display()

@@ -62,7 +62,7 @@ pub fn json_output_path() -> Option<PathBuf> {
 /// [`harness_runner`], so every figure binary validates the flag at startup.
 pub fn validate_json_target() {
     if let Some(path) = json_output_path() {
-        std::fs::write(&path, "{}\n")
+        lad_common::fs::atomic_write(&path, b"{}\n")
             .unwrap_or_else(|err| panic!("cannot write JSON report to {}: {err}", path.display()));
     }
 }
@@ -77,7 +77,7 @@ pub fn validate_json_target() {
 /// worse than a failed run.
 pub fn emit_json(value: &JsonValue) {
     if let Some(path) = json_output_path() {
-        std::fs::write(&path, value.pretty())
+        lad_common::fs::atomic_write(&path, value.pretty().as_bytes())
             .unwrap_or_else(|err| panic!("cannot write JSON report to {}: {err}", path.display()));
         eprintln!("wrote JSON report to {}", path.display());
     }

@@ -1,0 +1,237 @@
+//! Crash-consistent filesystem helpers.
+//!
+//! Every durable write in the workspace goes through [`atomic_write`]:
+//! write to a unique temp file in the destination directory, `fsync` the
+//! file, atomically `rename` over the destination, then `fsync` the
+//! directory so the rename itself survives a crash.  A reader can then
+//! never observe a half-written destination — it sees either the old bytes
+//! or the new bytes, which is the property the serve durability layer's
+//! digest verification builds on.
+//!
+//! [`atomic_write_faulty`] is the same operation with a fault-injection
+//! checkpoint in front (see [`crate::fault`]): a scheduled
+//! [`FaultKind::Torn`] deliberately bypasses the temp-file protocol and
+//! leaves a torn prefix at the *final* path, simulating the crash mode the
+//! protocol exists to prevent — so tests can prove the quarantine-on-load
+//! path actually runs.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::fault::{FaultInjector, FaultKind, FaultSite};
+
+/// Monotonic per-process counter making temp names unique across threads.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_path_for(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = match path.file_name() {
+        Some(name) => name.to_string_lossy().into_owned(),
+        None => "file".to_string(),
+    };
+    path.with_file_name(format!(".{name}.{pid}.{seq}.tmp"))
+}
+
+/// Durably replaces the file at `path` with `bytes`.
+///
+/// The sequence is temp-file write → file `fsync` → atomic `rename` →
+/// directory `fsync`.  On any error the temp file is removed and `path` is
+/// left untouched (old content intact).  Directory `fsync` failures are
+/// ignored — not every filesystem supports opening directories, and the
+/// rename has already landed.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (create, write, sync, or rename).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path_for(path);
+    let result = (|| -> io::Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`atomic_write`] for streaming producers: runs `write` against a temp
+/// file in `path`'s directory, then `fsync`s, atomically renames over
+/// `path`, and `fsync`s the directory.  On any error (the closure's or the
+/// protocol's) the temp file is removed and `path` is left untouched.
+///
+/// The closure gets the bare [`File`]; wrap it in a `BufWriter` (and
+/// remember to flush any wrapper before returning — the file itself is
+/// synced here, but a wrapper's buffer is the closure's own).
+///
+/// # Errors
+///
+/// Whatever `write` reports, or the underlying I/O error of the atomic
+/// protocol (create, sync, or rename).
+pub fn atomic_stream<T>(
+    path: &Path,
+    write: impl FnOnce(&mut File) -> io::Result<T>,
+) -> io::Result<T> {
+    let tmp = tmp_path_for(path);
+    let result = (|| -> io::Result<T> {
+        let mut file = File::create(&tmp)?;
+        let value = write(&mut file)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(value)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`atomic_write`] with a fault-injection checkpoint consulted once per
+/// call at `site`.
+///
+/// Injected behaviour:
+///
+/// * [`FaultKind::Torn`]`{ at }` — writes the first `at` bytes **directly
+///   to `path`** (the torn file a crash leaves behind when the atomic
+///   protocol is violated by the storage layer itself) and fails;
+/// * [`FaultKind::Enospc`] — fails with
+///   [`io::ErrorKind::StorageFull`] without touching `path`;
+/// * any other scheduled kind — fails with an injected error without
+///   touching `path`;
+/// * no scheduled fault (or a disarmed injector) — plain [`atomic_write`].
+///
+/// # Errors
+///
+/// The injected error, or whatever [`atomic_write`] reports.
+pub fn atomic_write_faulty(
+    path: &Path,
+    bytes: &[u8],
+    injector: &FaultInjector,
+    site: FaultSite,
+) -> io::Result<()> {
+    match injector.fire(site) {
+        None => atomic_write(path, bytes),
+        Some(FaultKind::Torn { at }) => {
+            let n = at.min(bytes.len());
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            file.write_all(&bytes[..n])?;
+            let _ = file.sync_all();
+            Err(io::Error::other(format!(
+                "injected fault: torn@{at} at {site} (wrote {n} of {} bytes)",
+                bytes.len()
+            )))
+        }
+        Some(FaultKind::Enospc) => Err(io::Error::new(
+            io::ErrorKind::StorageFull,
+            format!("injected fault: enospc at {site}"),
+        )),
+        Some(kind) => Err(io::Error::other(format!(
+            "injected fault: {kind} at {site}"
+        ))),
+    }
+}
+
+/// Best-effort `fsync` of `path`'s parent directory so a just-completed
+/// rename survives a crash.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "lad-common-fs-{tag}-{}-{}",
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp_files() {
+        let dir = TempDir::new("replace");
+        let path = dir.0.join("state.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer content");
+        let leftovers: Vec<_> = fs::read_dir(&dir.0)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+    }
+
+    #[test]
+    fn atomic_write_into_missing_directory_fails_cleanly() {
+        let dir = TempDir::new("missing");
+        let path = dir.0.join("no-such-subdir").join("state.json");
+        assert!(atomic_write(&path, b"x").is_err());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_prefix_at_final_path() {
+        let dir = TempDir::new("torn");
+        let path = dir.0.join("entry.json");
+        atomic_write(&path, b"old good content").unwrap();
+        let injector = FaultInjector::armed(FaultPlan::parse("cache-spill:1:torn@4").unwrap());
+        let err = atomic_write_faulty(&path, b"new content", &injector, FaultSite::CacheSpill)
+            .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        // The destination is the torn prefix — exactly what a crash leaves.
+        assert_eq!(fs::read(&path).unwrap(), b"new ");
+        // Subsequent writes (fault exhausted) restore atomicity.
+        atomic_write_faulty(&path, b"new content", &injector, FaultSite::CacheSpill).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new content");
+    }
+
+    #[test]
+    fn injected_enospc_leaves_destination_untouched() {
+        let dir = TempDir::new("enospc");
+        let path = dir.0.join("entry.json");
+        atomic_write(&path, b"old good content").unwrap();
+        let injector = FaultInjector::armed(FaultPlan::parse("checkpoint-spill:1:enospc").unwrap());
+        let err = atomic_write_faulty(&path, b"new content", &injector, FaultSite::CheckpointSpill)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(fs::read(&path).unwrap(), b"old good content");
+    }
+}

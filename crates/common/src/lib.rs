@@ -19,6 +19,11 @@
 //! * [`workers`] — the one worker-count resolution chain (explicit override,
 //!   then `LAD_THREADS`, then a default) shared by every parallel entry
 //!   point.
+//! * [`fault`] — deterministic, seeded fault injection ([`fault::FaultPlan`],
+//!   [`fault::FaultInjector`], [`fault::FaultyRead`]/[`fault::FaultyWrite`])
+//!   used by the robustness torture suites; disarmed it costs one branch.
+//! * [`fs`] — crash-consistent durable writes ([`fs::atomic_write`]: temp
+//!   file + `fsync` + atomic rename + directory `fsync`).
 //!
 //! # Example
 //!
@@ -41,6 +46,8 @@
 
 pub mod collections;
 pub mod config;
+pub mod fault;
+pub mod fs;
 pub mod json;
 pub mod rng;
 pub mod stats;

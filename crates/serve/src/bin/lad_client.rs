@@ -12,18 +12,22 @@
 //! lad-client --addr HOST:PORT wait <JOB> [--json <PATH>]
 //! lad-client --addr HOST:PORT cancel <JOB>
 //! lad-client --addr HOST:PORT stats
+//! lad-client --addr HOST:PORT health
 //! lad-client --addr HOST:PORT shutdown
 //! ```
 //!
 //! Every command prints the server's response frame pretty-printed;
 //! `--json <PATH>` additionally writes it to a file.  Exit status is
-//! non-zero on any server error frame.
+//! non-zero on any server error frame.  `--retries N` bounds the client's
+//! reconnect-and-resend policy (exponential backoff with deterministic
+//! jitter; every verb is idempotent, so resending is safe — see
+//! [`lad_serve::client`]).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use lad_common::json::JsonValue;
-use lad_serve::client::Client;
+use lad_serve::client::{Client, RetryPolicy};
 use lad_serve::protocol::{JobSpec, SystemPreset, TraceSpec};
 
 const USAGE: &str = "\
@@ -41,7 +45,12 @@ USAGE:
   lad-client --addr HOST:PORT wait <JOB> [--json <PATH>]
   lad-client --addr HOST:PORT cancel <JOB>
   lad-client --addr HOST:PORT stats
+  lad-client --addr HOST:PORT health
   lad-client --addr HOST:PORT shutdown
+
+All commands accept `--retries N` (default 4): on a dropped connection
+the client reconnects and resends with exponential backoff; every verb
+is idempotent so a resend never double-executes work.
 
 Schemes are the registry labels: S-NUCA, R-NUCA, VR, ASR-<level>, RT-<k>.
 `upload` sends a local trace to the server's store and prints its digest
@@ -106,7 +115,7 @@ fn no_leftovers(args: &[String]) -> Result<(), String> {
 fn emit(response: &JsonValue, json_path: Option<&str>) -> Result<(), String> {
     println!("{}", response.pretty());
     if let Some(path) = json_path {
-        std::fs::write(path, response.pretty())
+        lad_common::fs::atomic_write(std::path::Path::new(path), response.pretty().as_bytes())
             .map_err(|err| format!("cannot write {path}: {err}"))?;
     }
     Ok(())
@@ -114,12 +123,16 @@ fn emit(response: &JsonValue, json_path: Option<&str>) -> Result<(), String> {
 
 fn run(args: &mut Vec<String>) -> Result<(), String> {
     let addr = take_flag(args, "--addr")?.ok_or(format!("--addr is required\n\n{USAGE}"))?;
+    let mut policy = RetryPolicy::standard();
+    if let Some(value) = take_flag(args, "--retries")? {
+        policy.attempts = parse_number(&value, "--retries")?;
+    }
     if args.is_empty() {
         return Err(format!("missing command\n\n{USAGE}"));
     }
     let command = args.remove(0);
-    let mut client =
-        Client::connect(&addr).map_err(|err| format!("cannot connect to {addr}: {err}"))?;
+    let mut client = Client::connect_with(&addr, policy)
+        .map_err(|err| format!("cannot connect to {addr}: {err}"))?;
     match command.as_str() {
         "upload" => cmd_upload(&mut client, args),
         "submit" => cmd_submit(&mut client, args),
@@ -130,6 +143,10 @@ fn run(args: &mut Vec<String>) -> Result<(), String> {
         "stats" => {
             no_leftovers(args)?;
             emit(&client.stats().map_err(|err| err.to_string())?, None)
+        }
+        "health" => {
+            no_leftovers(args)?;
+            emit(&client.health().map_err(|err| err.to_string())?, None)
         }
         "shutdown" => {
             no_leftovers(args)?;

@@ -15,11 +15,19 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+use lad_common::fault::{FaultInjector, FaultSite};
 use lad_common::json::JsonValue;
 use lad_sim::metrics::SimulationReport;
+
+use crate::durable::{self, LoadOutcome};
+
+/// Consecutive spill failures after which the cache degrades to
+/// memory-only operation (an `ENOSPC` degrades immediately: retrying a
+/// full disk only burns cycles).
+const DEGRADE_AFTER: u64 = 3;
 
 /// The cache key of one (workload, system, scheme) cell.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -76,29 +84,40 @@ impl fmt::Display for CacheKey {
     }
 }
 
-/// In-memory result cache with a JSON spill directory and hit/miss
-/// counters (reported by the `stats` verb).
+/// In-memory result cache with a digest-sealed JSON spill directory,
+/// hit/miss counters (reported by the `stats` verb), and a degraded
+/// memory-only mode it falls back to on persistent disk errors so the
+/// service keeps answering instead of dying.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: Option<PathBuf>,
     entries: Mutex<BTreeMap<CacheKey, SimulationReport>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
+    spill_errors: AtomicU64,
+    consecutive_failures: AtomicU64,
+    degraded: AtomicBool,
+    injector: FaultInjector,
 }
 
 impl ResultCache {
     /// Opens a cache over `dir` (created if missing), loading every
-    /// well-formed spill entry already there; `None` keeps the cache
-    /// memory-only.
+    /// spill entry already there that passes digest verification; `None`
+    /// keeps the cache memory-only.  Spill writes consult `injector` at
+    /// [`FaultSite::CacheSpill`].
     ///
-    /// Malformed spill files are skipped, not fatal: a half-written entry
-    /// from a crashed server must not brick the restart.
+    /// Corrupt or torn spill files are quarantined to
+    /// `<entry>.json.quarantine` and counted, not fatal: a half-written
+    /// entry from a crashed server must not brick the restart, and must
+    /// never be served as a result.
     ///
     /// # Errors
     ///
     /// Fails only when the directory cannot be created or listed.
-    pub fn open(dir: Option<PathBuf>) -> std::io::Result<ResultCache> {
+    pub fn open(dir: Option<PathBuf>, injector: FaultInjector) -> std::io::Result<ResultCache> {
         let mut entries = BTreeMap::new();
+        let mut quarantined = 0u64;
         if let Some(dir) = &dir {
             std::fs::create_dir_all(dir)?;
             for entry in std::fs::read_dir(dir)? {
@@ -106,8 +125,12 @@ impl ResultCache {
                 if path.extension().and_then(|e| e.to_str()) != Some("json") {
                     continue;
                 }
-                if let Some((key, report)) = load_entry(&path) {
-                    entries.insert(key, report);
+                match load_entry(&path) {
+                    Ok(Some((key, report))) => {
+                        entries.insert(key, report);
+                    }
+                    Ok(None) => {}
+                    Err(()) => quarantined += 1,
                 }
             }
         }
@@ -116,6 +139,11 @@ impl ResultCache {
             entries: Mutex::new(entries),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(quarantined),
+            spill_errors: AtomicU64::new(0),
+            consecutive_failures: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            injector,
         })
     }
 
@@ -134,27 +162,47 @@ impl ResultCache {
         }
     }
 
-    /// Inserts a completed report and spills it to the cache directory
-    /// (atomically, via a rename).
+    /// Inserts a completed report and spills it to the cache directory as
+    /// a digest-sealed envelope (atomically: temp file + `fsync` +
+    /// rename).
+    ///
+    /// Spill failures degrade, never poison: after [`DEGRADE_AFTER`]
+    /// consecutive failures (or one `ENOSPC`) the cache flips to
+    /// memory-only mode and stops touching the disk — surfaced through
+    /// [`ResultCache::mode`] and the `stats`/`health` verbs.
     ///
     /// # Errors
     ///
     /// Fails when the spill write fails; the in-memory entry is kept
     /// either way, so the running server still serves it.
     pub fn insert(&self, key: CacheKey, report: SimulationReport) -> std::io::Result<()> {
-        let json = JsonValue::object([("key", key.to_json()), ("report", report.to_json())]);
+        let body = JsonValue::object([("key", key.to_json()), ("report", report.to_json())]);
         let stem = key.file_stem();
         self.entries
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, report);
-        if let Some(dir) = &self.dir {
-            let tmp = dir.join(format!("{stem}.tmp"));
-            let path = dir.join(format!("{stem}.json"));
-            std::fs::write(&tmp, json.pretty())?;
-            std::fs::rename(&tmp, &path)?;
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        if self.degraded.load(Ordering::SeqCst) {
+            return Ok(());
         }
-        Ok(())
+        let path = dir.join(format!("{stem}.json"));
+        match durable::write_sealed(&path, body, &self.injector, FaultSite::CacheSpill) {
+            Ok(()) => {
+                self.consecutive_failures.store(0, Ordering::SeqCst);
+                Ok(())
+            }
+            Err(err) => {
+                self.spill_errors.fetch_add(1, Ordering::Relaxed);
+                let run = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+                if err.kind() == std::io::ErrorKind::StorageFull || run >= DEGRADE_AFTER {
+                    self.degraded.store(true, Ordering::SeqCst);
+                }
+                Err(err)
+            }
+        }
     }
 
     /// Number of cached entries.
@@ -179,14 +227,60 @@ impl ResultCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Spill files quarantined (corrupt, torn, or legacy-format) since
+    /// this instance opened.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Failed spill writes since this instance opened.
+    pub fn spill_errors(&self) -> u64 {
+        self.spill_errors.load(Ordering::Relaxed)
+    }
+
+    /// Whether persistent disk errors have flipped the cache to
+    /// memory-only operation.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The cache's current operating mode: `"durable"` (spilling to
+    /// disk), `"degraded"` (has a directory but stopped spilling after
+    /// persistent errors), or `"memory"` (opened without a directory).
+    pub fn mode(&self) -> &'static str {
+        if self.dir.is_none() {
+            "memory"
+        } else if self.is_degraded() {
+            "degraded"
+        } else {
+            "durable"
+        }
+    }
 }
 
-fn load_entry(path: &Path) -> Option<(CacheKey, SimulationReport)> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let json = JsonValue::parse(&text).ok()?;
-    let key = CacheKey::from_json(json.get("key")?).ok()?;
-    let report = SimulationReport::from_json(json.get("report")?).ok()?;
-    Some((key, report))
+/// `Ok(Some(..))` for a verified entry, `Ok(None)` for a missing file,
+/// `Err(())` for a corrupt one (already quarantined).
+#[allow(clippy::result_unit_err)]
+fn load_entry(path: &Path) -> Result<Option<(CacheKey, SimulationReport)>, ()> {
+    let body = match durable::load_sealed(path) {
+        LoadOutcome::Loaded(body) => body,
+        LoadOutcome::Missing => return Ok(None),
+        LoadOutcome::Quarantined(_) => return Err(()),
+    };
+    let parse = || -> Option<(CacheKey, SimulationReport)> {
+        let key = CacheKey::from_json(body.get("key")?).ok()?;
+        let report = SimulationReport::from_json(body.get("report")?).ok()?;
+        Some((key, report))
+    };
+    match parse() {
+        Some(entry) => Ok(Some(entry)),
+        None => {
+            // Digest-valid but schema-foreign: quarantine it too.
+            durable::quarantine_file(path);
+            Err(())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,8 +314,9 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let report = small_report();
 
-        let cache = ResultCache::open(Some(dir.clone())).unwrap();
+        let cache = ResultCache::open(Some(dir.clone()), FaultInjector::disarmed()).unwrap();
         assert!(cache.is_empty());
+        assert_eq!(cache.mode(), "durable");
         assert!(cache.lookup(&key("RT-3")).is_none());
         assert_eq!(cache.misses(), 1);
         cache.insert(key("RT-3"), report.clone()).unwrap();
@@ -229,16 +324,72 @@ mod tests {
         assert_eq!(hit.to_json().pretty(), report.to_json().pretty());
         assert_eq!(cache.hits(), 1);
 
-        // A second instance over the same directory sees the entry; a
-        // corrupt extra file is skipped, not fatal.
+        // A second instance over the same directory sees the entry;
+        // corrupt extra files are quarantined, not fatal, and never
+        // served.
         std::fs::write(dir.join("garbage.json"), "{not json").unwrap();
         std::fs::write(dir.join("not-a-report.json"), "{\"key\": 3}").unwrap();
-        let reloaded = ResultCache::open(Some(dir.clone())).unwrap();
+        let reloaded = ResultCache::open(Some(dir.clone()), FaultInjector::disarmed()).unwrap();
         assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.quarantined(), 2);
+        assert!(dir.join("garbage.json.quarantine").is_file());
+        assert!(!dir.join("garbage.json").exists());
         let hit = reloaded.lookup(&key("RT-3")).unwrap();
         assert_eq!(hit.to_json().pretty(), report.to_json().pretty());
         // Different scheme, same trace/config: distinct entry.
         assert!(reloaded.lookup(&key("S-NUCA")).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn one_flipped_byte_in_a_spilled_entry_is_quarantined_not_served() {
+        let dir = std::env::temp_dir().join(format!("lad-serve-cache-flip-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let report = small_report();
+        let cache = ResultCache::open(Some(dir.clone()), FaultInjector::disarmed()).unwrap();
+        cache.insert(key("RT-3"), report).unwrap();
+        drop(cache);
+
+        let path = dir.join(format!("{}.json", key("RT-3").file_stem()));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let reloaded = ResultCache::open(Some(dir.clone()), FaultInjector::disarmed()).unwrap();
+        assert!(
+            reloaded.lookup(&key("RT-3")).is_none(),
+            "corrupt entry served"
+        );
+        assert_eq!(reloaded.quarantined(), 1);
+        assert!(durable::quarantine_path(&path).is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_spill_errors_degrade_to_memory_only() {
+        use lad_common::fault::FaultPlan;
+
+        let dir =
+            std::env::temp_dir().join(format!("lad-serve-cache-degrade-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let report = small_report();
+        // One ENOSPC is enough to degrade.
+        let plan = FaultPlan::parse("cache-spill:1:enospc").unwrap();
+        let cache = ResultCache::open(Some(dir.clone()), FaultInjector::armed(plan)).unwrap();
+        let err = cache.insert(key("RT-3"), report.clone()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        assert!(cache.is_degraded());
+        assert_eq!(cache.mode(), "degraded");
+        assert_eq!(cache.spill_errors(), 1);
+        // The in-memory entry still serves, and later inserts succeed
+        // memory-only without touching the disk.
+        assert!(cache.lookup(&key("RT-3")).is_some());
+        cache.insert(key("RT-8"), report).unwrap();
+        assert!(cache.lookup(&key("RT-8")).is_some());
+        assert!(!dir
+            .join(format!("{}.json", key("RT-8").file_stem()))
+            .exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

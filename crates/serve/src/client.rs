@@ -1,20 +1,103 @@
 //! Client side of the experiment service: a persistent connection speaking
-//! the newline-delimited JSON protocol, with typed errors and one method
-//! per verb.  Used by the `lad-client` binary and the integration tests.
+//! the newline-delimited JSON protocol, with typed errors, one method per
+//! verb, and bounded retries with exponential backoff + deterministic
+//! jitter on connection failures.  Used by the `lad-client` binary and the
+//! integration tests.
+//!
+//! # Why retrying is safe (idempotency)
+//!
+//! A retried call may reach a server that already executed the lost
+//! original, so every verb must tolerate being applied twice:
+//!
+//! * `submit` — cells are deduplicated through the content-addressed
+//!   result cache and the in-flight subscriber list, so a resubmission
+//!   either answers from cache or attaches to the already-running cell;
+//!   it never simulates twice.  (It does mint a fresh job id, which is
+//!   fine: job ids name views of cells, not work.)
+//! * `upload` — traces are stored under their content digest; storing the
+//!   same bytes twice writes the same file.
+//! * `cancel` — cancelling an already-cancelled job is a no-op.
+//! * `shutdown` — asking a draining server to drain again is a no-op (and
+//!   a vanished server means the shutdown took effect).
+//! * `status` / `result` / `stats` / `health` — read-only.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use lad_common::json::JsonValue;
+use lad_common::rng::DeterministicRng;
 
 use crate::protocol::{hex_encode, JobSpec};
+
+/// Bounded-retry policy for connection-level failures: attempt `attempts`
+/// times total, sleeping `base * 2^(attempt-1)` (capped at `cap`) scaled
+/// by a deterministic jitter factor in `[0.5, 1.0)` between attempts.
+///
+/// The jitter is seeded, not sampled from wall-clock entropy, so a given
+/// `(seed, attempt)` always sleeps the same duration — retry schedules are
+/// replayable, which the fault-injection torture suite depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per call (1 = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound any single backoff is clamped to.
+    pub cap: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The default client policy: 4 attempts, 25 ms base, 1 s cap.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+
+    /// A single-attempt policy (fail fast, never sleep).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The backoff slept after failed attempt number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.cap);
+        // Deterministic jitter in [0.5, 1.0): full-jitter halves the
+        // thundering-herd sync without making schedules unreproducible.
+        let jitter = 0.5
+            + 0.5
+                * DeterministicRng::seed_from(self.seed)
+                    .derive(u64::from(attempt))
+                    .unit();
+        capped.mul_f64(jitter)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
 
 /// Everything that can go wrong on the client side of a call.
 #[derive(Debug)]
 pub enum ClientError {
     /// The connection could not be established or the call's I/O failed
-    /// (after one reconnect attempt).
+    /// (after the retry policy's attempts were exhausted).
     Io(std::io::Error),
     /// The server's response line was not a well-formed protocol frame.
     Protocol(String),
@@ -86,47 +169,134 @@ impl Connection {
 }
 
 /// A client of one experiment service, holding a persistent connection
-/// (re-established once per call if the server dropped it, e.g. after a
-/// read timeout).
+/// that is re-established under the client's [`RetryPolicy`] when the
+/// server drops it (read timeout, injected fault, restart).  Retried
+/// calls are safe because every verb is idempotent — see the module docs.
 pub struct Client {
     addr: String,
     conn: Option<Connection>,
+    policy: RetryPolicy,
+    retries: u64,
 }
 
 impl Client {
-    /// Connects to a server at `addr` (`host:port`).
+    /// Connects to a server at `addr` (`host:port`) with the standard
+    /// retry policy ([`RetryPolicy::standard`]).
     ///
     /// # Errors
     ///
-    /// [`ClientError::Io`] when the connection cannot be established.
+    /// [`ClientError::Io`] when no attempt could establish the connection.
     pub fn connect(addr: impl Into<String>) -> Result<Client, ClientError> {
-        let addr = addr.into();
-        let conn = Connection::open(&addr)?;
-        Ok(Client {
-            addr,
-            conn: Some(conn),
-        })
+        Client::connect_with(addr, RetryPolicy::standard())
+    }
+
+    /// Connects with an explicit retry policy (the initial connection
+    /// itself is retried under it).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when no attempt could establish the connection.
+    pub fn connect_with(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let mut client = Client {
+            addr: addr.into(),
+            conn: None,
+            policy,
+            retries: 0,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Connection-level retries performed so far (re-opens and re-sends,
+    /// not counting each call's first attempt) — observable so tests can
+    /// assert a fault actually exercised the retry path.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// (Re-)establishes the connection under the retry policy.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.conn = None;
+        let mut last = None;
+        for attempt in 1..=self.policy.attempts.max(1) {
+            match Connection::open(&self.addr) {
+                Ok(conn) => {
+                    self.conn = Some(conn);
+                    return Ok(());
+                }
+                Err(err) => {
+                    last = Some(err);
+                    if attempt < self.policy.attempts.max(1) {
+                        self.retries += 1;
+                        std::thread::sleep(self.policy.backoff(attempt));
+                    }
+                }
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::other("connect failed with no attempts")
+        })))
     }
 
     /// Sends one frame and returns the parsed successful response body.
     ///
+    /// On connection-level failure (stale connection, dropped socket,
+    /// vanished server) the call re-opens the connection and re-sends the
+    /// frame, backing off per the retry policy, until an attempt succeeds
+    /// or the policy is exhausted.  Re-sending is safe because every verb
+    /// is idempotent (see the module docs).
+    ///
     /// # Errors
     ///
     /// [`ClientError::Server`] for error frames, [`ClientError::Protocol`]
-    /// for responses that do not parse, [`ClientError::Io`] when the
-    /// connection fails even after one reconnect.
+    /// for responses that do not parse, [`ClientError::Io`] when every
+    /// attempt's I/O failed.
     pub fn call(&mut self, frame: &JsonValue) -> Result<JsonValue, ClientError> {
         let line = frame.to_string();
-        let response = match self.conn.as_mut().map(|conn| conn.round_trip(&line)) {
-            Some(Ok(response)) => response,
-            // Stale or missing connection: reconnect once and retry.
-            Some(Err(_)) | None => {
-                self.conn = None;
-                let mut conn = Connection::open(&self.addr)?;
-                let response = conn.round_trip(&line)?;
-                self.conn = Some(conn);
-                response
+        let attempts = self.policy.attempts.max(1);
+        let mut response = None;
+        let mut last_io = None;
+        for attempt in 1..=attempts {
+            if self.conn.is_none()
+                && Connection::open(&self.addr)
+                    .map(|c| self.conn = Some(c))
+                    .is_err()
+            {
+                last_io = Some(std::io::Error::other(format!(
+                    "could not reconnect to {}",
+                    self.addr
+                )));
+            } else if let Some(conn) = self.conn.as_mut() {
+                match conn.round_trip(&line) {
+                    Ok(text) => {
+                        response = Some(text);
+                        break;
+                    }
+                    Err(err) => {
+                        // The connection is in an unknown state; drop it
+                        // so the next attempt starts clean.
+                        self.conn = None;
+                        last_io = Some(err);
+                    }
+                }
             }
+            if attempt < attempts {
+                self.retries += 1;
+                std::thread::sleep(self.policy.backoff(attempt));
+            }
+        }
+        let Some(response) = response else {
+            return Err(ClientError::Io(last_io.unwrap_or_else(|| {
+                std::io::Error::other("call failed with no attempts")
+            })));
         };
         let parsed = JsonValue::parse(response.trim())
             .map_err(|err| ClientError::Protocol(format!("unparseable response: {err}")))?;
@@ -243,6 +413,17 @@ impl Client {
     /// As for [`Client::call`].
     pub fn stats(&mut self) -> Result<JsonValue, ClientError> {
         self.verb("stats", vec![])
+    }
+
+    /// Fetches the service's health summary: overall status (`"ok"` or
+    /// `"degraded"`), the cache's durability mode, and quarantine /
+    /// spill-error counters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`].
+    pub fn health(&mut self) -> Result<JsonValue, ClientError> {
+        self.verb("health", vec![])
     }
 
     /// Asks the server to drain and exit.  The server closes the

@@ -51,10 +51,11 @@
 
 pub mod cache;
 pub mod client;
+pub mod durable;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{JobSpec, ServeError, SystemPreset, TraceSpec, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

@@ -497,8 +497,32 @@ fn hex_digit(byte: u8) -> Option<u8> {
 mod tests {
     use super::*;
 
+    /// Compile-time exhaustiveness guard for
+    /// [`error_codes_and_kinds_are_stable`]: adding a [`ServeError`]
+    /// variant fails this wildcard-free match until the variant is listed
+    /// here — and the paired assertion on the golden table's length fails
+    /// until the new variant's `(code, kind)` row is added there too.
+    fn exhaustiveness_guard(err: &ServeError) -> usize {
+        match err {
+            ServeError::MalformedFrame(_) => 0,
+            ServeError::UnknownVerb(_) => 1,
+            ServeError::BadRequest(_) => 2,
+            ServeError::UnknownJob(_) => 3,
+            ServeError::UnknownTrace(_) => 4,
+            ServeError::UnknownBenchmark(_) => 5,
+            ServeError::QueueFull { .. } => 6,
+            ServeError::NotFinished { .. } => 7,
+            ServeError::JobCancelled { .. } => 8,
+            ServeError::JobFailed { .. } => 9,
+            ServeError::ShuttingDown => 10,
+            ServeError::Replay(_) => 11,
+            ServeError::Io(_) => 12,
+        }
+    }
+
     #[test]
     fn error_codes_and_kinds_are_stable() {
+        const VARIANTS: usize = 13;
         let cases: Vec<(ServeError, u16, &str)> = vec![
             (
                 ServeError::MalformedFrame("x".into()),
@@ -539,8 +563,26 @@ mod tests {
                 "job_failed",
             ),
             (ServeError::ShuttingDown, 503, "shutting_down"),
+            (
+                ServeError::Replay(ReplayError::DuplicateBenchmark {
+                    benchmark: "BARNES".into(),
+                }),
+                500,
+                "replay",
+            ),
             (ServeError::Io(std::io::Error::other("x")), 500, "io"),
         ];
+        // Golden table covers every variant exactly once: the guard's
+        // wildcard-free match makes a new variant a compile error, and
+        // these assertions make it a test failure until a row is added.
+        assert_eq!(cases.len(), VARIANTS);
+        let mut seen = [false; VARIANTS];
+        for (err, _, _) in &cases {
+            let index = exhaustiveness_guard(err);
+            assert!(!seen[index], "variant listed twice: {err}");
+            seen[index] = true;
+        }
+        assert!(seen.iter().all(|covered| *covered));
         for (err, code, kind) in cases {
             assert_eq!(err.code(), code, "{err}");
             assert_eq!(err.kind(), kind, "{err}");

@@ -41,6 +41,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use lad_common::config::SystemConfig;
+use lad_common::fault::{FaultInjector, FaultSite, FaultyRead, FaultyWrite};
 use lad_common::json::JsonValue;
 use lad_energy::model::EnergyModel;
 use lad_replication::policy::SchemeRegistry;
@@ -51,9 +52,10 @@ use lad_sim::experiment::ReplayError;
 use lad_sim::metrics::SimulationReport;
 use lad_trace::benchmarks::Benchmark;
 use lad_trace::generator::TraceGenerator;
-use lad_traceio::source::{FileSource, GeneratorSource, TraceSource};
+use lad_traceio::source::{FaultyFileSource, FileSource, GeneratorSource, TraceSource};
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::durable::{self, LoadOutcome};
 use crate::protocol::{
     fingerprint, fingerprint_hex, hex_decode, JobSpec, ServeError, TraceSpec, PROTOCOL_VERSION,
 };
@@ -77,14 +79,26 @@ pub struct ServerConfig {
     pub checkpoint_interval: u64,
     /// Per-connection read timeout; a connection idle longer is dropped.
     pub read_timeout: Duration,
+    /// Per-connection write timeout; a peer that stops draining its
+    /// socket for longer is dropped instead of pinning the handler.
+    pub write_timeout: Duration,
+    /// Wall-clock budget for receiving one complete frame.  A slow-loris
+    /// peer dribbling bytes (each arriving inside the read timeout, so the
+    /// idle-drop never fires) is reaped once its frame exceeds this.
+    pub frame_deadline: Duration,
     /// Maximum accepted `upload` body size in (decoded) bytes.
     pub max_upload_bytes: usize,
+    /// Fault-injection plan (disarmed by default — zero cost).  Armed via
+    /// `lad-serve --fault-plan` / `LAD_FAULT_PLAN` or directly by the
+    /// torture harness; consulted at every I/O seam of the service.
+    pub fault: FaultInjector,
 }
 
 impl ServerConfig {
     /// Defaults for a data directory: ephemeral loopback port, workspace
     /// worker-count rule, 256-cell queue, checkpoint every 10k accesses,
-    /// 10 s read timeout, 64 MB upload cap.
+    /// 10 s read/write timeouts, 30 s frame deadline, 64 MB upload cap,
+    /// no fault plan.
     pub fn new(data_dir: impl Into<PathBuf>) -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -93,7 +107,10 @@ impl ServerConfig {
             queue_limit: 256,
             checkpoint_interval: 10_000,
             read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            frame_deadline: Duration::from_secs(30),
             max_upload_bytes: 64 << 20,
+            fault: FaultInjector::disarmed(),
         }
     }
 }
@@ -181,9 +198,13 @@ struct ServiceStats {
     cells_resumed: AtomicU64,
     cells_failed: AtomicU64,
     checkpoints_written: AtomicU64,
+    checkpoints_quarantined: AtomicU64,
     connections: AtomicU64,
     frames: AtomicU64,
     errors: AtomicU64,
+    /// Connections dropped by the slow-peer reaper (frame deadline or
+    /// frame byte cap exceeded, or a stall mid-frame).
+    reaped: AtomicU64,
 }
 
 struct Shared {
@@ -243,7 +264,7 @@ impl Server {
         let addr = listener.local_addr()?;
         std::fs::create_dir_all(config.data_dir.join("checkpoints"))?;
         std::fs::create_dir_all(config.data_dir.join("traces"))?;
-        let cache = ResultCache::open(Some(config.data_dir.join("cache")))?;
+        let cache = ResultCache::open(Some(config.data_dir.join("cache")), config.fault.clone())?;
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             config: ServerConfig { workers, ..config },
@@ -373,20 +394,32 @@ fn reply(body: JsonValue) -> Result<Reply, ServeError> {
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let injector = &shared.config.fault;
+    let mut reader = BufReader::new(FaultyRead::new(
+        read_half,
+        FaultSite::ConnRead,
+        injector.clone(),
+    ));
+    let mut writer = BufWriter::new(FaultyWrite::new(
+        stream,
+        FaultSite::ConnWrite,
+        injector.clone(),
+    ));
+    // Upload frames carry hex bodies (2 bytes per payload byte) plus JSON
+    // framing; anything bigger than this is no legitimate frame.
+    let max_frame = shared
+        .config
+        .max_upload_bytes
+        .saturating_mul(2)
+        .saturating_add(4096);
     loop {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => return,
-            Ok(_) => {}
-            // Timeouts and resets both land here: drop the connection, the
-            // client reconnects if it still cares.
-            Err(_) => return,
-        }
+        let Some(line) = read_frame(shared, &mut reader, max_frame) else {
+            return;
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -402,6 +435,63 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         }
         if close {
             return;
+        }
+    }
+}
+
+/// Reads one newline-terminated frame with a per-frame wall-clock deadline
+/// and byte cap (the slow-peer reaper).  `None` means the connection is
+/// done: clean EOF, an idle timeout with no frame in flight (the
+/// pre-hardening behaviour), an I/O error, or a reaped slow peer.
+fn read_frame(shared: &Shared, reader: &mut impl BufRead, max_bytes: usize) -> Option<String> {
+    let started = Instant::now();
+    let mut line = Vec::new();
+    let reap = || {
+        shared.stats.reaped.fetch_add(1, Ordering::Relaxed);
+        None
+    };
+    loop {
+        if started.elapsed() > shared.config.frame_deadline {
+            return reap();
+        }
+        let buf = match reader.fill_buf() {
+            Ok([]) => return None,
+            Ok(buf) => buf,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A read-timeout window passed with nothing arriving.
+                // Mid-frame that is a stalled peer (reaped); with no frame
+                // in flight it is the ordinary idle drop.
+                return if line.is_empty() { None } else { reap() };
+            }
+            // Resets and the rest: drop the connection, the client
+            // reconnects if it still cares.
+            Err(_) => return None,
+        };
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                line.extend_from_slice(&buf[..newline]);
+                reader.consume(newline + 1);
+                if line.len() > max_bytes {
+                    return reap();
+                }
+                // Invalid UTF-8 cannot be a JSON frame; drop the
+                // connection as the pre-hardening read_line did.
+                return String::from_utf8(line).ok();
+            }
+            None => {
+                let taken = buf.len();
+                line.extend_from_slice(buf);
+                reader.consume(taken);
+                if line.len() > max_bytes {
+                    return reap();
+                }
+            }
         }
     }
 }
@@ -425,6 +515,7 @@ fn handle_frame(shared: &Shared, line: &str) -> Result<Reply, ServeError> {
         "result" => verb_result(shared, &frame),
         "cancel" => verb_cancel(shared, &frame),
         "stats" => verb_stats(shared),
+        "health" => verb_health(shared),
         "shutdown" => verb_shutdown(shared),
         other => Err(ServeError::UnknownVerb(other.to_string())),
     }
@@ -465,9 +556,12 @@ fn verb_upload(shared: &Shared, frame: &JsonValue) -> Result<Reply, ServeError> 
         .header()
         .clone();
     let path = shared.trace_path(&digest.to_hex());
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, &bytes)?;
-    std::fs::rename(&tmp, &path)?;
+    lad_common::fs::atomic_write_faulty(
+        &path,
+        &bytes,
+        &shared.config.fault,
+        FaultSite::TraceStore,
+    )?;
     reply(JsonValue::object([
         ("ok", JsonValue::from(true)),
         ("digest", JsonValue::from(digest.to_hex())),
@@ -883,6 +977,10 @@ fn verb_stats(shared: &Shared) -> Result<Reply, ServeError> {
                     "checkpoints_written",
                     stat(&shared.stats.checkpoints_written),
                 ),
+                (
+                    "checkpoints_quarantined",
+                    stat(&shared.stats.checkpoints_quarantined),
+                ),
             ]),
         ),
         (
@@ -891,6 +989,9 @@ fn verb_stats(shared: &Shared) -> Result<Reply, ServeError> {
                 ("entries", JsonValue::from(shared.cache.len() as u64)),
                 ("hits", JsonValue::from(shared.cache.hits())),
                 ("misses", JsonValue::from(shared.cache.misses())),
+                ("mode", JsonValue::from(shared.cache.mode())),
+                ("quarantined", JsonValue::from(shared.cache.quarantined())),
+                ("spill_errors", JsonValue::from(shared.cache.spill_errors())),
             ]),
         ),
         (
@@ -899,8 +1000,41 @@ fn verb_stats(shared: &Shared) -> Result<Reply, ServeError> {
                 ("accepted", stat(&shared.stats.connections)),
                 ("frames", stat(&shared.stats.frames)),
                 ("errors", stat(&shared.stats.errors)),
+                ("reaped", stat(&shared.stats.reaped)),
             ]),
         ),
+        (
+            "shutting_down",
+            JsonValue::from(shared.shutting_down.load(Ordering::SeqCst)),
+        ),
+    ]))
+}
+
+/// The `health` verb: a cheap liveness + degradation probe.  `"status"`
+/// is `"ok"` while every subsystem operates durably and `"degraded"` once
+/// persistent disk errors have flipped the result cache to memory-only
+/// operation (the server keeps answering either way).
+fn verb_health(shared: &Shared) -> Result<Reply, ServeError> {
+    let status = if shared.cache.is_degraded() {
+        "degraded"
+    } else {
+        "ok"
+    };
+    reply(JsonValue::object([
+        ("ok", JsonValue::from(true)),
+        ("status", JsonValue::from(status)),
+        ("cache_mode", JsonValue::from(shared.cache.mode())),
+        (
+            "quarantined",
+            JsonValue::object([
+                ("cache", JsonValue::from(shared.cache.quarantined())),
+                (
+                    "checkpoints",
+                    JsonValue::from(shared.stats.checkpoints_quarantined.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        ("spill_errors", JsonValue::from(shared.cache.spill_errors())),
         (
             "shutting_down",
             JsonValue::from(shared.shutting_down.load(Ordering::SeqCst)),
@@ -985,7 +1119,9 @@ fn execute_cell(shared: &Shared, item: WorkItem) {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_cell(shared, &item)));
     let result: Result<CellOutcome, String> = match result {
         Ok(result) => result,
-        Err(panic) => Err(format!("cell panicked: {}", panic_text(&panic))),
+        // `as_ref` matters: `&panic` would unsize the `Box` itself into
+        // `dyn Any` and every downcast of the payload would miss.
+        Err(panic) => Err(format!("cell panicked: {}", panic_text(panic.as_ref()))),
     };
     let mut state = shared.lock();
     let subscribers = match state.pending.remove(&item.key) {
@@ -1045,13 +1181,22 @@ fn complete_cells(
 }
 
 fn open_source(shared: &Shared, spec: &TraceSpec) -> Result<Box<dyn TraceSource>, String> {
+    // File-backed sources route reads through the injector only when a
+    // plan is armed, so the disarmed hot path stays a plain FileSource.
+    let open_file = |path: PathBuf| -> Result<Box<dyn TraceSource>, String> {
+        if shared.config.fault.is_armed() {
+            FaultyFileSource::open_faulty(&path, shared.config.fault.clone())
+                .map(|s| Box::new(s) as Box<dyn TraceSource>)
+                .map_err(|err| err.to_string())
+        } else {
+            FileSource::open(&path)
+                .map(|s| Box::new(s) as Box<dyn TraceSource>)
+                .map_err(|err| err.to_string())
+        }
+    };
     match spec {
-        TraceSpec::File { path } => FileSource::open(path)
-            .map(|s| Box::new(s) as Box<dyn TraceSource>)
-            .map_err(|err| err.to_string()),
-        TraceSpec::Stored { digest } => FileSource::open(shared.trace_path(digest))
-            .map(|s| Box::new(s) as Box<dyn TraceSource>)
-            .map_err(|err| err.to_string()),
+        TraceSpec::File { path } => open_file(path.clone()),
+        TraceSpec::Stored { digest } => open_file(shared.trace_path(digest)),
         TraceSpec::Builtin {
             benchmark,
             cores,
@@ -1081,7 +1226,7 @@ struct CellObserver<'a> {
     progress: &'a CellProgress,
     started: Instant,
     checkpoint_path: &'a Path,
-    stats: &'a ServiceStats,
+    shared: &'a Shared,
 }
 
 impl RunObserver for CellObserver<'_> {
@@ -1102,8 +1247,9 @@ impl RunObserver for CellObserver<'_> {
             return RunControl::Cancel;
         }
         let checkpoint = run.checkpoint();
-        if write_checkpoint(self.checkpoint_path, self.key, &checkpoint).is_ok() {
-            self.stats
+        if write_checkpoint(self.shared, self.checkpoint_path, self.key, &checkpoint).is_ok() {
+            self.shared
+                .stats
                 .checkpoints_written
                 .fetch_add(1, Ordering::Relaxed);
             self.progress.checkpointed.store(total, Ordering::Relaxed);
@@ -1113,6 +1259,10 @@ impl RunObserver for CellObserver<'_> {
 }
 
 fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
+    // A seeded plan can panic a worker cell here to prove the
+    // catch_unwind isolation holds (the panic fails this cell and nothing
+    // else).
+    shared.config.fault.maybe_panic(FaultSite::Cell);
     let entry = shared
         .registry
         .get(item.spec.scheme)
@@ -1125,7 +1275,7 @@ fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
         EnergyModel::paper_default(),
     );
     let checkpoint_path = shared.checkpoint_path(&item.key);
-    let restored = load_checkpoint(&checkpoint_path, &item.key, &item.spec);
+    let restored = load_checkpoint(shared, &checkpoint_path, &item.key, &item.spec);
     let mut observer = CellObserver {
         interval: shared.config.checkpoint_interval.max(1),
         key: &item.key,
@@ -1133,7 +1283,7 @@ fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
         progress: &item.progress,
         started: Instant::now(),
         checkpoint_path: &checkpoint_path,
-        stats: &shared.stats,
+        shared,
     };
     let outcome = match &restored {
         Some(checkpoint) => {
@@ -1152,7 +1302,7 @@ fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
             Ok(CellOutcome::Completed(report))
         }
         RunOutcome::Cancelled(checkpoint) => {
-            let _ = write_checkpoint(&checkpoint_path, &item.key, &checkpoint);
+            let _ = write_checkpoint(shared, &checkpoint_path, &item.key, &checkpoint);
             item.progress
                 .checkpointed
                 .store(checkpoint.total_accesses, Ordering::Relaxed);
@@ -1161,24 +1311,50 @@ fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
     }
 }
 
+/// Durably spills a checkpoint as a digest-sealed envelope (temp file +
+/// `fsync` + rename), consulting the fault injector at
+/// [`FaultSite::CheckpointSpill`].
 fn write_checkpoint(
+    shared: &Shared,
     path: &Path,
     key: &CacheKey,
     checkpoint: &EngineCheckpoint,
 ) -> std::io::Result<()> {
-    let json = JsonValue::object([("key", key.to_json()), ("checkpoint", checkpoint.to_json())]);
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, json.pretty())?;
-    std::fs::rename(&tmp, path)
+    let body = JsonValue::object([("key", key.to_json()), ("checkpoint", checkpoint.to_json())]);
+    durable::write_sealed(path, body, &shared.config.fault, FaultSite::CheckpointSpill)
 }
 
-/// Loads and validates a spilled checkpoint for `key`; anything malformed
-/// or mismatched (including a file for a different spec that landed on
-/// the same stem) is ignored and the cell simply runs from access 0.
-fn load_checkpoint(path: &Path, key: &CacheKey, spec: &CellSpec) -> Option<EngineCheckpoint> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let json = JsonValue::parse(&text).ok()?;
-    let stored = json.get("key")?;
+/// Loads and validates a spilled checkpoint for `key`.  A corrupt or torn
+/// file is quarantined to `<file>.quarantine` (counted in
+/// `checkpoints_quarantined`); a digest-valid but stale or mismatched one
+/// (including a file for a different spec that landed on the same stem)
+/// is ignored.  Either way the cell simply runs from access 0 — never a
+/// panic, never a resume from bad state.
+fn load_checkpoint(
+    shared: &Shared,
+    path: &Path,
+    key: &CacheKey,
+    spec: &CellSpec,
+) -> Option<EngineCheckpoint> {
+    let note_quarantine = || {
+        shared
+            .stats
+            .checkpoints_quarantined
+            .fetch_add(1, Ordering::Relaxed);
+    };
+    let body = match durable::load_sealed(path) {
+        LoadOutcome::Loaded(body) => body,
+        LoadOutcome::Missing => return None,
+        LoadOutcome::Quarantined(_) => {
+            note_quarantine();
+            return None;
+        }
+    };
+    let Some(stored) = body.get("key") else {
+        durable::quarantine_file(path);
+        note_quarantine();
+        return None;
+    };
     let matches = |field: &str, expected: &str| {
         stored.get(field).and_then(JsonValue::as_str) == Some(expected)
     };
@@ -1188,9 +1364,9 @@ fn load_checkpoint(path: &Path, key: &CacheKey, spec: &CellSpec) -> Option<Engin
     {
         return None;
     }
-    let checkpoint = EngineCheckpoint::from_json(json.get("checkpoint")?).ok()?;
-    // `resume_source` asserts these; a stale or corrupted spill must fall
-    // back to a fresh run instead of panicking the worker.
+    let checkpoint = EngineCheckpoint::from_json(body.get("checkpoint")?).ok()?;
+    // `resume_source` asserts these; a stale spill must fall back to a
+    // fresh run instead of panicking the worker.
     if checkpoint.benchmark != spec.benchmark
         || checkpoint.num_cores != spec.system.num_cores
         || checkpoint.consumed.len() != checkpoint.num_cores

@@ -20,6 +20,7 @@ use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
 
+use lad_common::fault::{FaultInjector, FaultSite, FaultyRead};
 use lad_common::types::{CoreId, MemoryAccess};
 use lad_trace::generator::{TraceGenerator, WorkloadTrace};
 
@@ -334,6 +335,33 @@ impl FileSource {
     }
 }
 
+/// A [`FileSource`] with a fault-injection seam at
+/// [`FaultSite::TraceRead`]: every read of the underlying file consults the
+/// injector, so seeded plans can surface short reads, `EINTR`, dropped
+/// streams and spurious EOF mid-replay.  With a disarmed injector this is
+/// a [`FileSource`] plus one branch per read.
+pub type FaultyFileSource = ReaderSource<FaultyRead<BufReader<File>>>;
+
+impl FaultyFileSource {
+    /// Opens a `.ladt` file for streaming replay with `injector` armed on
+    /// the read path.
+    ///
+    /// # Errors
+    ///
+    /// File-open and header decode errors (injected faults can surface as
+    /// either).
+    pub fn open_faulty(
+        path: impl AsRef<Path>,
+        injector: FaultInjector,
+    ) -> Result<Self, TraceError> {
+        ReaderSource::new(FaultyRead::new(
+            BufReader::new(File::open(path)?),
+            FaultSite::TraceRead,
+            injector,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +456,63 @@ mod tests {
             Err(TraceError::SourcePoisoned)
         ));
         assert!(matches!(source.rewind(), Err(TraceError::SourcePoisoned)));
+    }
+
+    #[test]
+    fn faulty_file_source_absorbs_benign_faults_byte_identically() {
+        use lad_common::fault::FaultPlan;
+
+        let trace = trace();
+        let bytes = encode_workload(&trace, 11).unwrap();
+        let dir = std::env::temp_dir().join(format!("ladt-faulty-src-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dedup.ladt");
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Short reads and EINTR are legal `Read` behaviour; the decode
+        // layer must absorb them without changing a single access.
+        let plan = FaultPlan::parse(
+            "trace-read:1:interrupt;trace-read:2:short;trace-read:3:short;trace-read:5:interrupt",
+        )
+        .unwrap();
+        let mut faulty = FaultyFileSource::open_faulty(&path, FaultInjector::armed(plan)).unwrap();
+        let mut clean = FileSource::open(&path).unwrap();
+        for core in 0..4 {
+            assert_eq!(drain(&mut faulty, core), drain(&mut clean, core));
+        }
+
+        // A dropped stream surfaces as a typed I/O error, never a panic —
+        // whether it fires during the header decode at open or mid-stream.
+        let plan = FaultPlan::parse("trace-read:20:drop").unwrap();
+        let mut saw_error = false;
+        match FaultyFileSource::open_faulty(&path, FaultInjector::armed(plan)) {
+            Err(TraceError::Io(_)) => saw_error = true,
+            Err(other) => panic!("unexpected error class at open: {other:?}"),
+            Ok(mut dropped) => {
+                'cores: for core in 0..4 {
+                    loop {
+                        match dropped.next_for_core(CoreId::new(core)) {
+                            Ok(Some(_)) => {}
+                            Ok(None) => break,
+                            Err(TraceError::Io(_)) => {
+                                saw_error = true;
+                                break 'cores;
+                            }
+                            Err(other) => panic!("unexpected error class: {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_error, "the injected drop must surface");
+
+        // Disarmed, the faulty alias behaves exactly like FileSource.
+        let mut disarmed = FaultyFileSource::open_faulty(&path, FaultInjector::disarmed()).unwrap();
+        let mut clean = FileSource::open(&path).unwrap();
+        for core in 0..4 {
+            assert_eq!(drain(&mut disarmed, core), drain(&mut clean, core));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

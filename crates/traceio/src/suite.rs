@@ -1,10 +1,10 @@
 //! Recording whole benchmark suites to `.ladt` files — the file-backed
 //! counterpart of [`BenchmarkSuite`]'s in-memory trace generation.
 
-use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 
+use lad_common::fault::{FaultInjector, FaultSite, FaultyWrite};
 use lad_trace::benchmarks::Benchmark;
 use lad_trace::suite::BenchmarkSuite;
 
@@ -56,14 +56,47 @@ pub fn record_benchmark(
     num_cores: usize,
     dir: &Path,
 ) -> Result<RecordedTrace, TraceError> {
+    record_benchmark_faulty(suite, benchmark, num_cores, dir, &FaultInjector::disarmed())
+}
+
+/// [`record_benchmark`] with a fault-injection seam at
+/// [`FaultSite::TraceWrite`]: every write of the `.ladt` stream consults
+/// `injector`, so seeded plans can exercise short writes and `EINTR` on the
+/// recording path.  Disarmed, this is [`record_benchmark`] plus one branch
+/// per write.
+///
+/// The stream lands via [`lad_common::fs::atomic_stream`] (temp file +
+/// `fsync` + rename), so a crash or injected failure mid-recording never
+/// leaves a torn `.ladt` at the destination.
+///
+/// # Errors
+///
+/// File-creation or write failures (injected faults surface as the latter).
+pub fn record_benchmark_faulty(
+    suite: &BenchmarkSuite,
+    benchmark: Benchmark,
+    num_cores: usize,
+    dir: &Path,
+    injector: &FaultInjector,
+) -> Result<RecordedTrace, TraceError> {
     let trace = suite.trace_for(benchmark, num_cores);
     let seed = suite.seed() ^ benchmark as u64;
     let path = dir.join(trace_file_name(benchmark.label()));
-    let file = BufWriter::new(File::create(&path)?);
-    let header = TraceHeader::new(trace.num_cores(), trace.name(), seed);
-    let mut writer = TraceWriter::new(file, header)?;
-    writer.write_workload(&trace)?;
-    writer.finish()?;
+    lad_common::fs::atomic_stream(&path, |file| {
+        let faulty = FaultyWrite::new(
+            BufWriter::new(file),
+            FaultSite::TraceWrite,
+            injector.clone(),
+        );
+        let header = TraceHeader::new(trace.num_cores(), trace.name(), seed);
+        (|| -> Result<(), TraceError> {
+            let mut writer = TraceWriter::new(faulty, header)?;
+            writer.write_workload(&trace)?;
+            writer.finish()?;
+            Ok(())
+        })()
+        .map_err(std::io::Error::other)
+    })?;
     Ok(RecordedTrace {
         benchmark: benchmark.label().to_string(),
         path,
@@ -131,6 +164,48 @@ mod tests {
                 assert_eq!(stream.as_slice(), expected.core_stream(CoreId::new(core)));
             }
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_recording_absorbs_benign_faults_byte_identically() {
+        use lad_common::fault::{FaultInjector, FaultPlan};
+
+        let dir = std::env::temp_dir().join(format!("ladt-suite-faulty-{}", std::process::id()));
+        let clean_dir = dir.join("clean");
+        let faulty_dir = dir.join("faulty");
+        std::fs::create_dir_all(&clean_dir).unwrap();
+        std::fs::create_dir_all(&faulty_dir).unwrap();
+        let suite = BenchmarkSuite::custom(vec![Benchmark::Dedup], 40, 9);
+
+        let clean = record_benchmark(&suite, Benchmark::Dedup, 4, &clean_dir).unwrap();
+        let plan =
+            FaultPlan::parse("trace-write:1:interrupt;trace-write:2:short;trace-write:4:short")
+                .unwrap();
+        let faulty = record_benchmark_faulty(
+            &suite,
+            Benchmark::Dedup,
+            4,
+            &faulty_dir,
+            &FaultInjector::armed(plan),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&clean.path).unwrap(),
+            std::fs::read(&faulty.path).unwrap(),
+            "short writes and EINTR must not change the recorded bytes"
+        );
+
+        // A hard failure surfaces as an error, never a panic.
+        let plan = FaultPlan::parse("trace-write:2:drop").unwrap();
+        let err = record_benchmark_faulty(
+            &suite,
+            Benchmark::Dedup,
+            4,
+            &faulty_dir,
+            &FaultInjector::armed(plan),
+        );
+        assert!(matches!(err, Err(TraceError::Io(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -476,8 +476,10 @@ fn killed_server_resumes_from_checkpoint_not_access_zero() {
         .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
         .collect();
     assert_eq!(spills.len(), 1, "exactly one cell checkpoint is spilled");
+    // Checkpoints are digest-sealed envelopes: { digest, body: { key, checkpoint } }.
     let spill = JsonValue::parse(&std::fs::read_to_string(&spills[0]).unwrap()).unwrap();
-    let checkpoint = EngineCheckpoint::from_json(spill.get("checkpoint").unwrap()).unwrap();
+    let body = spill.get("body").expect("checkpoint spill is sealed");
+    let checkpoint = EngineCheckpoint::from_json(body.get("checkpoint").unwrap()).unwrap();
     assert!(
         checkpoint.total_accesses >= 250,
         "checkpoint must cover at least one interval, covers {}",
