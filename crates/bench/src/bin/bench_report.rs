@@ -5,7 +5,10 @@
 //! engine and records the *best* wall-clock time of `LAD_BENCH_REPS`
 //! repetitions — best-of-N because simulation throughput on a shared
 //! machine is noise-prone in one direction only (interference slows runs,
-//! nothing speeds them up).  The report also embeds the pre-optimization
+//! nothing speeds them up).  Each JSON cell also carries the per-rep
+//! wall-clock `min_seconds` / `median_seconds` / `max_seconds` so
+//! run-to-run variance is visible, not just the best.  The report also
+//! embeds the pre-optimization
 //! reference numbers recorded before the engine rework (commit `668b42a`,
 //! same workloads, same best-of-N protocol) and the resulting speedups, so
 //! the committed `BENCH_7.json` documents the before/after comparison.
@@ -151,7 +154,7 @@ fn main() {
         println!("(timing with {workers} parallel workers; expect contention)");
     }
     let next_job = AtomicUsize::new(0);
-    type TimedCell = (usize, usize, SchemeId, f64, u64);
+    type TimedCell = (usize, usize, SchemeId, Vec<f64>, u64);
     let mut timed: Vec<(usize, TimedCell)> = Vec::with_capacity(jobs.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -170,7 +173,7 @@ fn main() {
                             panic!("builtin registry must cover the sweep: {err}")
                         });
                         let accesses = trace.total_accesses();
-                        let mut best_seconds = f64::INFINITY;
+                        let mut rep_seconds = Vec::with_capacity(reps);
                         let mut completion = 0u64;
                         for _ in 0..reps {
                             let mut sim = Simulator::with_policy_and_energy_model(
@@ -181,11 +184,10 @@ fn main() {
                             );
                             let start = Instant::now();
                             let report = sim.run(trace);
-                            let seconds = start.elapsed().as_secs_f64();
-                            best_seconds = best_seconds.min(seconds);
+                            rep_seconds.push(start.elapsed().as_secs_f64());
                             completion = report.completion_time.value();
                         }
-                        cells.push((index, (*cores, accesses, *scheme, best_seconds, completion)));
+                        cells.push((index, (*cores, accesses, *scheme, rep_seconds, completion)));
                     }
                     cells
                 })
@@ -202,7 +204,18 @@ fn main() {
     timed.sort_unstable_by_key(|(index, _)| *index);
 
     let mut cells = Vec::new();
-    for (_, (cores, accesses, scheme, best_seconds, completion)) in timed {
+    for (_, (cores, accesses, scheme, rep_seconds, completion)) in timed {
+        // min == the best-of-N headline; median/max expose run-to-run
+        // variance so later perf PRs can tell noise from regression.
+        let mut sorted = rep_seconds;
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+        let best_seconds = sorted[0];
+        let max_seconds = sorted[sorted.len() - 1];
+        let median_seconds = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
         let rate = accesses as f64 / best_seconds;
         csv_row([
             cores.to_string(),
@@ -217,6 +230,9 @@ fn main() {
             ("scheme", JsonValue::from(scheme.label())),
             ("accesses", JsonValue::from(accesses as f64)),
             ("best_seconds", JsonValue::from(best_seconds)),
+            ("min_seconds", JsonValue::from(best_seconds)),
+            ("median_seconds", JsonValue::from(median_seconds)),
+            ("max_seconds", JsonValue::from(max_seconds)),
             ("accesses_per_sec", JsonValue::from(rate)),
             ("completion_time", JsonValue::from(completion as f64)),
         ]));

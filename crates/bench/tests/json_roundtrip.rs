@@ -127,6 +127,23 @@ fn bench_report_json_has_throughput_cells() {
             .and_then(JsonValue::as_f64)
             .expect("cell missing accesses_per_sec");
         assert!(rate > 0.0, "non-positive throughput: {cell:?}");
+        // Per-rep wall-clock spread: min == best, and the three order.
+        let seconds = |field: &str| {
+            cell.get(field)
+                .and_then(JsonValue::as_f64)
+                .unwrap_or_else(|| panic!("cell missing {field}: {cell:?}"))
+        };
+        let best = seconds("best_seconds");
+        let (min, median, max) = (
+            seconds("min_seconds"),
+            seconds("median_seconds"),
+            seconds("max_seconds"),
+        );
+        assert_eq!(min, best, "min_seconds must equal best_seconds");
+        assert!(
+            min <= median && median <= max,
+            "rep spread out of order: {cell:?}"
+        );
     }
     let baseline = value
         .get("baseline_pre_pr")

@@ -176,6 +176,30 @@ impl Histogram {
             self.record_weighted(value, count);
         }
     }
+
+    /// Exact percentile of the recorded samples, or `None` if empty.
+    ///
+    /// `p` is clamped to `[0, 100]`.  The result is the smallest recorded
+    /// value `v` such that at least `ceil(p/100 * count)` samples are
+    /// `<= v` (the nearest-rank definition), so `percentile(0.0)` is the
+    /// minimum, `percentile(100.0)` the maximum, and every returned value
+    /// is one that was actually recorded — no interpolation.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0;
+        for (value, count) in self.iter() {
+            seen += count;
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        Some(self.max)
+    }
 }
 
 impl PartialEq for Histogram {
@@ -374,6 +398,28 @@ mod tests {
                 (1 << 40, 1)
             ]
         );
+    }
+
+    #[test]
+    fn histogram_percentiles_are_exact_nearest_rank() {
+        assert_eq!(Histogram::new().percentile(50.0), None);
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(50.0), Some(50));
+        assert_eq!(h.percentile(99.0), Some(99));
+        assert_eq!(h.percentile(100.0), Some(100));
+        // Out-of-range values clamp instead of panicking.
+        assert_eq!(h.percentile(-5.0), Some(1));
+        assert_eq!(h.percentile(500.0), Some(100));
+        // Every answer is a recorded value, even across the sparse split.
+        let mut skewed = Histogram::new();
+        skewed.record_weighted(2, 99);
+        skewed.record(1 << 30);
+        assert_eq!(skewed.percentile(50.0), Some(2));
+        assert_eq!(skewed.percentile(100.0), Some(1 << 30));
     }
 
     #[test]

@@ -120,14 +120,35 @@ pub struct TrackedCore {
 }
 
 /// The per-cache-line locality classifier.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct LocalityClassifier {
     entries: Vec<CoreEntry>,
     /// `None` for the Complete classifier (track everyone), `Some(k)` for
     /// Limited_k.
     capacity: Option<usize>,
     rt: u32,
+    /// Cumulative number of replica/non-replica mode transitions of tracked
+    /// cores (promotions and demotions; classification *churn*).  Diagnostic
+    /// only: excluded from equality, reset by [`LocalityClassifier::from_snapshot`].
+    mode_flips: u64,
+    /// High-water mark of [`LocalityClassifier::tracked_count`] — how much
+    /// classifier-table capacity this line actually used.  Diagnostic only,
+    /// like `mode_flips`.
+    peak_tracked: usize,
 }
+
+/// Equality covers the *behavioral* state (tracked entries in order,
+/// capacity, threshold) and deliberately ignores the diagnostic
+/// [`LocalityClassifier::mode_flips`] / [`LocalityClassifier::peak_tracked`]
+/// counters: a classifier rebuilt from a snapshot behaves identically even
+/// though its history counters restart at zero.
+impl PartialEq for LocalityClassifier {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.capacity == other.capacity && self.rt == other.rt
+    }
+}
+
+impl Eq for LocalityClassifier {}
 
 impl LocalityClassifier {
     /// Creates a classifier with all cores initially in non-replica mode.
@@ -145,7 +166,30 @@ impl LocalityClassifier {
             entries: Vec::new(),
             capacity: kind.capacity(),
             rt,
+            mode_flips: 0,
+            peak_tracked: 0,
         }
+    }
+
+    /// Cumulative replica/non-replica mode transitions of tracked cores
+    /// (promotions + demotions) over this classifier's lifetime.
+    pub fn mode_flips(&self) -> u64 {
+        self.mode_flips
+    }
+
+    /// High-water mark of the number of simultaneously tracked cores.
+    pub fn peak_tracked(&self) -> usize {
+        self.peak_tracked
+    }
+
+    /// Resets the diagnostic counters to the baseline a classifier rebuilt
+    /// by [`LocalityClassifier::from_snapshot`] starts from (zero flips,
+    /// peak = current occupancy).  Checkpoint capture normalizes live
+    /// classifiers with this so in-memory and JSON-round-tripped
+    /// checkpoints restore identical state.
+    pub fn reset_diagnostics(&mut self) {
+        self.mode_flips = 0;
+        self.peak_tracked = self.entries.len();
     }
 
     /// The replication threshold this classifier was built with.
@@ -218,6 +262,7 @@ impl LocalityClassifier {
                 active: tracked.active,
             });
         }
+        classifier.peak_tracked = classifier.entries.len();
         classifier
     }
 
@@ -277,6 +322,7 @@ impl LocalityClassifier {
                 // Complete classifier: allocate lazily, initial mode.
                 self.entries
                     .push(CoreEntry::new(core, ReplicationMode::NonReplica, self.rt));
+                self.peak_tracked = self.peak_tracked.max(self.entries.len());
                 Some(self.entries.len() - 1)
             }
             Some(k) => {
@@ -284,6 +330,7 @@ impl LocalityClassifier {
                     // Free entry: start in the initial (non-replica) mode.
                     self.entries
                         .push(CoreEntry::new(core, ReplicationMode::NonReplica, self.rt));
+                    self.peak_tracked = self.peak_tracked.max(self.entries.len());
                     return Some(self.entries.len() - 1);
                 }
                 // Replace an inactive sharer if one exists; its replacement
@@ -315,6 +362,7 @@ impl LocalityClassifier {
                         let reuse = entry.home_reuse.increment();
                         if reuse >= self.rt {
                             entry.mode = ReplicationMode::Replica;
+                            self.mode_flips += 1;
                             ReplicationMode::Replica
                         } else {
                             ReplicationMode::NonReplica
@@ -365,6 +413,7 @@ impl LocalityClassifier {
                         }
                         if entry.home_reuse.value() >= rt {
                             entry.mode = ReplicationMode::Replica;
+                            self.mode_flips += 1;
                             ReplicationMode::Replica
                         } else {
                             ReplicationMode::NonReplica
@@ -405,11 +454,15 @@ impl LocalityClassifier {
             } else {
                 replica_reuse
             };
-            entry.mode = if total >= rt {
+            let settled = if total >= rt {
                 ReplicationMode::Replica
             } else {
                 ReplicationMode::NonReplica
             };
+            if entry.mode != settled {
+                self.mode_flips += 1;
+            }
+            entry.mode = settled;
             // The home-reuse counter starts a fresh round of classification.
             entry.home_reuse.reset();
             // A replica core becomes inactive on an LLC invalidation or
@@ -749,6 +802,51 @@ mod tests {
         c.on_home_read(core(0));
         c.on_home_read(core(1));
         LocalityClassifier::from_snapshot(ClassifierKind::Limited(1), 3, &c.snapshot());
+    }
+
+    #[test]
+    fn variance_counters_track_flips_and_peak_occupancy() {
+        let mut c = limited(2, 3);
+        assert_eq!(c.mode_flips(), 0);
+        assert_eq!(c.peak_tracked(), 0);
+        for _ in 0..3 {
+            c.on_home_read(core(0)); // promotion at the third read
+        }
+        assert_eq!(c.mode_flips(), 1);
+        assert_eq!(c.peak_tracked(), 1);
+        c.on_home_read(core(1));
+        assert_eq!(c.peak_tracked(), 2);
+        // Demotion on a poor-reuse eviction is a second flip...
+        c.on_replica_evicted(core(0), 0);
+        assert_eq!(c.mode_flips(), 2);
+        // ...but settling into the same mode is not.
+        c.on_replica_evicted(core(0), 5);
+        c.on_replica_evicted(core(0), 5);
+        assert_eq!(c.mode_flips(), 3, "demote->promote, then promote->promote");
+        // Peak is a high-water mark: replacement does not lower it.
+        assert_eq!(c.peak_tracked(), 2);
+        // The counters are diagnostic: equality and snapshots ignore them.
+        let rebuilt = LocalityClassifier::from_snapshot(
+            ClassifierKind::Limited(2),
+            c.replication_threshold(),
+            &c.snapshot(),
+        );
+        assert_eq!(rebuilt, c);
+        assert_eq!(rebuilt.mode_flips(), 0);
+        assert_eq!(rebuilt.peak_tracked(), rebuilt.tracked_count());
+    }
+
+    #[test]
+    fn migratory_write_promotion_counts_one_flip() {
+        let mut c = complete(3);
+        c.on_home_write(core(4), false);
+        c.on_home_write(core(4), false);
+        assert_eq!(c.mode_flips(), 0);
+        c.on_home_write(core(4), false);
+        assert_eq!(c.mode_flips(), 1);
+        // Staying in replica mode adds nothing.
+        c.on_home_write(core(4), true);
+        assert_eq!(c.mode_flips(), 1);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Exposition: rendering registry snapshots as Prometheus text and as the
+//! workspace's native JSON.
+//!
+//! Counters and gauges render as their Prometheus types; latency
+//! histograms render as Prometheus *summaries* with exact
+//! `quantile="0.5" / 0.9 / 0.99 / 1"` series (computed over every
+//! recorded sample by [`lad_common::stats::Histogram::percentile`], not
+//! interpolated from buckets) plus the conventional `_sum` and `_count`
+//! series.  The JSON form carries the same data as one document for
+//! clients that already speak `lad_common::json` (the `lad-client watch`
+//! screen).
+
+use std::fmt::Write as _;
+
+use lad_common::json::JsonValue;
+use lad_common::stats::Histogram;
+
+use crate::registry::{Label, MetricSample, SampleValue};
+
+/// The exact quantiles exported for every latency histogram.
+pub const EXPORT_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 1.0];
+
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a label set (plus an optional extra label, used for
+/// `quantile`) as `{k="v",...}`, or the empty string when there are no
+/// labels at all.
+fn render_labels(labels: &[Label], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn histogram_sum(histogram: &Histogram) -> u128 {
+    histogram
+        .iter()
+        .map(|(value, count)| value as u128 * count as u128)
+        .sum()
+}
+
+/// Renders snapshot samples in the Prometheus text exposition format.
+///
+/// `# HELP` / `# TYPE` headers are emitted once per metric name (samples
+/// arrive sorted by name, so label variants of one metric are
+/// consecutive); every value line is `name[{labels}] value`.
+pub fn prometheus_text(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for sample in samples {
+        if last_name != Some(sample.name.as_str()) {
+            let kind = match &sample.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "summary",
+            };
+            let _ = writeln!(out, "# HELP {} {}", sample.name, escape_help(&sample.help));
+            let _ = writeln!(out, "# TYPE {} {kind}", sample.name);
+            last_name = Some(sample.name.as_str());
+        }
+        match &sample.value {
+            SampleValue::Counter(value) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {value}",
+                    sample.name,
+                    render_labels(&sample.labels, None)
+                );
+            }
+            SampleValue::Gauge(value) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {value}",
+                    sample.name,
+                    render_labels(&sample.labels, None)
+                );
+            }
+            SampleValue::Histogram(histogram) => {
+                for quantile in EXPORT_QUANTILES {
+                    let value = histogram.percentile(quantile * 100.0).unwrap_or(0);
+                    let rendered = format!("{quantile}");
+                    let _ = writeln!(
+                        out,
+                        "{}{} {value}",
+                        sample.name,
+                        render_labels(&sample.labels, Some(("quantile", &rendered)))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    sample.name,
+                    render_labels(&sample.labels, None),
+                    histogram_sum(histogram)
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    sample.name,
+                    render_labels(&sample.labels, None),
+                    histogram.count()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders snapshot samples as one JSON document:
+/// `{"metrics": [{"name", "type", "help", "labels", ...value fields}]}`.
+///
+/// Counter/gauge entries carry `"value"`; histogram entries carry
+/// `"count"`, `"sum"`, `"mean"`, `"max"` and `"p50"`/`"p90"`/`"p99"`.
+pub fn metrics_json(samples: &[MetricSample]) -> JsonValue {
+    let entries: Vec<JsonValue> = samples
+        .iter()
+        .map(|sample| {
+            let labels = JsonValue::object(
+                sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), JsonValue::from(v.as_str()))),
+            );
+            let mut fields: Vec<(String, JsonValue)> = vec![
+                ("name".into(), JsonValue::from(sample.name.as_str())),
+                ("help".into(), JsonValue::from(sample.help.as_str())),
+                ("labels".into(), labels),
+            ];
+            match &sample.value {
+                SampleValue::Counter(value) => {
+                    fields.push(("type".into(), JsonValue::from("counter")));
+                    fields.push(("value".into(), JsonValue::from(*value)));
+                }
+                SampleValue::Gauge(value) => {
+                    fields.push(("type".into(), JsonValue::from("gauge")));
+                    fields.push(("value".into(), JsonValue::from(*value as f64)));
+                }
+                SampleValue::Histogram(histogram) => {
+                    fields.push(("type".into(), JsonValue::from("histogram")));
+                    fields.push(("count".into(), JsonValue::from(histogram.count())));
+                    fields.push((
+                        "sum".into(),
+                        JsonValue::from(histogram_sum(histogram) as f64),
+                    ));
+                    fields.push((
+                        "mean".into(),
+                        JsonValue::from(histogram.mean().unwrap_or(0.0)),
+                    ));
+                    fields.push(("max".into(), JsonValue::from(histogram.max())));
+                    for (key, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0)] {
+                        fields.push((
+                            key.into(),
+                            JsonValue::from(histogram.percentile(p).unwrap_or(0)),
+                        ));
+                    }
+                }
+            }
+            JsonValue::object(fields)
+        })
+        .collect();
+    JsonValue::object([("metrics", JsonValue::Array(entries))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("lad_test_events_total", "total events observed")
+            .add(42);
+        registry
+            .counter_with(
+                "lad_test_requests_total",
+                &[("verb", "stats")],
+                "requests by verb",
+            )
+            .add(7);
+        registry
+            .counter_with(
+                "lad_test_requests_total",
+                &[("verb", "submit")],
+                "requests by verb",
+            )
+            .add(3);
+        registry.gauge("lad_test_depth", "queue depth").set(-2);
+        let h = registry.histogram("lad_test_latency_us", "request latency");
+        for v in [1, 2, 2, 3, 5000] {
+            h.record(v);
+        }
+        registry
+    }
+
+    /// Line-by-line grammar check of the text exposition: every line is a
+    /// comment (`# HELP`/`# TYPE`) or a `name[{k="v",...}] value` sample
+    /// whose name was declared by a preceding TYPE line.
+    #[test]
+    fn prometheus_text_parses_line_by_line() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        let mut typed: Vec<(String, String)> = Vec::new();
+        let mut samples = 0;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in the exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                assert!(
+                    rest.split_once(' ').is_some(),
+                    "HELP needs name + text: {line}"
+                );
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE needs name + kind");
+                assert!(
+                    ["counter", "gauge", "summary"].contains(&kind),
+                    "unknown type {kind:?}"
+                );
+                typed.push((name.to_string(), kind.to_string()));
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').expect("sample needs a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value {value:?}");
+            let name = match series.split_once('{') {
+                Some((name, labels)) => {
+                    assert!(labels.ends_with('}'), "unterminated labels: {line}");
+                    let body = &labels[..labels.len() - 1];
+                    for pair in body.split(',') {
+                        let (k, v) = pair.split_once('=').expect("label needs k=v");
+                        assert!(!k.is_empty());
+                        assert!(
+                            v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                            "label value must be quoted: {pair}"
+                        );
+                    }
+                    name
+                }
+                None => series,
+            };
+            let base = name
+                .strip_suffix("_sum")
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|base| typed.iter().any(|(n, k)| n == *base && k == "summary"))
+                .unwrap_or(name);
+            assert!(
+                typed.iter().any(|(n, _)| n == base),
+                "sample {name:?} has no TYPE declaration"
+            );
+            samples += 1;
+        }
+        // 1 counter + 2 labelled counters + 1 gauge + (4 quantiles + sum +
+        // count) for the histogram.
+        assert_eq!(samples, 10);
+        // Exact quantiles from exact data: p50 of [1,2,2,3,5000] is 2.
+        assert!(text.contains("lad_test_latency_us{quantile=\"0.5\"} 2"));
+        assert!(text.contains("lad_test_latency_us{quantile=\"1\"} 5000"));
+        assert!(text.contains("lad_test_latency_us_sum 5008"));
+        assert!(text.contains("lad_test_latency_us_count 5"));
+        assert!(text.contains("lad_test_requests_total{verb=\"stats\"} 7"));
+        assert!(text.contains("lad_test_depth -2"));
+    }
+
+    #[test]
+    fn prometheus_text_escapes_label_values_and_help() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter_with(
+                "esc_total",
+                &[("path", "a\"b\\c\nd")],
+                "help with\nnewline and \\ slash",
+            )
+            .inc();
+        let text = prometheus_text(&registry.snapshot());
+        assert!(text.contains("# HELP esc_total help with\\nnewline and \\\\ slash"));
+        assert!(text.contains("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    /// The JSON form round-trips through the workspace's strict parser and
+    /// reports the same readings.
+    #[test]
+    fn metrics_json_roundtrips_through_strict_parser() {
+        let document = metrics_json(&sample_registry().snapshot());
+        let reparsed = JsonValue::parse(&document.to_string()).expect("exposition must parse");
+        assert_eq!(reparsed, document);
+        let metrics = reparsed
+            .get("metrics")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(metrics.len(), 5);
+        let by_name = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.get("name").and_then(JsonValue::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        let events = by_name("lad_test_events_total");
+        assert_eq!(
+            events.get("type").and_then(JsonValue::as_str),
+            Some("counter")
+        );
+        assert_eq!(events.get("value").and_then(JsonValue::as_u64), Some(42));
+        let latency = by_name("lad_test_latency_us");
+        assert_eq!(latency.get("count").and_then(JsonValue::as_u64), Some(5));
+        assert_eq!(latency.get("p50").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(latency.get("p99").and_then(JsonValue::as_u64), Some(5000));
+        assert_eq!(latency.get("max").and_then(JsonValue::as_u64), Some(5000));
+        let labelled = metrics
+            .iter()
+            .filter(|m| {
+                m.get("name").and_then(JsonValue::as_str) == Some("lad_test_requests_total")
+            })
+            .count();
+        assert_eq!(labelled, 2);
+    }
+}

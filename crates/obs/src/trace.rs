@@ -1,0 +1,254 @@
+//! Bounded ring-buffer structured-event tracing.
+//!
+//! A [`Tracer`] collects [`TraceEvent`]s into per-thread ring buffers:
+//! the emitting thread appends to its own buffer under an uncontended
+//! mutex (the lock is shared only with [`Tracer::drain`], which runs on
+//! demand), so tracing never serializes the worker pool the way a single
+//! global event log would.  Buffers are bounded — when a thread's buffer
+//! is full the *oldest* event is dropped and counted, never the newest,
+//! because post-mortem "what was this worker doing" queries care about
+//! the most recent history.
+//!
+//! Timestamps are monotonic microseconds since the tracer was created
+//! (`std::time::Instant`, never wall clock), so event order is meaningful
+//! even across NTP steps.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic microseconds since the tracer's creation.
+    pub micros: u64,
+    /// Per-tracer thread index (assigned in registration order).
+    pub thread: u64,
+    /// Event name (e.g. `"execute_cell"`).
+    pub name: String,
+    /// Free-form detail (e.g. the cell's benchmark/scheme).
+    pub detail: String,
+    /// For span-end events, the span's duration in microseconds.
+    pub duration_us: Option<u64>,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+struct ThreadBuffer {
+    thread: u64,
+    ring: Mutex<Ring>,
+}
+
+/// A handle on a tracer's per-thread event buffers.  Cloning shares the
+/// buffers.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+struct TracerInner {
+    id: u64,
+    epoch: Instant,
+    capacity: usize,
+    next_thread: AtomicU64,
+    buffers: Mutex<Vec<Arc<ThreadBuffer>>>,
+}
+
+thread_local! {
+    /// This thread's registered buffers, keyed by tracer id.  Almost
+    /// always length 0 or 1; a linear scan beats a map.
+    static LOCAL_BUFFERS: RefCell<Vec<(u64, Arc<ThreadBuffer>)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn next_tracer_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Tracer {
+    /// Creates a tracer whose per-thread buffers keep at most `capacity`
+    /// events each.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                id: next_tracer_id(),
+                epoch: Instant::now(),
+                capacity: capacity.max(1),
+                next_thread: AtomicU64::new(0),
+                buffers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Monotonic microseconds since this tracer was created.
+    pub fn now_micros(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    fn local_buffer(&self) -> Arc<ThreadBuffer> {
+        LOCAL_BUFFERS.with(|local| {
+            let mut local = local.borrow_mut();
+            if let Some((_, buffer)) = local.iter().find(|(id, _)| *id == self.inner.id) {
+                return Arc::clone(buffer);
+            }
+            let buffer = Arc::new(ThreadBuffer {
+                thread: self.inner.next_thread.fetch_add(1, Ordering::Relaxed),
+                ring: Mutex::new(Ring {
+                    events: VecDeque::with_capacity(self.inner.capacity),
+                    dropped: 0,
+                }),
+            });
+            self.inner
+                .buffers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Arc::clone(&buffer));
+            local.push((self.inner.id, Arc::clone(&buffer)));
+            buffer
+        })
+    }
+
+    fn push(&self, name: &str, detail: &str, duration_us: Option<u64>) {
+        let buffer = self.local_buffer();
+        let event = TraceEvent {
+            micros: self.now_micros(),
+            thread: buffer.thread,
+            name: name.to_string(),
+            detail: detail.to_string(),
+            duration_us,
+        };
+        let mut ring = buffer.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.events.len() >= self.inner.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Records an instantaneous event.
+    pub fn emit(&self, name: &str, detail: &str) {
+        self.push(name, detail, None);
+    }
+
+    /// Opens a span: the returned guard records a single span-end event
+    /// (with its duration) when dropped.
+    pub fn span(&self, name: &str, detail: &str) -> Span {
+        Span {
+            tracer: self.clone(),
+            name: name.to_string(),
+            detail: detail.to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Drains every thread's buffer: returns all buffered events in
+    /// timestamp order plus the total number of events dropped to bound
+    /// memory.  Draining resets the buffers (events are reported once).
+    pub fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        let buffers = self
+            .inner
+            .buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for buffer in buffers.iter() {
+            let mut ring = buffer.ring.lock().unwrap_or_else(PoisonError::into_inner);
+            events.extend(ring.events.drain(..));
+            dropped += ring.dropped;
+            ring.dropped = 0;
+        }
+        events.sort_by_key(|event| (event.micros, event.thread));
+        (events, dropped)
+    }
+}
+
+/// RAII span guard from [`Tracer::span`]; see there.
+pub struct Span {
+    tracer: Tracer,
+    name: String,
+    detail: String,
+    started: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration = self.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.tracer.push(&self.name, &self.detail, Some(duration));
+    }
+}
+
+/// The process-wide tracer used by library-level instrumentation.
+/// Bounded at 4096 events per thread.
+pub fn global_tracer() -> &'static Tracer {
+    static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+    GLOBAL.get_or_init(|| Tracer::with_capacity(4096))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_drain_in_timestamp_order_once() {
+        let tracer = Tracer::with_capacity(16);
+        tracer.emit("a", "first");
+        tracer.emit("b", "second");
+        {
+            let _span = tracer.span("work", "cell");
+        }
+        let (events, dropped) = tracer.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "work"]
+        );
+        assert!(events.windows(2).all(|w| w[0].micros <= w[1].micros));
+        assert!(events[2].duration_us.is_some());
+        // A second drain is empty: events are reported once.
+        assert!(tracer.drain().0.is_empty());
+    }
+
+    #[test]
+    fn full_buffer_drops_oldest_and_counts() {
+        let tracer = Tracer::with_capacity(4);
+        for i in 0..10 {
+            tracer.emit("tick", &i.to_string());
+        }
+        let (events, dropped) = tracer.drain();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 6);
+        // The survivors are the most recent events.
+        assert_eq!(
+            events.iter().map(|e| e.detail.as_str()).collect::<Vec<_>>(),
+            vec!["6", "7", "8", "9"]
+        );
+    }
+
+    #[test]
+    fn threads_get_their_own_buffers() {
+        let tracer = Tracer::with_capacity(8);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        tracer.emit("t", "");
+                    }
+                });
+            }
+        });
+        let (events, dropped) = tracer.drain();
+        // Each thread kept its own full buffer: nothing was dropped by
+        // cross-thread contention for a shared ring.
+        assert_eq!(events.len(), 24);
+        assert_eq!(dropped, 0);
+        let threads: std::collections::BTreeSet<u64> = events.iter().map(|e| e.thread).collect();
+        assert_eq!(threads.len(), 3);
+    }
+}

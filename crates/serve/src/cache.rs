@@ -20,6 +20,7 @@ use std::sync::{Mutex, PoisonError};
 
 use lad_common::fault::{FaultInjector, FaultSite};
 use lad_common::json::JsonValue;
+use lad_obs::{Counter, MetricsRegistry};
 use lad_sim::metrics::SimulationReport;
 
 use crate::durable::{self, LoadOutcome};
@@ -92,10 +93,10 @@ impl fmt::Display for CacheKey {
 pub struct ResultCache {
     dir: Option<PathBuf>,
     entries: Mutex<BTreeMap<CacheKey, SimulationReport>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    quarantined: AtomicU64,
-    spill_errors: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    quarantined: Counter,
+    spill_errors: Counter,
     consecutive_failures: AtomicU64,
     degraded: AtomicBool,
     injector: FaultInjector,
@@ -112,10 +113,18 @@ impl ResultCache {
     /// entry from a crashed server must not brick the restart, and must
     /// never be served as a result.
     ///
+    /// The cache's hit/miss/quarantine/spill-error counters live on
+    /// `registry` (the owning server's per-instance registry) so the
+    /// `metrics` verb exports them alongside the rest of the service.
+    ///
     /// # Errors
     ///
     /// Fails only when the directory cannot be created or listed.
-    pub fn open(dir: Option<PathBuf>, injector: FaultInjector) -> std::io::Result<ResultCache> {
+    pub fn open(
+        dir: Option<PathBuf>,
+        injector: FaultInjector,
+        registry: &MetricsRegistry,
+    ) -> std::io::Result<ResultCache> {
         let mut entries = BTreeMap::new();
         let mut quarantined = 0u64;
         if let Some(dir) = &dir {
@@ -134,13 +143,21 @@ impl ResultCache {
                 }
             }
         }
+        let quarantine_counter = registry.counter(
+            "lad_serve_cache_quarantined_total",
+            "spill files quarantined as corrupt, torn, or schema-foreign",
+        );
+        quarantine_counter.add(quarantined);
         Ok(ResultCache {
             dir,
             entries: Mutex::new(entries),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            quarantined: AtomicU64::new(quarantined),
-            spill_errors: AtomicU64::new(0),
+            hits: registry.counter("lad_serve_cache_hits_total", "result-cache lookup hits"),
+            misses: registry.counter("lad_serve_cache_misses_total", "result-cache lookup misses"),
+            quarantined: quarantine_counter,
+            spill_errors: registry.counter(
+                "lad_serve_cache_spill_errors_total",
+                "failed spill writes to the cache directory",
+            ),
             consecutive_failures: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
             injector,
@@ -152,11 +169,11 @@ impl ResultCache {
         let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         match entries.get(key) {
             Some(report) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(report.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -195,7 +212,7 @@ impl ResultCache {
                 Ok(())
             }
             Err(err) => {
-                self.spill_errors.fetch_add(1, Ordering::Relaxed);
+                self.spill_errors.inc();
                 let run = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
                 if err.kind() == std::io::ErrorKind::StorageFull || run >= DEGRADE_AFTER {
                     self.degraded.store(true, Ordering::SeqCst);
@@ -220,23 +237,23 @@ impl ResultCache {
 
     /// Lookup hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.value()
     }
 
     /// Lookup misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.value()
     }
 
     /// Spill files quarantined (corrupt, torn, or legacy-format) since
     /// this instance opened.
     pub fn quarantined(&self) -> u64 {
-        self.quarantined.load(Ordering::Relaxed)
+        self.quarantined.value()
     }
 
     /// Failed spill writes since this instance opened.
     pub fn spill_errors(&self) -> u64 {
-        self.spill_errors.load(Ordering::Relaxed)
+        self.spill_errors.value()
     }
 
     /// Whether persistent disk errors have flipped the cache to
@@ -314,7 +331,12 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let report = small_report();
 
-        let cache = ResultCache::open(Some(dir.clone()), FaultInjector::disarmed()).unwrap();
+        let cache = ResultCache::open(
+            Some(dir.clone()),
+            FaultInjector::disarmed(),
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
         assert!(cache.is_empty());
         assert_eq!(cache.mode(), "durable");
         assert!(cache.lookup(&key("RT-3")).is_none());
@@ -329,7 +351,12 @@ mod tests {
         // served.
         std::fs::write(dir.join("garbage.json"), "{not json").unwrap();
         std::fs::write(dir.join("not-a-report.json"), "{\"key\": 3}").unwrap();
-        let reloaded = ResultCache::open(Some(dir.clone()), FaultInjector::disarmed()).unwrap();
+        let reloaded = ResultCache::open(
+            Some(dir.clone()),
+            FaultInjector::disarmed(),
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
         assert_eq!(reloaded.len(), 1);
         assert_eq!(reloaded.quarantined(), 2);
         assert!(dir.join("garbage.json.quarantine").is_file());
@@ -346,7 +373,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("lad-serve-cache-flip-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let report = small_report();
-        let cache = ResultCache::open(Some(dir.clone()), FaultInjector::disarmed()).unwrap();
+        let cache = ResultCache::open(
+            Some(dir.clone()),
+            FaultInjector::disarmed(),
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
         cache.insert(key("RT-3"), report).unwrap();
         drop(cache);
 
@@ -356,7 +388,12 @@ mod tests {
         bytes[mid] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
 
-        let reloaded = ResultCache::open(Some(dir.clone()), FaultInjector::disarmed()).unwrap();
+        let reloaded = ResultCache::open(
+            Some(dir.clone()),
+            FaultInjector::disarmed(),
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
         assert!(
             reloaded.lookup(&key("RT-3")).is_none(),
             "corrupt entry served"
@@ -376,7 +413,12 @@ mod tests {
         let report = small_report();
         // One ENOSPC is enough to degrade.
         let plan = FaultPlan::parse("cache-spill:1:enospc").unwrap();
-        let cache = ResultCache::open(Some(dir.clone()), FaultInjector::armed(plan)).unwrap();
+        let cache = ResultCache::open(
+            Some(dir.clone()),
+            FaultInjector::armed(plan),
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
         let err = cache.insert(key("RT-3"), report.clone()).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
         assert!(cache.is_degraded());

@@ -19,7 +19,7 @@
 //! * `cancel` — cancelling an already-cancelled job is a no-op.
 //! * `shutdown` — asking a draining server to drain again is a no-op (and
 //!   a vanished server means the shutdown took effect).
-//! * `status` / `result` / `stats` / `health` — read-only.
+//! * `status` / `result` / `stats` / `health` / `metrics` — read-only.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -424,6 +424,17 @@ impl Client {
     /// As for [`Client::call`].
     pub fn health(&mut self) -> Result<JsonValue, ClientError> {
         self.verb("health", vec![])
+    }
+
+    /// Fetches one metrics snapshot: the response carries the Prometheus
+    /// text exposition under `"prometheus"` and the native JSON samples
+    /// under `"metrics"`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::call`].
+    pub fn metrics(&mut self) -> Result<JsonValue, ClientError> {
+        self.verb("metrics", vec![])
     }
 
     /// Asks the server to drain and exit.  The server closes the

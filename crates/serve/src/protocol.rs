@@ -16,8 +16,9 @@
 //!                              "message": string}} "\n"
 //! ```
 //!
-//! The verbs are `upload`, `submit`, `status`, `result`, `cancel`, `stats`
-//! and `shutdown` (see the README's protocol specification for the
+//! The verbs are `upload`, `submit`, `status`, `result`, `cancel`, `stats`,
+//! `health`, `metrics` and `shutdown` (see the README's protocol
+//! specification for the
 //! per-verb fields).  Error `code`s follow the familiar HTTP meanings
 //! (`400` malformed input, `404` unknown resource, `409` not finished,
 //! `410` cancelled, `429` queue full, `500` execution failure, `503`

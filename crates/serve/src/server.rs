@@ -44,6 +44,7 @@ use lad_common::config::SystemConfig;
 use lad_common::fault::{FaultInjector, FaultSite, FaultyRead, FaultyWrite};
 use lad_common::json::JsonValue;
 use lad_energy::model::EnergyModel;
+use lad_obs::{Counter, Gauge, LatencyHistogram, MetricSample, MetricsRegistry, SampleValue};
 use lad_replication::policy::SchemeRegistry;
 use lad_replication::scheme::SchemeId;
 use lad_sim::checkpoint::EngineCheckpoint;
@@ -144,6 +145,9 @@ struct PendingCell {
     cancel: Arc<AtomicBool>,
     progress: Arc<CellProgress>,
     subscribers: Vec<(String, usize)>,
+    /// When the cell entered the queue — claimed-minus-enqueued is the
+    /// queue-wait latency sample.
+    enqueued: Instant,
 }
 
 #[derive(Debug, Clone)]
@@ -190,21 +194,136 @@ struct State {
     pending: BTreeMap<CacheKey, PendingCell>,
 }
 
-/// Service-wide counters reported by the `stats` verb.
-#[derive(Debug, Default)]
-struct ServiceStats {
-    jobs_submitted: AtomicU64,
-    cells_executed: AtomicU64,
-    cells_resumed: AtomicU64,
-    cells_failed: AtomicU64,
-    checkpoints_written: AtomicU64,
-    checkpoints_quarantined: AtomicU64,
-    connections: AtomicU64,
-    frames: AtomicU64,
-    errors: AtomicU64,
+/// The verbs the service answers, in dispatch order — the pre-resolved
+/// per-verb latency histograms cover exactly this set.
+const VERBS: [&str; 9] = [
+    "upload", "submit", "status", "result", "cancel", "stats", "health", "metrics", "shutdown",
+];
+
+/// Service-wide instruments: every counter the `stats` verb reports plus
+/// the latency histograms and gauges the `metrics` verb exports, all
+/// pre-resolved on this server's own [`MetricsRegistry`].
+///
+/// The registry is per-instance (not [`lad_obs::global`]) so two servers
+/// in one process — the restart tests — never share counters; the
+/// `metrics` verb snapshots this registry *and* the process-wide one the
+/// engine and worker pools record into.
+#[derive(Debug)]
+struct ServiceMetrics {
+    registry: MetricsRegistry,
+    jobs_submitted: Counter,
+    cells_executed: Counter,
+    cells_resumed: Counter,
+    cells_failed: Counter,
+    checkpoints_written: Counter,
+    checkpoints_quarantined: Counter,
+    connections: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    errors: Counter,
     /// Connections dropped by the slow-peer reaper (frame deadline or
     /// frame byte cap exceeded, or a stall mid-frame).
-    reaped: AtomicU64,
+    reaped: Counter,
+    /// Workers currently executing a cell (not parked on the condvar).
+    workers_busy: Gauge,
+    /// Scrape-time gauges, refreshed by the `metrics` verb.
+    queue_depth: Gauge,
+    jobs_active: Gauge,
+    cache_entries: Gauge,
+    /// 0 = durable, 1 = memory-only (no directory), 2 = degraded.
+    cache_mode: Gauge,
+    /// Time a cell sat queued before a worker claimed it.
+    cell_queue_wait_us: LatencyHistogram,
+    /// Wall clock of one cell execution (resume prefix excluded).
+    cell_exec_us: LatencyHistogram,
+    /// Duration of one durable checkpoint spill.
+    checkpoint_spill_us: LatencyHistogram,
+    /// Request-handling latency, one histogram per verb in [`VERBS`].
+    verb_latency: Vec<(&'static str, LatencyHistogram)>,
+}
+
+impl ServiceMetrics {
+    fn new() -> ServiceMetrics {
+        let registry = MetricsRegistry::new();
+        let counter = |name, help| registry.counter(name, help);
+        let gauge = |name, help| registry.gauge(name, help);
+        let verb_latency = VERBS
+            .iter()
+            .map(|verb| {
+                (
+                    *verb,
+                    registry.histogram_with(
+                        "lad_serve_verb_latency_us",
+                        &[("verb", verb)],
+                        "request-handling latency by verb",
+                    ),
+                )
+            })
+            .collect();
+        ServiceMetrics {
+            jobs_submitted: counter("lad_serve_jobs_submitted_total", "jobs accepted by submit"),
+            cells_executed: counter(
+                "lad_serve_cells_executed_total",
+                "cells executed to completion",
+            ),
+            cells_resumed: counter(
+                "lad_serve_cells_resumed_total",
+                "cells resumed from a spilled checkpoint",
+            ),
+            cells_failed: counter(
+                "lad_serve_cells_failed_total",
+                "cells that failed (trace error or worker panic)",
+            ),
+            checkpoints_written: counter(
+                "lad_serve_checkpoints_written_total",
+                "durable checkpoint spills",
+            ),
+            checkpoints_quarantined: counter(
+                "lad_serve_checkpoints_quarantined_total",
+                "corrupt checkpoint files quarantined",
+            ),
+            connections: counter("lad_serve_connections_total", "connections accepted"),
+            frames_in: counter("lad_serve_frames_in_total", "request frames received"),
+            frames_out: counter("lad_serve_frames_out_total", "response frames written"),
+            errors: counter("lad_serve_errors_total", "requests answered with an error"),
+            reaped: counter(
+                "lad_serve_reaped_total",
+                "connections dropped by the slow-peer reaper",
+            ),
+            workers_busy: gauge(
+                "lad_serve_workers_busy",
+                "workers currently executing a cell",
+            ),
+            queue_depth: gauge("lad_serve_queue_depth", "cells queued, not yet running"),
+            jobs_active: gauge("lad_serve_jobs_active", "jobs with queued or running cells"),
+            cache_entries: gauge("lad_serve_cache_entries", "results held by the cache"),
+            cache_mode: gauge(
+                "lad_serve_cache_mode",
+                "result-cache mode: 0 durable, 1 memory-only, 2 degraded",
+            ),
+            cell_queue_wait_us: registry.histogram(
+                "lad_serve_cell_queue_wait_us",
+                "microseconds a cell waited in the queue before a worker claimed it",
+            ),
+            cell_exec_us: registry.histogram(
+                "lad_serve_cell_exec_us",
+                "cell execution wall clock in microseconds",
+            ),
+            checkpoint_spill_us: registry.histogram(
+                "lad_serve_checkpoint_spill_us",
+                "durable checkpoint spill duration in microseconds",
+            ),
+            verb_latency,
+            registry,
+        }
+    }
+
+    fn verb_latency(&self, verb: &str) -> Option<&LatencyHistogram> {
+        self.verb_latency
+            .iter()
+            .find(|(known, _)| *known == verb)
+            .map(|(_, histogram)| histogram)
+    }
 }
 
 struct Shared {
@@ -215,7 +334,7 @@ struct Shared {
     state: Mutex<State>,
     work: Condvar,
     shutting_down: AtomicBool,
-    stats: ServiceStats,
+    metrics: ServiceMetrics,
 }
 
 impl Shared {
@@ -264,7 +383,12 @@ impl Server {
         let addr = listener.local_addr()?;
         std::fs::create_dir_all(config.data_dir.join("checkpoints"))?;
         std::fs::create_dir_all(config.data_dir.join("traces"))?;
-        let cache = ResultCache::open(Some(config.data_dir.join("cache")), config.fault.clone())?;
+        let metrics = ServiceMetrics::new();
+        let cache = ResultCache::open(
+            Some(config.data_dir.join("cache")),
+            config.fault.clone(),
+            &metrics.registry,
+        )?;
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             config: ServerConfig { workers, ..config },
@@ -274,7 +398,7 @@ impl Server {
             state: Mutex::new(State::default()),
             work: Condvar::new(),
             shutting_down: AtomicBool::new(false),
-            stats: ServiceStats::default(),
+            metrics,
         });
         let thread = {
             let shared = Arc::clone(&shared);
@@ -340,7 +464,7 @@ fn serve(shared: &Shared, listener: TcpListener) {
                 break;
             }
             let Ok(stream) = conn else { continue };
-            shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.connections.inc();
             scope.spawn(move || handle_connection(shared, stream));
         }
         // The accept loop can only break once the flag is set; make sure
@@ -426,13 +550,14 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         let (frame, close) = match handle_frame(shared, &line) {
             Ok(reply) => (reply.body, reply.close),
             Err(err) => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.errors.inc();
                 (err.to_response(), false)
             }
         };
         if writeln!(writer, "{frame}").is_err() || writer.flush().is_err() {
             return;
         }
+        shared.metrics.frames_out.inc();
         if close {
             return;
         }
@@ -447,7 +572,8 @@ fn read_frame(shared: &Shared, reader: &mut impl BufRead, max_bytes: usize) -> O
     let started = Instant::now();
     let mut line = Vec::new();
     let reap = || {
-        shared.stats.reaped.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.reaped.inc();
+        lad_obs::global_tracer().emit("reap", "slow or oversized peer dropped mid-frame");
         None
     };
     loop {
@@ -497,7 +623,7 @@ fn read_frame(shared: &Shared, reader: &mut impl BufRead, max_bytes: usize) -> O
 }
 
 fn handle_frame(shared: &Shared, line: &str) -> Result<Reply, ServeError> {
-    shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.frames_in.inc();
     let frame =
         JsonValue::parse(line.trim()).map_err(|err| ServeError::MalformedFrame(err.to_string()))?;
     let verb = frame
@@ -508,7 +634,8 @@ fn handle_frame(shared: &Shared, line: &str) -> Result<Reply, ServeError> {
                 "frame must be a JSON object with a \"verb\" string".to_string(),
             )
         })?;
-    match verb {
+    let started = Instant::now();
+    let result = match verb {
         "upload" => verb_upload(shared, &frame),
         "submit" => verb_submit(shared, &frame),
         "status" => verb_status(shared, &frame),
@@ -516,9 +643,14 @@ fn handle_frame(shared: &Shared, line: &str) -> Result<Reply, ServeError> {
         "cancel" => verb_cancel(shared, &frame),
         "stats" => verb_stats(shared),
         "health" => verb_health(shared),
+        "metrics" => verb_metrics(shared),
         "shutdown" => verb_shutdown(shared),
         other => Err(ServeError::UnknownVerb(other.to_string())),
+    };
+    if let Some(latency) = shared.metrics.verb_latency(verb) {
+        latency.record_duration(started.elapsed());
     }
+    result
 }
 
 fn job_field(frame: &JsonValue) -> Result<&str, ServeError> {
@@ -739,6 +871,7 @@ fn verb_submit(shared: &Shared, frame: &JsonValue) -> Result<Reply, ServeError> 
                         cancel: Arc::new(AtomicBool::new(false)),
                         progress: Arc::clone(&progress),
                         subscribers: vec![(job_id.clone(), index)],
+                        enqueued: Instant::now(),
                     },
                 );
                 state.queue.push_back(key.clone());
@@ -758,7 +891,7 @@ fn verb_submit(shared: &Shared, frame: &JsonValue) -> Result<Reply, ServeError> 
     state.jobs.insert(job_id.clone(), Job { cells });
     drop(state);
     shared.work.notify_all();
-    shared.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.jobs_submitted.inc();
     reply(JsonValue::object([
         ("ok", JsonValue::from(true)),
         ("job", JsonValue::from(job_id)),
@@ -948,7 +1081,7 @@ fn verb_stats(shared: &Shared) -> Result<Reply, ServeError> {
             .count();
         (state.queue.len(), active)
     };
-    let stat = |counter: &AtomicU64| JsonValue::from(counter.load(Ordering::Relaxed));
+    let stat = |counter: &Counter| JsonValue::from(counter.value());
     reply(JsonValue::object([
         ("ok", JsonValue::from(true)),
         ("protocol", JsonValue::from(u64::from(PROTOCOL_VERSION))),
@@ -963,23 +1096,23 @@ fn verb_stats(shared: &Shared) -> Result<Reply, ServeError> {
         (
             "jobs",
             JsonValue::object([
-                ("submitted", stat(&shared.stats.jobs_submitted)),
+                ("submitted", stat(&shared.metrics.jobs_submitted)),
                 ("active", JsonValue::from(active_jobs as u64)),
             ]),
         ),
         (
             "cells",
             JsonValue::object([
-                ("executed", stat(&shared.stats.cells_executed)),
-                ("resumed", stat(&shared.stats.cells_resumed)),
-                ("failed", stat(&shared.stats.cells_failed)),
+                ("executed", stat(&shared.metrics.cells_executed)),
+                ("resumed", stat(&shared.metrics.cells_resumed)),
+                ("failed", stat(&shared.metrics.cells_failed)),
                 (
                     "checkpoints_written",
-                    stat(&shared.stats.checkpoints_written),
+                    stat(&shared.metrics.checkpoints_written),
                 ),
                 (
                     "checkpoints_quarantined",
-                    stat(&shared.stats.checkpoints_quarantined),
+                    stat(&shared.metrics.checkpoints_quarantined),
                 ),
             ]),
         ),
@@ -997,10 +1130,10 @@ fn verb_stats(shared: &Shared) -> Result<Reply, ServeError> {
         (
             "connections",
             JsonValue::object([
-                ("accepted", stat(&shared.stats.connections)),
-                ("frames", stat(&shared.stats.frames)),
-                ("errors", stat(&shared.stats.errors)),
-                ("reaped", stat(&shared.stats.reaped)),
+                ("accepted", stat(&shared.metrics.connections)),
+                ("frames", stat(&shared.metrics.frames_in)),
+                ("errors", stat(&shared.metrics.errors)),
+                ("reaped", stat(&shared.metrics.reaped)),
             ]),
         ),
         (
@@ -1030,7 +1163,7 @@ fn verb_health(shared: &Shared) -> Result<Reply, ServeError> {
                 ("cache", JsonValue::from(shared.cache.quarantined())),
                 (
                     "checkpoints",
-                    JsonValue::from(shared.stats.checkpoints_quarantined.load(Ordering::Relaxed)),
+                    JsonValue::from(shared.metrics.checkpoints_quarantined.value()),
                 ),
             ]),
         ),
@@ -1039,6 +1172,69 @@ fn verb_health(shared: &Shared) -> Result<Reply, ServeError> {
             "shutting_down",
             JsonValue::from(shared.shutting_down.load(Ordering::SeqCst)),
         ),
+    ]))
+}
+
+/// The `metrics` verb: one point-in-time snapshot of every instrument,
+/// exported both ways at once — `"prometheus"` carries the text
+/// exposition, `"metrics"` the native JSON samples.
+///
+/// The snapshot merges three sources: this server's own registry (verb
+/// latencies, cell/connection/cache counters), the process-wide
+/// [`lad_obs::global`] registry the simulation engine and worker pools
+/// record into, and per-(site, kind) counts synthesized from the fault
+/// injector's fired-fault log.  Scrape-time gauges (queue depth, active
+/// jobs, cache entries and mode) are refreshed before the snapshot.
+fn verb_metrics(shared: &Shared) -> Result<Reply, ServeError> {
+    let (queue_depth, active_jobs) = {
+        let state = shared.lock();
+        let active = state
+            .jobs
+            .values()
+            .filter(|job| {
+                job.cells
+                    .iter()
+                    .any(|c| matches!(c.state, CellState::Queued | CellState::Running))
+            })
+            .count();
+        (state.queue.len(), active)
+    };
+    shared.metrics.queue_depth.set(queue_depth as i64);
+    shared.metrics.jobs_active.set(active_jobs as i64);
+    shared.metrics.cache_entries.set(shared.cache.len() as i64);
+    shared.metrics.cache_mode.set(match shared.cache.mode() {
+        "durable" => 0,
+        "memory" => 1,
+        _ => 2,
+    });
+
+    let mut samples = shared.metrics.registry.snapshot();
+    samples.extend(lad_obs::global().snapshot());
+    let mut fired_counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for fault in shared.config.fault.fired() {
+        *fired_counts
+            .entry((fault.site.label().to_string(), fault.kind.label()))
+            .or_insert(0) += 1;
+    }
+    for ((site, kind), count) in fired_counts {
+        samples.push(MetricSample {
+            name: "lad_serve_faults_injected_total".to_string(),
+            help: "faults fired by the injector, by site and kind".to_string(),
+            labels: vec![("kind".to_string(), kind), ("site".to_string(), site)],
+            value: SampleValue::Counter(count),
+        });
+    }
+    // The exposition groups HELP/TYPE headers by name, so the merged
+    // snapshot must arrive name-sorted like a single registry's would.
+    samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+
+    reply(JsonValue::object([
+        ("ok", JsonValue::from(true)),
+        (
+            "prometheus",
+            JsonValue::from(lad_obs::prometheus_text(&samples)),
+        ),
+        ("metrics", lad_obs::metrics_json(&samples)),
     ]))
 }
 
@@ -1078,15 +1274,20 @@ fn worker_loop(shared: &Shared) {
                                 Arc::clone(&pending.cancel),
                                 Arc::clone(&pending.progress),
                                 pending.subscribers.clone(),
+                                pending.enqueued,
                             ))
                         }
                         // Cancelled out from under the queue entry.
                         None => None,
                     };
-                    let Some((spec, cancel, progress, subscribers)) = claimed else {
+                    let Some((spec, cancel, progress, subscribers, enqueued)) = claimed else {
                         continue;
                     };
                     set_cells(&mut state.jobs, &subscribers, &CellState::Running);
+                    shared
+                        .metrics
+                        .cell_queue_wait_us
+                        .record_duration(enqueued.elapsed());
                     break Some(WorkItem {
                         key,
                         spec,
@@ -1116,7 +1317,14 @@ enum CellOutcome {
 }
 
 fn execute_cell(shared: &Shared, item: WorkItem) {
+    shared.metrics.workers_busy.inc();
+    let started = Instant::now();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_cell(shared, &item)));
+    shared
+        .metrics
+        .cell_exec_us
+        .record_duration(started.elapsed());
+    shared.metrics.workers_busy.dec();
     let result: Result<CellOutcome, String> = match result {
         Ok(result) => result,
         // `as_ref` matters: `&panic` would unsize the `Box` itself into
@@ -1130,14 +1338,14 @@ fn execute_cell(shared: &Shared, item: WorkItem) {
     };
     match result {
         Ok(CellOutcome::Completed(report)) => {
-            shared.stats.cells_executed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.cells_executed.inc();
             complete_cells(&mut state.jobs, &subscribers, &report);
         }
         Ok(CellOutcome::Cancelled) => {
             set_cells(&mut state.jobs, &subscribers, &CellState::Cancelled);
         }
         Err(message) => {
-            shared.stats.cells_failed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.cells_failed.inc();
             set_cells(&mut state.jobs, &subscribers, &CellState::Failed(message));
         }
     }
@@ -1248,10 +1456,6 @@ impl RunObserver for CellObserver<'_> {
         }
         let checkpoint = run.checkpoint();
         if write_checkpoint(self.shared, self.checkpoint_path, self.key, &checkpoint).is_ok() {
-            self.shared
-                .stats
-                .checkpoints_written
-                .fetch_add(1, Ordering::Relaxed);
             self.progress.checkpointed.store(total, Ordering::Relaxed);
         }
         RunControl::Continue
@@ -1259,6 +1463,9 @@ impl RunObserver for CellObserver<'_> {
 }
 
 fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
+    // The span's open/close events land in this worker's ring buffer, so
+    // a post-mortem drain answers "what was this worker doing".
+    let _span = lad_obs::global_tracer().span("execute_cell", &item.key.to_string());
     // A seeded plan can panic a worker cell here to prove the
     // catch_unwind isolation holds (the panic fails this cell and nothing
     // else).
@@ -1287,7 +1494,7 @@ fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
     };
     let outcome = match &restored {
         Some(checkpoint) => {
-            shared.stats.cells_resumed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.cells_resumed.inc();
             sim.resume_source(source.as_mut(), checkpoint, Some(&mut observer))
         }
         None => sim.run_source_observed(source.as_mut(), Some(&mut observer)),
@@ -1313,7 +1520,8 @@ fn run_cell(shared: &Shared, item: &WorkItem) -> Result<CellOutcome, String> {
 
 /// Durably spills a checkpoint as a digest-sealed envelope (temp file +
 /// `fsync` + rename), consulting the fault injector at
-/// [`FaultSite::CheckpointSpill`].
+/// [`FaultSite::CheckpointSpill`].  Successful spills are counted and
+/// their duration recorded on the spill histogram.
 fn write_checkpoint(
     shared: &Shared,
     path: &Path,
@@ -1321,7 +1529,14 @@ fn write_checkpoint(
     checkpoint: &EngineCheckpoint,
 ) -> std::io::Result<()> {
     let body = JsonValue::object([("key", key.to_json()), ("checkpoint", checkpoint.to_json())]);
-    durable::write_sealed(path, body, &shared.config.fault, FaultSite::CheckpointSpill)
+    let started = Instant::now();
+    durable::write_sealed(path, body, &shared.config.fault, FaultSite::CheckpointSpill)?;
+    shared
+        .metrics
+        .checkpoint_spill_us
+        .record_duration(started.elapsed());
+    shared.metrics.checkpoints_written.inc();
+    Ok(())
 }
 
 /// Loads and validates a spilled checkpoint for `key`.  A corrupt or torn
@@ -1337,10 +1552,7 @@ fn load_checkpoint(
     spec: &CellSpec,
 ) -> Option<EngineCheckpoint> {
     let note_quarantine = || {
-        shared
-            .stats
-            .checkpoints_quarantined
-            .fetch_add(1, Ordering::Relaxed);
+        shared.metrics.checkpoints_quarantined.inc();
     };
     let body = match durable::load_sealed(path) {
         LoadOutcome::Loaded(body) => body,

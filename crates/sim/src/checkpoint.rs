@@ -39,7 +39,7 @@ use lad_replication::classifier::{
 use lad_replication::counter::SaturatingCounter;
 use lad_replication::entry::{HomeEntry, LlcEntry, ReplicaEntry};
 
-use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile};
+use crate::metrics::{ClassifierStats, LatencyBreakdown, MissBreakdown, RunLengthProfile};
 
 #[cfg(doc)]
 use crate::Simulator;
@@ -99,6 +99,11 @@ pub struct EngineCheckpoint {
     pub back_invalidations: u64,
     /// Total accesses stepped.
     pub total_accesses: u64,
+    /// Capture-time classifier variance totals (retired + live).  The
+    /// per-entry diagnostic counters are *not* serialized — restored
+    /// classifiers restart at the `from_snapshot` baseline and these
+    /// totals seed the simulator's retired accumulators instead.
+    pub classifier: ClassifierStats,
     /// Accesses each core has stepped — the stream cursor used to
     /// fast-forward the source on resume.
     pub consumed: Vec<u64>,
@@ -504,6 +509,7 @@ impl EngineCheckpoint {
                 JsonValue::from(self.back_invalidations),
             ),
             ("total_accesses", JsonValue::from(self.total_accesses)),
+            ("classifier", self.classifier.to_json()),
             ("consumed", JsonValue::Array(consumed)),
         ])
     }
@@ -688,6 +694,11 @@ impl EngineCheckpoint {
             replicas_created: u64_field(value, "replicas_created")?,
             back_invalidations: u64_field(value, "back_invalidations")?,
             total_accesses: u64_field(value, "total_accesses")?,
+            classifier: ClassifierStats::from_json(
+                value
+                    .get("classifier")
+                    .ok_or("checkpoint is missing the classifier variance totals")?,
+            )?,
             consumed,
         })
     }

@@ -22,6 +22,7 @@ use lad_energy::accounting::{Component, EnergyAccounting};
 use lad_energy::model::EnergyModel;
 use lad_noc::message::MessageKind;
 use lad_noc::Network;
+use lad_obs::{Counter, LatencyHistogram, MetricsRegistry};
 use lad_replication::config::ReplicationConfig;
 use lad_replication::entry::{HomeEntry, LlcEntry, ReplicaEntry};
 use lad_replication::placement::HomeMap;
@@ -32,7 +33,9 @@ use lad_traceio::error::TraceError;
 use lad_traceio::source::{MemorySource, TraceSource};
 
 use crate::checkpoint::{EngineCheckpoint, TileCheckpoint};
-use crate::metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
+use crate::metrics::{
+    ClassifierStats, LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport,
+};
 use crate::schedule::CoreScheduler;
 use crate::tile::Tile;
 
@@ -209,6 +212,48 @@ pub struct Simulator {
     replicas_created: u64,
     back_invalidations: u64,
     total_accesses: u64,
+    // Classifier variance folded in from home entries retired by LLC
+    // eviction; report() combines these with a walk of the live entries.
+    retired_classifier_flips: u64,
+    retired_classifier_peak: u64,
+
+    obs: EngineMetrics,
+}
+
+/// Pre-resolved engine instrument handles (see [`lad_obs`]).  Resolved
+/// from the process-wide registry by default; the overhead bench
+/// re-resolves against a disarmed registry through
+/// [`Simulator::set_metrics_registry`] to measure the cost of the
+/// instrumentation itself on the real execution path.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    accesses: Counter,
+    batch_steps: LatencyHistogram,
+    runs_completed: Counter,
+    checkpoints_captured: Counter,
+}
+
+impl EngineMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            accesses: registry.counter(
+                "lad_engine_accesses_total",
+                "memory accesses simulated across all runs",
+            ),
+            batch_steps: registry.histogram(
+                "lad_engine_batch_steps",
+                "consecutive steps dispatched to one core without scheduler traffic",
+            ),
+            runs_completed: registry.counter(
+                "lad_engine_runs_completed_total",
+                "simulation streams run to completion",
+            ),
+            checkpoints_captured: registry.counter(
+                "lad_engine_checkpoints_total",
+                "resumable checkpoints captured on cancellation",
+            ),
+        }
+    }
 }
 
 impl Simulator {
@@ -321,6 +366,9 @@ impl Simulator {
             replicas_created: 0,
             back_invalidations: 0,
             total_accesses: 0,
+            retired_classifier_flips: 0,
+            retired_classifier_peak: 0,
+            obs: EngineMetrics::resolve(lad_obs::global()),
             system,
             replication,
             scheme_id: policy.id(),
@@ -331,6 +379,16 @@ impl Simulator {
             benchmark: String::new(),
             active_cores,
         }
+    }
+
+    /// Re-resolves the engine's instrument handles against `registry`
+    /// instead of the process-wide [`lad_obs::global`] default.  Recording
+    /// never affects simulation results; passing a
+    /// [`MetricsRegistry::noop`] registry disarms the handles entirely,
+    /// which is how the `metrics_overhead` bench isolates the cost of the
+    /// instrumentation on the real execution path.
+    pub fn set_metrics_registry(&mut self, registry: &MetricsRegistry) {
+        self.obs = EngineMetrics::resolve(registry);
     }
 
     /// Sets the seed for the simulator's internal randomness (ASR's
@@ -395,6 +453,8 @@ impl Simulator {
         self.replicas_created = 0;
         self.back_invalidations = 0;
         self.total_accesses = 0;
+        self.retired_classifier_flips = 0;
+        self.retired_classifier_peak = 0;
     }
 
     // ----- the stepping API ------------------------------------------------
@@ -500,7 +560,28 @@ impl Simulator {
             total_accesses: self.total_accesses,
             replicas_created: self.replicas_created,
             back_invalidations: self.back_invalidations,
+            classifier: self.classifier_stats(),
         }
+    }
+
+    /// Classifier variance over the run so far: the counters folded in
+    /// from evicted home entries combined with a walk of the live ones.
+    fn classifier_stats(&self) -> ClassifierStats {
+        let mut stats = ClassifierStats {
+            mode_flips: self.retired_classifier_flips,
+            peak_tracked: self.retired_classifier_peak,
+        };
+        for tile in &self.tiles {
+            for (_, entry) in tile.llc.iter() {
+                if let LlcEntry::Home(home) = entry {
+                    stats.mode_flips += home.classifier.mode_flips();
+                    stats.peak_tracked = stats
+                        .peak_tracked
+                        .max(home.classifier.peak_tracked() as u64);
+                }
+            }
+        }
+        stats
     }
 
     /// Runs a workload trace to completion: a profiling pass, then a loop
@@ -700,6 +781,10 @@ impl Simulator {
         let mut since_observe: u64 = 0;
         #[cfg(debug_assertions)]
         let mut steps_since_check: u32 = 0;
+        // Steps in the current same-core dispatch batch; flushed to the
+        // instruments at batch boundaries so the per-step cost of
+        // observation is a local increment, not an atomic.
+        let mut batch_len: u64 = 0;
         let mut current = scheduler.pop();
         while let Some(core) = current {
             let Some(access) = pending[core].take() else {
@@ -707,6 +792,7 @@ impl Simulator {
             };
             self.step(&access);
             consumed[core] += 1;
+            batch_len += 1;
             pending[core] = source.next_for_core(CoreId::new(core))?;
 
             // Debug builds sweep the live state against the shared invariant
@@ -730,6 +816,9 @@ impl Simulator {
                         consumed: &consumed,
                     };
                     if matches!(observer.observe(progress), RunControl::Cancel) {
+                        self.obs.accesses.add(batch_len);
+                        self.obs.batch_steps.record(batch_len);
+                        self.obs.checkpoints_captured.inc();
                         return Ok(RunOutcome::Cancelled(Box::new(
                             self.capture_checkpoint(&consumed),
                         )));
@@ -738,10 +827,16 @@ impl Simulator {
             }
 
             current = if pending[core].is_none() {
+                self.obs.accesses.add(batch_len);
+                self.obs.batch_steps.record(batch_len);
+                batch_len = 0;
                 scheduler.pop()
             } else if scheduler.runs_next(core, self.tiles[core].clock) {
                 Some(core)
             } else {
+                self.obs.accesses.add(batch_len);
+                self.obs.batch_steps.record(batch_len);
+                batch_len = 0;
                 scheduler.push(core, self.tiles[core].clock);
                 scheduler.pop()
             };
@@ -752,6 +847,7 @@ impl Simulator {
         // The stream has ended: close the open runs in place so the report
         // below (and any further `report` calls) need not fold them again.
         self.run_lengths.finalize();
+        self.obs.runs_completed.inc();
 
         Ok(RunOutcome::Completed(Box::new(self.report())))
     }
@@ -788,11 +884,24 @@ impl Simulator {
             tiles: self
                 .tiles
                 .iter()
-                .map(|tile| TileCheckpoint {
-                    clock: tile.clock,
-                    l1i: tile.l1i.state(),
-                    l1d: tile.l1d.state(),
-                    llc: tile.llc.state(),
+                .map(|tile| {
+                    let mut llc = tile.llc.state();
+                    // Normalize classifier diagnostics to the baseline
+                    // from_snapshot restores to, so resuming from this
+                    // in-memory checkpoint and from its JSON round-trip
+                    // restore identical state.  The capture-time totals are
+                    // preserved in classifier_mode_flips/_peak_tracked.
+                    for (_, _, _, entry) in &mut llc.slots {
+                        if let LlcEntry::Home(home) = entry {
+                            home.classifier.reset_diagnostics();
+                        }
+                    }
+                    TileCheckpoint {
+                        clock: tile.clock,
+                        l1i: tile.l1i.state(),
+                        l1d: tile.l1d.state(),
+                        llc,
+                    }
                 })
                 .collect(),
             network: self.network.state(),
@@ -806,6 +915,7 @@ impl Simulator {
             replicas_created: self.replicas_created,
             back_invalidations: self.back_invalidations,
             total_accesses: self.total_accesses,
+            classifier: self.classifier_stats(),
             consumed: consumed.to_vec(),
         }
     }
@@ -868,6 +978,12 @@ impl Simulator {
         self.replicas_created = checkpoint.replicas_created;
         self.back_invalidations = checkpoint.back_invalidations;
         self.total_accesses = checkpoint.total_accesses;
+        // The restored live classifiers restart their diagnostic counters
+        // at the from_snapshot baseline, so the capture-time totals seed
+        // the retired accumulators: report() then reproduces the straight
+        // run's numbers exactly (the post-capture deltas are identical).
+        self.retired_classifier_flips = checkpoint.classifier.mode_flips;
+        self.retired_classifier_peak = checkpoint.classifier.peak_tracked;
     }
 
     /// Checks the live engine state against the shared `lad-check` invariant
@@ -1624,6 +1740,13 @@ impl Simulator {
                 );
             }
             LlcEntry::Home(home_entry) => {
+                // The entry's classifier dies with it: fold its variance
+                // counters into the retired accumulators so report() still
+                // sees the whole run.
+                self.retired_classifier_flips += home_entry.classifier.mode_flips();
+                self.retired_classifier_peak = self
+                    .retired_classifier_peak
+                    .max(home_entry.classifier.peak_tracked() as u64);
                 // Inclusive LLC: every sharer's copy must be invalidated.
                 let targets = home_entry
                     .directory
@@ -1808,6 +1931,30 @@ mod tests {
         assert!(report.completion_time.value() > 0);
         assert!(report.energy.total() > 0.0);
         assert!(report.latency.total() > 0);
+    }
+
+    #[test]
+    fn report_carries_classifier_variance_counters() {
+        let report = run(
+            ReplicationConfig::locality_aware(3),
+            Benchmark::Barnes,
+            1600,
+        );
+        // The run creates replicas, and every replica grant is preceded by
+        // a non-replica → replica promotion of some tracked core.
+        assert!(report.replicas_created > 0);
+        assert!(
+            report.classifier.mode_flips > 0,
+            "promotions must be counted as mode flips"
+        );
+        assert!(
+            report.classifier.peak_tracked > 0,
+            "tracked-core occupancy must leave a high-water mark"
+        );
+        // S-NUCA never instantiates per-line locality tracking state that
+        // changes mode: its variance counters stay flat.
+        let snuca = run(ReplicationConfig::static_nuca(), Benchmark::Barnes, 1600);
+        assert_eq!(snuca.classifier.mode_flips, 0);
     }
 
     #[test]

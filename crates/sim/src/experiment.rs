@@ -20,6 +20,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use lad_common::config::SystemConfig;
 use lad_common::json::JsonValue;
@@ -36,6 +37,48 @@ use lad_traceio::source::{FileSource, TraceSource};
 
 use crate::engine::Simulator;
 use crate::metrics::SimulationReport;
+
+/// Pre-resolved work-stealing-pool instrument handles, labelled by which
+/// matrix entry point owns the pool.  Queue wait is measured from pool
+/// start to the moment a worker pulls the cell (cells sit in the shared
+/// queue from the start, so that *is* their wait); execution time is the
+/// cell's own wall clock.
+#[derive(Clone)]
+struct PoolMetrics {
+    queue_wait: lad_obs::LatencyHistogram,
+    exec: lad_obs::LatencyHistogram,
+    jobs: lad_obs::Counter,
+    busy: lad_obs::Gauge,
+}
+
+impl PoolMetrics {
+    fn resolve(pool: &str) -> Self {
+        let registry = lad_obs::global();
+        let labels = [("pool", pool)];
+        PoolMetrics {
+            queue_wait: registry.histogram_with(
+                "lad_pool_queue_wait_us",
+                &labels,
+                "time a matrix cell waited in the work-stealing queue",
+            ),
+            exec: registry.histogram_with(
+                "lad_pool_cell_exec_us",
+                &labels,
+                "wall-clock execution time of one matrix cell",
+            ),
+            jobs: registry.counter_with(
+                "lad_pool_jobs_total",
+                &labels,
+                "matrix cells pulled from the work-stealing queue",
+            ),
+            busy: registry.gauge_with(
+                "lad_pool_workers_busy",
+                &labels,
+                "workers currently executing a cell",
+            ),
+        }
+    }
+}
 
 /// Why a file-backed replay failed: the scheme was never registered, the
 /// trace could not be streamed, or two trace files claimed the same
@@ -281,6 +324,8 @@ impl ExperimentRunner {
         // which worker ran which job.
         let workers = self.worker_threads(jobs.len());
         let next_job = AtomicUsize::new(0);
+        let obs = PoolMetrics::resolve("replay_file_matrix");
+        let pool_started = Instant::now();
         type ReplayCell = Result<((String, SchemeId), SimulationReport), ReplayError>;
         let mut collected: Vec<(usize, ReplayCell)> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
@@ -289,6 +334,7 @@ impl ExperimentRunner {
                     let runner = self;
                     let jobs = &jobs;
                     let next_job = &next_job;
+                    let obs = obs.clone();
                     scope.spawn(move || {
                         let mut cells: Vec<(usize, ReplayCell)> = Vec::new();
                         loop {
@@ -296,9 +342,15 @@ impl ExperimentRunner {
                             let Some((path, scheme)) = jobs.get(index) else {
                                 break;
                             };
+                            obs.queue_wait.record_duration(pool_started.elapsed());
+                            obs.jobs.inc();
+                            obs.busy.inc();
+                            let cell_started = Instant::now();
                             let cell = runner
                                 .replay_file(path, *scheme)
                                 .map(|report| ((report.benchmark.clone(), *scheme), report));
+                            obs.exec.record_duration(cell_started.elapsed());
+                            obs.busy.dec();
                             cells.push((index, cell));
                         }
                         cells
@@ -369,6 +421,8 @@ impl ExperimentRunner {
         // however the jobs land on workers.
         let workers = self.worker_threads(jobs.len());
         let next_job = AtomicUsize::new(0);
+        let obs = PoolMetrics::resolve("run_matrix");
+        let pool_started = Instant::now();
         let mut results = BTreeMap::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -376,6 +430,7 @@ impl ExperimentRunner {
                     let runner = self;
                     let jobs = &jobs;
                     let next_job = &next_job;
+                    let obs = obs.clone();
                     scope.spawn(move || {
                         let mut cells = Vec::new();
                         loop {
@@ -383,7 +438,13 @@ impl ExperimentRunner {
                             let Some((benchmark, id, entry)) = jobs.get(index) else {
                                 break;
                             };
+                            obs.queue_wait.record_duration(pool_started.elapsed());
+                            obs.jobs.inc();
+                            obs.busy.inc();
+                            let cell_started = Instant::now();
                             let report = runner.run_registered(*benchmark, entry);
+                            obs.exec.record_duration(cell_started.elapsed());
+                            obs.busy.dec();
                             cells.push(((*benchmark, *id), report));
                         }
                         cells
@@ -759,6 +820,7 @@ mod tests {
             total_accesses: 1,
             replicas_created: 0,
             back_invalidations: 0,
+            classifier: crate::metrics::ClassifierStats::default(),
         }
     }
 

@@ -49,5 +49,7 @@ pub use engine::{
     AccessOutcome, RunControl, RunObserver, RunOutcome, RunProgress, ServedBy, Simulator, StopAfter,
 };
 pub use experiment::{ExperimentRunner, SchemeComparison};
-pub use metrics::{LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport};
+pub use metrics::{
+    ClassifierStats, LatencyBreakdown, MissBreakdown, RunLengthProfile, SimulationReport,
+};
 pub use schedule::CoreScheduler;

@@ -434,6 +434,50 @@ impl RunLengthProfile {
     }
 }
 
+/// Diagnostic variance counters aggregated over every locality classifier
+/// the run instantiated — both the classifiers still live in home entries
+/// at stream end and the ones retired by LLC evictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifierStats {
+    /// Total replica/non-replica mode transitions recorded by any tracked
+    /// core (promotion on reaching RT, or settling to the other mode on
+    /// eviction feedback).  High values mean the classifier keeps changing
+    /// its mind about the same sharers.
+    pub mode_flips: u64,
+    /// High-water mark of tracked cores in any single classifier — for
+    /// `Limited_k` organizations this saturates at `k`, so the gap to `k`
+    /// shows whether the limited tracker was ever actually full.
+    pub peak_tracked: u64,
+}
+
+impl ClassifierStats {
+    /// The counters as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("mode_flips", JsonValue::from(self.mode_flips)),
+            ("peak_tracked", JsonValue::from(self.peak_tracked)),
+        ])
+    }
+
+    /// Rebuilds the counters from [`ClassifierStats::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("classifier stats are missing numeric field {name:?}"))
+        };
+        Ok(ClassifierStats {
+            mode_flips: field("mode_flips")?,
+            peak_tracked: field("peak_tracked")?,
+        })
+    }
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationReport {
@@ -460,6 +504,9 @@ pub struct SimulationReport {
     pub replicas_created: u64,
     /// Total back-invalidations caused by LLC evictions.
     pub back_invalidations: u64,
+    /// Classifier variance: mode-flip count and tracked-core high-water
+    /// mark, aggregated over live and evicted classifiers.
+    pub classifier: ClassifierStats,
 }
 
 impl SimulationReport {
@@ -503,6 +550,7 @@ impl SimulationReport {
                 "back_invalidations",
                 JsonValue::from(self.back_invalidations),
             ),
+            ("classifier", self.classifier.to_json()),
             ("latency", self.latency.to_json()),
             ("misses", self.misses.to_json()),
             ("energy", energy),
@@ -572,6 +620,11 @@ impl SimulationReport {
             total_accesses: u64_field("total_accesses")?,
             replicas_created: u64_field("replicas_created")?,
             back_invalidations: u64_field("back_invalidations")?,
+            classifier: ClassifierStats::from_json(
+                value
+                    .get("classifier")
+                    .ok_or("report is missing the classifier variance counters")?,
+            )?,
         })
     }
 }
@@ -721,6 +774,7 @@ mod tests {
             total_accesses: 100,
             replicas_created: 5,
             back_invalidations: 0,
+            classifier: ClassifierStats::default(),
         };
         assert!((report.energy_delay_product() - 1000.0 * 500.0).abs() < 1e-9);
         assert!((report.average_memory_latency() - 3.0).abs() < 1e-9);
@@ -775,6 +829,10 @@ mod tests {
             total_accesses: 46,
             replicas_created: 3,
             back_invalidations: 1,
+            classifier: ClassifierStats {
+                mode_flips: 17,
+                peak_tracked: 9,
+            },
         };
 
         // Through the document model and through the textual serializer.
@@ -802,6 +860,7 @@ mod tests {
             total_accesses: 0,
             replicas_created: 0,
             back_invalidations: 0,
+            classifier: ClassifierStats::default(),
         };
         let json = report.to_json();
         // Removing any top-level field must produce an error, not a panic.

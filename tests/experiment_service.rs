@@ -545,3 +545,120 @@ fn killed_server_resumes_from_checkpoint_not_access_zero() {
     client.shutdown().unwrap();
     server_b.join();
 }
+
+/// The `metrics` verb end-to-end: after one real job the scrape carries a
+/// parseable Prometheus exposition and a native JSON document whose
+/// counters reflect the work done, per-verb latency histograms included.
+#[test]
+fn metrics_verb_exposes_prometheus_and_json() {
+    let dir = TempDir::new("metrics");
+    let server = Server::spawn(config(&dir)).unwrap();
+    let mut client = connect(&server);
+    let spec = JobSpec {
+        trace: TraceSpec::Builtin {
+            benchmark: "BARNES".into(),
+            cores: 16,
+            accesses_per_core: 120,
+            seed: 11,
+        },
+        schemes: vec!["S-NUCA".into(), "RT-3".into()],
+        system: SystemPreset::SmallTest,
+    };
+    let job = job_id(&client.submit(&spec).unwrap());
+    client.wait(&job, Duration::from_millis(5)).unwrap();
+
+    let frame = client.metrics().unwrap();
+    assert_eq!(frame.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+    // The Prometheus body obeys the text-exposition grammar line by line:
+    // comments are HELP/TYPE for the sample that follows, samples are
+    // `name[{labels}] value` with a finite numeric value.
+    let body = frame
+        .get("prometheus")
+        .and_then(JsonValue::as_str)
+        .expect("metrics frame carries a prometheus body");
+    let mut sample_lines = 0usize;
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "unknown comment line: {line:?}"
+            );
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line without value: {line:?}"));
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in line: {line:?}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "bad label block in line: {line:?}"
+                );
+            }
+        }
+        assert!(
+            value.parse::<f64>().is_ok_and(f64::is_finite),
+            "non-numeric sample value in line: {line:?}"
+        );
+        sample_lines += 1;
+    }
+    assert!(sample_lines > 20, "suspiciously small exposition: {body}");
+    assert!(
+        body.contains("# TYPE lad_serve_cells_executed_total counter"),
+        "missing typed cells counter in exposition"
+    );
+
+    // The native JSON view round-trips through the strict parser and its
+    // counters reflect the two executed cells and the frames exchanged.
+    let json = frame
+        .get("metrics")
+        .expect("metrics frame carries a native JSON view");
+    let reparsed = JsonValue::parse(&json.pretty()).unwrap();
+    assert_eq!(&reparsed, json, "metrics JSON unstable under round-trip");
+    let entries = json
+        .get("metrics")
+        .and_then(JsonValue::as_array)
+        .expect("native view has a metrics array");
+    let counter_value = |name: &str| {
+        entries
+            .iter()
+            .find(|m| m.get("name").and_then(JsonValue::as_str) == Some(name))
+            .and_then(|m| m.get("value"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(counter_value("lad_serve_cells_executed_total"), 2);
+    assert!(counter_value("lad_serve_jobs_submitted_total") >= 1);
+    assert!(counter_value("lad_serve_frames_in_total") >= 3);
+    let submit_latency = entries
+        .iter()
+        .find(|m| {
+            m.get("name").and_then(JsonValue::as_str) == Some("lad_serve_verb_latency_us")
+                && m.get("labels")
+                    .and_then(|l| l.get("verb"))
+                    .and_then(JsonValue::as_str)
+                    == Some("submit")
+        })
+        .expect("per-verb latency histogram for submit");
+    assert!(
+        submit_latency
+            .get("count")
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|count| count >= 1),
+        "submit latency histogram never recorded"
+    );
+    // Scrape-time gauges: the cache holds both spilled cells and the mode
+    // gauge reports durable (0) over a healthy data directory.
+    assert_eq!(counter_value("lad_serve_cache_entries"), 2);
+    assert_eq!(counter_value("lad_serve_cache_mode"), 0);
+
+    client.shutdown().unwrap();
+    server.join();
+}
